@@ -1,0 +1,64 @@
+"""Ablation — margin relaxed as a function of each recovery knob.
+
+Not a paper artefact: sweeps the three knobs (alpha, sleep voltage, sleep
+temperature) one at a time around the paper's operating point, showing the
+design space the paper's Sec. 7 calls "a good opportunity for cross-layer
+optimisation".
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.core.planner import CircadianPlanner
+from repro.fpga.chip import FpgaChip
+from repro.units import hours
+
+
+def sweep(seed: int = 0) -> dict[str, dict[float, float]]:
+    """Margin relaxed per knob setting (other knobs at paper values)."""
+    chip = FpgaChip("ablation", seed=seed)
+    operating = OperatingPoint(temperature_c=110.0)
+    total_active = hours(24.0)
+    results: dict[str, dict[float, float]] = {"alpha": {}, "voltage": {}, "temperature": {}}
+
+    def margin(knobs: RecoveryKnobs) -> float:
+        planner = CircadianPlanner(knobs, operating, period=hours(7.5))
+        comparison = planner.compare_against_baseline(
+            chip, total_active, max_segment=hours(1.5)
+        )
+        return comparison.margin_relaxed
+
+    for alpha in (2.0, 4.0, 8.0):
+        results["alpha"][alpha] = margin(
+            RecoveryKnobs(alpha=alpha, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+        )
+    for voltage in (0.0, -0.15, -0.3):
+        results["voltage"][voltage] = margin(
+            RecoveryKnobs(alpha=4.0, sleep_voltage=voltage, sleep_temperature_c=110.0)
+        )
+    for temp in (20.0, 60.0, 110.0):
+        results["temperature"][temp] = margin(
+            RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=temp)
+        )
+    return results
+
+
+def test_bench_ablation_knobs(once):
+    """Sweep each knob and confirm its monotone effect on margin."""
+    results = once(sweep, seed=0)
+    table = Table(
+        "Ablation — design margin relaxed per recovery knob",
+        ["knob", "setting", "margin relaxed"],
+        fmt="{:.3f}",
+    )
+    for knob, settings in results.items():
+        for value, margin in settings.items():
+            table.add_row(knob, value, margin)
+    table.print()
+    # More sleep (smaller alpha) relaxes more margin.
+    assert results["alpha"][2.0] > results["alpha"][8.0]
+    # A more negative rail relaxes more margin.
+    assert results["voltage"][-0.3] > results["voltage"][0.0]
+    # A hotter sleep relaxes more margin.
+    assert results["temperature"][110.0] > results["temperature"][20.0]

@@ -1,0 +1,72 @@
+"""Ablation — proactive vs reactive recovery scheduling (paper Sec. 2.2).
+
+The paper argues proactive scheduling beats reactive: reactive recovery
+triggers only after damage accumulates, so the chip spends more of its
+life in an aged state and the expected (time-averaged) delay shift is
+worse.  The ablation runs both on identical chips at equal delivered work
+and compares the time-averaged and final shifts.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.core.policies import ProactivePolicy, ReactivePolicy
+from repro.core.rejuvenator import Rejuvenator
+from repro.fpga.chip import FpgaChip
+from repro.units import hours, nanoseconds
+
+
+def run_policies(seed: int = 0):
+    """Both policies on identically-seeded chips; equal delivered work."""
+    operating = OperatingPoint(temperature_c=110.0)
+    knobs = RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+    total_active = hours(48.0)
+
+    proactive_chip = FpgaChip("pro", seed=seed)
+    rejuvenator = Rejuvenator(proactive_chip, operating, max_segment=hours(1.5))
+    proactive = rejuvenator.run(ProactivePolicy(knobs, period=hours(7.5)), total_active)
+
+    reactive_chip = FpgaChip("rea", seed=seed)
+    rejuvenator = Rejuvenator(reactive_chip, operating, max_segment=hours(1.5))
+    # The 4.4 ns trigger makes the reactive policy spend the *same* sleep
+    # budget (~20 % of wall clock) as the alpha = 4 proactive schedule, so
+    # the comparison isolates scheduling, not sleep quantity.
+    policy = ReactivePolicy(
+        knobs, trigger_shift=nanoseconds(4.4), recovery_duration=hours(6.0),
+        segment=hours(1.5),
+    )
+    reactive = rejuvenator.run(policy, total_active)
+    return proactive, reactive
+
+
+def time_averaged_shift(trajectory) -> float:
+    """Work-weighted average delay shift over the run."""
+    return float(np.trapezoid(trajectory.delay_shifts, trajectory.active_times)
+                 / trajectory.active_times[-1])
+
+
+def test_bench_ablation_proactive_vs_reactive(once):
+    """Proactive scheduling yields a better expected (average) shift."""
+    proactive, reactive = once(run_policies, seed=0)
+    table = Table(
+        "Ablation — proactive vs reactive recovery (equal work, 48 h active)",
+        ["policy", "avg dTd (ns)", "peak dTd (ns)", "final dTd (ns)", "sleep fraction"],
+        fmt="{:.2f}",
+    )
+    for name, t in (("proactive", proactive), ("reactive", reactive)):
+        table.add_row(
+            name,
+            time_averaged_shift(t) * 1e9,
+            t.peak_shift * 1e9,
+            t.final_shift * 1e9,
+            t.sleep_fraction(),
+        )
+    table.print()
+    # Sleep budgets must be comparable for the comparison to mean anything.
+    assert abs(proactive.sleep_fraction() - reactive.sleep_fraction()) < 0.08
+    # The paper's argument: at the same sleep budget the proactive system
+    # operates longer in a "refreshed" mode — better expected (average)
+    # shift — and never lets the worst-case shift run past the trigger.
+    assert time_averaged_shift(proactive) < time_averaged_shift(reactive)
+    assert proactive.peak_shift < reactive.peak_shift

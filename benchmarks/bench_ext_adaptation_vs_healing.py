@@ -1,0 +1,66 @@
+"""Extension — adaptation alone vs accelerated self-healing.
+
+The paper's Sec. 2 argument, quantified: an adaptive system re-times its
+clock to the aged path and keeps functioning, but becomes sluggish;
+self-healing repairs the path so the adaptive controller keeps shipping
+(nearly) the fresh clock.  Both systems deliver the same work and use the
+same ideal adaptive controller — the only difference is healing.
+"""
+
+from repro.analysis.tables import Table
+from repro.core.adaptation import AdaptiveClockController
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.core.policies import NoRecoveryPolicy, ProactivePolicy
+from repro.core.rejuvenator import Rejuvenator
+from repro.fpga.chip import FpgaChip
+from repro.units import hours
+
+
+def run(seed: int = 0):
+    controller = AdaptiveClockController(safety_margin=0.03)
+    operating = OperatingPoint(temperature_c=110.0)
+    knobs = RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+    traces = {}
+    for name, policy in (
+        ("adaptation only", NoRecoveryPolicy(segment=hours(1.5))),
+        ("adaptation + healing", ProactivePolicy(knobs, period=hours(7.5))),
+    ):
+        chip = FpgaChip(name, seed=seed)
+        trajectory = Rejuvenator(chip, operating, max_segment=hours(1.5)).run(
+            policy, hours(48.0)
+        )
+        traces[name] = controller.trace_from_trajectory(
+            trajectory.active_times, trajectory.delay_shifts, chip.fresh_path_delay
+        )
+    return traces
+
+
+def test_bench_ext_adaptation_vs_healing(once):
+    """Healing keeps the delivered clock near fresh; adaptation decays."""
+    traces = once(run, seed=0)
+    table = Table(
+        "Adaptation vs healing (48 h of work @110 degC, same controller)",
+        ["system", "fresh clock (MHz)", "final clock (MHz)",
+         "mean clock (MHz)", "performance loss"],
+        fmt="{:.3f}",
+    )
+    for name, trace in traces.items():
+        table.add_row(
+            name,
+            trace.fresh_frequency / 1e6,
+            trace.final_frequency / 1e6,
+            trace.mean_frequency() / 1e6,
+            trace.performance_loss,
+        )
+    table.print()
+    adaptive = traces["adaptation only"]
+    healed = traces["adaptation + healing"]
+    assert healed.mean_frequency() > adaptive.mean_frequency()
+    assert healed.performance_loss < adaptive.performance_loss
+    # Work-weighted clock loss (what users experience over the product's
+    # life): healing claws back a large share of it — "sluggish" quantified.
+    # Note the healed trace *ends* on a stress peak; the average is the
+    # fair comparison.
+    adaptive_mean_loss = 1.0 - adaptive.mean_frequency() / adaptive.fresh_frequency
+    healed_mean_loss = 1.0 - healed.mean_frequency() / healed.fresh_frequency
+    assert healed_mean_loss < 0.8 * adaptive_mean_loss

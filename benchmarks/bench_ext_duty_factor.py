@@ -1,0 +1,53 @@
+"""Extension — the AC-BTI duty-factor curve.
+
+Degradation vs stress duty cycle after 24 h at 110 degC: near zero for a
+mostly-relaxed waveform, rising with duty, with the characteristic jump
+toward the DC endpoint that measured duty-factor data shows (and that the
+calibrated AC capture-suppression reproduces).
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.bti.traps import TrapParameters, TrapPopulation
+from repro.bti.waveform_sim import duty_factor_curve
+from repro.units import celsius, hours
+
+
+def run(seed: int = 3):
+    params = TrapParameters(mean_trap_count=60.0)
+    return duty_factor_curve(
+        lambda: TrapPopulation(params, n_owners=4, rng=seed),
+        duration=hours(24.0),
+        stress_voltage=1.2,
+        temperature=celsius(110.0),
+        duties=(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+    )
+
+
+def test_bench_ext_duty_factor(once):
+    """Monotone duty dependence with the DC jump."""
+    curve = once(run)
+    dc = curve[1.0]
+    table = Table(
+        "Duty-factor curve (24 h @110 degC, normalised to DC)",
+        ["duty", "dVth / dVth(DC)"],
+        fmt="{:.3f}",
+    )
+    for duty, shift in curve.items():
+        table.add_row(f"{duty:g}", shift / dc)
+    table.print()
+    duties = sorted(curve)
+    print(line_plot(
+        [Series("dVth/DC", np.array(duties), np.array([curve[d] / dc for d in duties]))],
+        title="duty factor", x_label="stress duty", y_label="norm", height=10,
+    ))
+    values = [curve[d] for d in duties]
+    # Monotone non-decreasing in duty; zero duty ages ~nothing.
+    assert all(a <= b * 1.001 for a, b in zip(values, values[1:]))
+    assert curve[0.0] < 0.02 * dc
+    # The characteristic DC jump: the last step (0.9 -> 1.0) is larger
+    # than the 0.5 -> 0.75 step despite covering less duty range.
+    assert (curve[1.0] - curve[0.9]) > (curve[0.75] - curve[0.5])

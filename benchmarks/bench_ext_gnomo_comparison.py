@@ -1,0 +1,57 @@
+"""Extension — accelerated self-healing vs the GNOMO mitigation (ref. 12).
+
+Three strategies deliver the same 24 h of nominal-speed work under
+accelerated conditions:
+
+* **nominal** — run continuously at 1.2 V (the unmitigated baseline);
+* **GNOMO** — run boosted at 1.32 V, power-gate the saved time (in-
+  operation mitigation: slows wearout, pays dynamic power);
+* **self-healing** — run at nominal, then actively rejuvenate for 1/4 of
+  the stress time (the paper's technique: reverses wearout, pays wall
+  clock).
+"""
+
+from repro.analysis.tables import Table
+from repro.core.gnomo import run_gnomo
+from repro.fpga.chip import FpgaChip
+from repro.fpga.ring_oscillator import StressMode
+from repro.units import celsius, hours
+
+
+def run(seed: int = 0):
+    nominal = FpgaChip("nominal", seed=seed)
+    nominal.apply_stress(hours(24.0), temperature=celsius(110.0), mode=StressMode.DC)
+
+    gnomo_chip = FpgaChip("gnomo", seed=seed)
+    gnomo = run_gnomo(gnomo_chip, hours(24.0), boosted_voltage=1.32, cycle=hours(6.0))
+
+    healed = FpgaChip("healed", seed=seed)
+    healed.apply_stress(hours(24.0), temperature=celsius(110.0), mode=StressMode.DC)
+    healed.apply_recovery(hours(6.0), temperature=celsius(110.0), supply_voltage=-0.3)
+
+    return nominal.delta_path_delay(), gnomo, healed.delta_path_delay()
+
+
+def test_bench_ext_gnomo_comparison(once):
+    """Who leaves more margin at equal delivered work, and at what cost."""
+    nominal_shift, gnomo, healed_shift = once(run, seed=0)
+    table = Table(
+        "Self-healing vs GNOMO vs nominal (24 h of work, 110 degC)",
+        ["strategy", "dTd (ns)", "vs nominal", "dyn. energy", "wall clock (h)"],
+        fmt="{:.2f}",
+    )
+    table.add_row("nominal 1.2V", nominal_shift * 1e9, 1.0, 1.0, 24.0)
+    table.add_row(
+        "GNOMO 1.32V", gnomo.delay_shift * 1e9, gnomo.delay_shift / nominal_shift,
+        gnomo.energy_factor, 24.0,
+    )
+    table.add_row(
+        "self-healing (paper)", healed_shift * 1e9, healed_shift / nominal_shift,
+        1.0, 30.0,
+    )
+    table.print()
+    # GNOMO helps over nominal...
+    assert gnomo.delay_shift < nominal_shift
+    # ...but active rejuvenation repairs deeper, without the power premium.
+    assert healed_shift < gnomo.delay_shift
+    assert gnomo.energy_factor > 1.15

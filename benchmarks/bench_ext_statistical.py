@@ -1,0 +1,57 @@
+"""Extension — statistical aging prediction (Velamala-style TD statistics).
+
+Not a paper artefact: quantifies the statistical dimension of the TD
+model the paper builds on — device-to-device aging spread, the guardband
+needed to cover 99 % of devices, and the sigma/mu vs device-size law.
+"""
+
+from repro.analysis.tables import Table
+from repro.bti.conditions import BiasCondition, BiasPhase
+from repro.bti.statistical import (
+    margin_at_quantile,
+    sample_device_shifts,
+    shift_statistics,
+    sigma_mu_relation,
+)
+from repro.units import hours
+
+STRESS = BiasPhase(duration=hours(24.0), bias=BiasCondition.at_celsius(1.2, 110.0))
+
+
+def run(n_devices: int = 500):
+    shifts = sample_device_shifts([STRESS], n_devices, rng=0)
+    stats = shift_statistics(shifts)
+    guardband = margin_at_quantile(shifts, coverage=0.99)
+    relation = sigma_mu_relation([STRESS], trap_counts=(10.0, 40.0, 160.0),
+                                 n_devices=300, rng=1)
+    return stats, guardband, relation
+
+
+def test_bench_ext_statistical(once):
+    """Population statistics after the paper's 24 h accelerated stress."""
+    stats, guardband, relation = once(run)
+    table = Table(
+        "Statistical aging: 500 devices after 24 h DC stress @110 degC",
+        ["quantity", "value (mV)"],
+        fmt="{:.2f}",
+    )
+    table.add_row("mean dVth", stats.mean * 1e3)
+    table.add_row("sigma", stats.std * 1e3)
+    table.add_row("median", stats.quantiles[0.5] * 1e3)
+    table.add_row("p99 (guardband)", guardband * 1e3)
+    table.print()
+
+    size_table = Table(
+        "sigma/mu vs device size (mean trap count)",
+        ["trap count", "sigma/mu"],
+        fmt="{:.3f}",
+    )
+    for count, rel in relation.items():
+        size_table.add_row(f"{count:.0f}", rel)
+    size_table.print()
+
+    # Designing for the mean under-margins: p99 well above the mean.
+    assert guardband > 1.2 * stats.mean
+    # Scaled-down devices age less predictably.
+    counts = sorted(relation)
+    assert relation[counts[0]] > relation[counts[-1]]

@@ -1,0 +1,22 @@
+"""FIG10 — multi-core self-healing: scheduler ladder + on-chip heaters."""
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10_multicore(once):
+    """Regenerate the Fig. 10 quantitative scheduler comparison."""
+    result = once(fig10.run, seed=0, n_epochs=24 * 14)
+    result.table().print()
+    print(
+        f"on-chip heater effect (paper's cores 3 & 7 asleep): sleeping cores "
+        f"sit {result.neighbour_heating_c:.1f} degC above ambient"
+    )
+    print(
+        f"heater-aware worst-core margin gain over baseline: "
+        f"{result.heater_aware_margin_gain:.1%} at "
+        f"{result.energy_overhead:.2%} energy overhead"
+    )
+    assert result.ladder_holds
+    assert result.heater_aware_margin_gain > 0.2
+    assert result.neighbour_heating_c > 15.0
+    assert result.energy_overhead < 0.05

@@ -1,0 +1,12 @@
+"""FIG2 — pass-transistor LUT structure and stress mapping."""
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2_lut_structure(once):
+    """Enumerate the LUT and verify the paper's worked example."""
+    result = once(fig2.run)
+    result.inventory_table().print()
+    result.stress_table().print()
+    assert result.paper_example_holds
+    assert result.hypothesis2_off_path_has_no_delay_weight

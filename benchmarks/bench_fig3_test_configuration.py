@@ -1,0 +1,14 @@
+"""FIG3 — ring-oscillator test configuration and counter arithmetic."""
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3_test_configuration(once):
+    """Instantiate the Fig. 3 chain and verify its operating point."""
+    result = once(fig3.run, seed=0)
+    result.table().print()
+    assert result.fits_counter
+    assert result.chain_consistent
+    # The +/-5-count readout spec keeps measurement noise far below the
+    # ~2 % aging signal the experiments resolve.
+    assert result.noise_floor < 0.005

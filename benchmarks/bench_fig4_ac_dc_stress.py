@@ -1,0 +1,21 @@
+"""FIG4 — AC vs DC stress over 24 h at 110 degC."""
+
+from repro.experiments import fig4
+from repro.experiments.calibration import PAPER_TARGETS
+
+
+def test_bench_fig4_ac_dc_stress(once):
+    """Regenerate the Fig. 4 series and the 'AC about half of DC' claim."""
+    result = once(fig4.run, seed=0)
+    result.table().print()
+    band = PAPER_TARGETS["ac_dc_ratio"]
+    print(
+        f"AC/DC at 24 h: {result.ac_dc_ratio:.3f} "
+        f"(paper: {band.paper_value}, band [{band.low}, {band.high}])"
+    )
+    assert result.in_band
+    # Fast-then-slow: over half the total degradation in the first half.
+    from repro.units import hours
+
+    for series in (result.ac, result.dc):
+        assert series.at(hours(12.0)) > 0.55 * series.final

@@ -1,0 +1,14 @@
+"""FIG5 — accelerated wearout at 100/110 degC, measured vs fitted model."""
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5_wearout(once):
+    """Regenerate the Fig. 5 curves with model overlays and validation."""
+    result = once(fig5.run, seed=0)
+    result.table().print()
+    print("110C model:", result.at_110c.validation.describe())
+    print("100C model:", result.at_100c.validation.describe())
+    assert result.hotter_wears_faster
+    assert result.at_110c.validation.passed
+    assert result.at_100c.validation.passed

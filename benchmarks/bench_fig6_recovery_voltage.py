@@ -1,0 +1,18 @@
+"""FIG6 — recovered delay at 20/110 degC: the negative-voltage knob."""
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6_recovery_voltage(once):
+    """Regenerate both Fig. 6 panels (RD vs time, 0 V vs -0.3 V)."""
+    result = once(fig6.run, seed=0)
+    result.table().print()
+    for label, curve in (
+        ("20C 0V", result.panel_20c[0]),
+        ("20C -0.3V", result.panel_20c[1]),
+        ("110C 0V", result.panel_110c[0]),
+        ("110C -0.3V", result.panel_110c[1]),
+    ):
+        print(f"{label:10s} model: {curve.validation.describe()}")
+    assert result.negative_voltage_accelerates_at_20c
+    assert result.negative_voltage_accelerates_at_110c

@@ -1,0 +1,11 @@
+"""FIG7 — recovered delay at 0/-0.3 V: the temperature knob."""
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7_recovery_temperature(once):
+    """Regenerate both Fig. 7 panels (RD vs time, 20 vs 110 degC)."""
+    result = once(fig7.run, seed=0)
+    result.table().print()
+    assert result.heat_accelerates_at_0v
+    assert result.heat_accelerates_at_negative

@@ -1,0 +1,12 @@
+"""FIG8 — delay change during recovery, four conditions + model."""
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8_recovery_trajectories(once):
+    """Regenerate the Fig. 8 trajectories and model overlays."""
+    result = once(fig8.run, seed=0)
+    result.table().print()
+    assert result.combined_knobs_win
+    assert result.ordering_holds
+    assert result.models_validate

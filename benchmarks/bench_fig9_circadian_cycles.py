@@ -1,0 +1,17 @@
+"""FIG9 — wearout vs accelerated recovery over a periodic schedule."""
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9_circadian_cycles(once):
+    """Regenerate the Fig. 9 saw-tooth vs unmitigated-aging comparison."""
+    result = once(fig9.run, seed=0, n_cycles=8)
+    result.table().print()
+    print(
+        f"envelope margin relaxed vs no-healing baseline: "
+        f"{result.comparison.margin_relaxed:.1%}; "
+        f"per-cycle recovery at steady state: "
+        f"{result.comparison.end_recovery_fraction:.1%}"
+    )
+    assert result.envelope_bounded
+    assert result.healed_stays_below_baseline

@@ -1,0 +1,16 @@
+"""TAB1 — regenerate the paper's Table 1 campaign (the full schedule)."""
+
+from repro.experiments import table1
+from repro.lab.campaign import run_table1_campaign
+
+
+def test_bench_table1_campaign(once):
+    """Run the full five-chip Table-1 schedule from scratch."""
+    result = once(run_table1_campaign, seed=0)
+    table1.schedule_table().print()
+    print(f"measurements recorded: {len(result.log)}")
+    cases = result.log.cases()
+    for expected in ("AS110AC24", "AS110DC24", "AS100DC24", "AS110DC48",
+                     "R20Z6", "AR20N6", "AR110Z6", "AR110N6", "AR110N12"):
+        assert expected in cases
+    assert len(result.log) > 500

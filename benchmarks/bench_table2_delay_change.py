@@ -1,0 +1,18 @@
+"""TAB2 — delay change (%) for different temperature conditions."""
+
+from repro.experiments import table2
+from repro.experiments.calibration import PAPER_TARGETS
+
+
+def test_bench_table2_delay_change(once):
+    """Regenerate the Table 2 rows and check the calibration bands."""
+    result = once(table2.run, seed=0)
+    result.table().print()
+    values = result.values()
+    deg_110 = values["110C"][24.0]
+    ratio = deg_110 / values["100C"][24.0]
+    growth = deg_110 / values["110C"][3.0]
+    print(f"110C @24h: {deg_110:.2f} %   110/100 ratio: {ratio:.2f}   24h/3h growth: {growth:.2f}")
+    assert PAPER_TARGETS["dc_degradation_percent_110"].contains(deg_110)
+    assert PAPER_TARGETS["temp_ratio_110_over_100"].contains(ratio)
+    assert PAPER_TARGETS["growth_24h_over_3h"].contains(growth)

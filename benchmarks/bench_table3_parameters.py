@@ -1,0 +1,11 @@
+"""TAB3 — extracted first-order model parameters."""
+
+from repro.experiments import table3
+
+
+def test_bench_table3_parameters(once):
+    """Extract (beta, A, C) and (phi2, k1, k2) from the measured curves."""
+    result = once(table3.run, seed=0)
+    result.stress_table().print()
+    result.recovery_table().print()
+    assert result.all_fits_acceptable

@@ -1,0 +1,11 @@
+"""TAB4 — design margin relaxed per recovery condition (72.4 % headline)."""
+
+from repro.experiments import table4
+
+
+def test_bench_table4_margin_relaxed(once):
+    """Regenerate the Table 4 rows and check every calibration band."""
+    result = once(table4.run, seed=0)
+    result.table().print()
+    assert result.all_in_band
+    assert result.combined_knobs_highest

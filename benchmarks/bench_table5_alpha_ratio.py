@@ -1,0 +1,11 @@
+"""TAB5 — active:sleep ratio invariance (alpha = 4)."""
+
+from repro.experiments import table5
+
+
+def test_bench_table5_alpha_ratio(once):
+    """Regenerate Table 5: same margin relaxed for 24/6 and 48/12 hours."""
+    result = once(table5.run, seed=0)
+    result.table().print()
+    print(f"gap: {result.gap_points:.1f} percentage points")
+    assert result.ratio_invariance_holds

@@ -1,0 +1,35 @@
+"""Accelerated-test engineering: Ea extraction and 10-year projection.
+
+The workflow the paper's accelerated methodology exists to enable:
+
+1. stress virtual chips at 80/90/100/110 degC (DC, 24 h each);
+2. fit the first-order model per temperature and extract the activation
+   energy of the aging rate constant (time-temperature superposition);
+3. validate the law on a held-out 95 degC chip it never saw;
+4. project a decade at 85 degC use conditions — and show what the
+   paper's 72.4 % margin-relaxed healing schedule does to that budget.
+
+Run:  python examples/arrhenius_projection.py
+"""
+
+from repro.experiments import arrhenius
+
+
+def main() -> None:
+    print("running the temperature sweep (5 chips x 24 h)...\n")
+    result = arrhenius.run(seed=0)
+
+    result.beta_table().print()
+    print(f"extracted activation energy: {result.effective_ea_ev:.2f} eV "
+          f"(microscopic capture Ea: 0.90 eV)")
+    print(f"rate-law fit R^2: {result.rate_law.r_squared:.4f}")
+    print(f"holdout prediction at 95 degC: {result.holdout_validation.describe()}\n")
+
+    result.projection_table(use_temperature_c=85.0).print()
+    print("the healing column applies the paper's margin-relaxed factor "
+          "(72.4 %),\nwhich Table 5 shows depends on alpha and sleep "
+          "conditions, not absolute times.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Quickstart: stress a virtual 40 nm FPGA, then heal it.
+
+Reproduces the paper's headline in ~30 lines: 24 h of accelerated DC
+stress at 110 degC, then 6 h of accelerated recovery (110 degC, -0.3 V) —
+one quarter of the stress time — undoes roughly three quarters of the
+accumulated delay shift.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FpgaChip, StressMode
+from repro.units import celsius, hours, to_megahertz
+
+
+def main() -> None:
+    chip = FpgaChip("quickstart", seed=1)
+    fresh_frequency = chip.oscillation_frequency()
+    print(f"fresh ring oscillator: {to_megahertz(fresh_frequency):.3f} MHz "
+          f"({chip.fresh_path_delay * 1e9:.1f} ns path delay)")
+
+    # Accelerated wearout: the paper's AS110DC24 case.
+    chip.apply_stress(hours(24.0), temperature=celsius(110.0), mode=StressMode.DC)
+    aged_shift = chip.delta_path_delay()
+    degradation = 100.0 * (1.0 - chip.oscillation_frequency() / fresh_frequency)
+    print(f"after 24 h DC stress @110 degC: +{aged_shift * 1e9:.2f} ns "
+          f"({degradation:.2f} % frequency degradation)")
+
+    # Accelerated self-healing: the paper's AR110N6 case (alpha = 4).
+    chip.apply_recovery(hours(6.0), temperature=celsius(110.0), supply_voltage=-0.3)
+    residual = chip.delta_path_delay()
+    recovered = 1.0 - residual / aged_shift
+    print(f"after 6 h accelerated recovery (110 degC, -0.3 V): "
+          f"+{residual * 1e9:.2f} ns residual")
+    print(f"design margin relaxed: {recovered:.1%} "
+          f"(paper reports 72.4 % for this case; a measured campaign —\n"
+          f"  see examples/aging_campaign.py — lands closer because the\n"
+          f"  periodic RO readouts sample away some fast recovery)")
+
+
+if __name__ == "__main__":
+    main()

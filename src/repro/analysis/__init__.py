@@ -1,0 +1,23 @@
+"""Analysis helpers: time series, summary statistics, tables, CSV export."""
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.export import write_series_csv, write_table_csv
+from repro.analysis.heatmap import render_heatmap
+from repro.analysis.series import Series, downsample, nearest_index, resample
+from repro.analysis.stats import bootstrap_ci, summary
+from repro.analysis.tables import Table, format_paper_comparison
+
+__all__ = [
+    "Series",
+    "Table",
+    "bootstrap_ci",
+    "downsample",
+    "format_paper_comparison",
+    "line_plot",
+    "render_heatmap",
+    "nearest_index",
+    "resample",
+    "summary",
+    "write_series_csv",
+    "write_table_csv",
+]

@@ -1,0 +1,86 @@
+"""Terminal line plots for benchmark output.
+
+The benchmarks print the *data* of every figure; for the curves a small
+ASCII rendering makes the shapes (fast-then-slow wearout, the recovery
+fan, the circadian saw-tooth) visible straight from the test log without
+a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.series import Series
+from repro.errors import ConfigurationError
+
+_MARKERS = "*o+x#@%&"
+
+
+def line_plot(
+    series: Sequence[Series],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "time",
+    y_label: str = "value",
+) -> str:
+    """Render one or more series into an ASCII grid.
+
+    Each series gets a marker from ``*o+x#@%&``; the legend maps markers
+    to labels.  Points are nearest-cell rasterised; later series overwrite
+    earlier ones where they collide.
+    """
+    if not series:
+        raise ConfigurationError("line_plot needs at least one series")
+    if width < 16 or height < 4:
+        raise ConfigurationError("plot must be at least 16 x 4 cells")
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(f"at most {len(_MARKERS)} series supported")
+
+    x_min = min(float(s.times.min()) for s in series)
+    x_max = max(float(s.times.max()) for s in series)
+    y_min = min(float(s.values.min()) for s in series)
+    y_max = max(float(s.values.max()) for s in series)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for marker, s in zip(_MARKERS, series):
+        cols = np.round(
+            (s.times - x_min) / (x_max - x_min) * (width - 1)
+        ).astype(int)
+        rows = np.round(
+            (s.values - y_min) / (y_max - y_min) * (height - 1)
+        ).astype(int)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_tick = f"{y_max:.3g}"
+    bottom_tick = f"{y_min:.3g}"
+    tick_width = max(len(top_tick), len(bottom_tick), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_tick.rjust(tick_width)
+        elif i == height - 1:
+            prefix = bottom_tick.rjust(tick_width)
+        elif i == height // 2:
+            prefix = y_label.rjust(tick_width)
+        else:
+            prefix = " " * tick_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * tick_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis = f"{x_min:.3g}".ljust(width - 8) + f"{x_max:.3g}"
+    lines.append(" " * (tick_width + 2) + x_axis + f"  ({x_label})")
+    legend = "   ".join(
+        f"{marker} {s.label}" for marker, s in zip(_MARKERS, series)
+    )
+    lines.append(" " * (tick_width + 2) + legend)
+    return "\n".join(lines)

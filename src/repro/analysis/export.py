@@ -1,0 +1,36 @@
+"""CSV export of experiment series and tables."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.errors import ConfigurationError
+
+
+def write_series_csv(path: str | Path, series: Sequence[Series]) -> None:
+    """Write several series to one CSV (long format: label, time, value).
+
+    Long format keeps series with different time axes in one file, which
+    is how the per-figure benchmark data is archived.
+    """
+    if not series:
+        raise ConfigurationError("write_series_csv needs at least one series")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["label", "time_s", "value", "units"])
+        for s in series:
+            for t, v in zip(s.times, s.values):
+                writer.writerow([s.label, repr(float(t)), repr(float(v)), s.units])
+
+
+def write_table_csv(path: str | Path, table: Table) -> None:
+    """Write a :class:`Table` to CSV with its header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(table.columns))
+        for row in table.rows:
+            writer.writerow(row)

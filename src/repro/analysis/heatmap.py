@@ -1,0 +1,61 @@
+"""ASCII heatmaps for matrices: thermal fields, CET maps, fabric surveys."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Shade ramp from cold to hot.
+_RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(
+    matrix,
+    title: str = "",
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+    cell_width: int = 3,
+) -> str:
+    """Render a 2-D array as a shaded character grid with a scale legend.
+
+    Values are normalised over the whole matrix; each cell prints the
+    shade character ``cell_width`` times so the grid reads roughly square
+    in a terminal.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise ConfigurationError("heatmap needs a non-empty 2-D matrix")
+    if cell_width < 1:
+        raise ConfigurationError("cell_width must be at least 1")
+    lo = float(matrix.min())
+    hi = float(matrix.max())
+    span = hi - lo if hi > lo else 1.0
+    levels = np.clip(
+        ((matrix - lo) / span * (len(_RAMP) - 1)).round().astype(int),
+        0,
+        len(_RAMP) - 1,
+    )
+    rows, cols = matrix.shape
+    if row_labels is not None and len(row_labels) != rows:
+        raise ConfigurationError("row_labels must match the matrix height")
+    if col_labels is not None and len(col_labels) != cols:
+        raise ConfigurationError("col_labels must match the matrix width")
+
+    label_width = max((len(l) for l in row_labels), default=0) if row_labels else 0
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if col_labels is not None:
+        header = " " * (label_width + 1) + "".join(
+            label[:cell_width].center(cell_width) for label in col_labels
+        )
+        lines.append(header)
+    for r in range(rows):
+        prefix = (row_labels[r].rjust(label_width) + " ") if row_labels else ""
+        cells = "".join(_RAMP[levels[r, c]] * cell_width for c in range(cols))
+        lines.append(prefix + cells)
+    lines.append(f"scale: '{_RAMP[0]}' = {lo:.4g}  ..  '{_RAMP[-1]}' = {hi:.4g}")
+    return "\n".join(lines)

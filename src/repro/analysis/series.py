@@ -1,0 +1,95 @@
+"""Light-weight labelled time series used by the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Series:
+    """An immutable (times, values) pair with a label and units.
+
+    Times are seconds unless stated otherwise; the experiment layer keeps
+    the paper's hour axes by converting at the edge.
+    """
+
+    label: str
+    times: np.ndarray
+    values: np.ndarray
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        values = np.asarray(self.values, dtype=float)
+        if times.shape != values.shape or times.ndim != 1:
+            raise ConfigurationError("a series needs matching 1-D times and values")
+        if times.size == 0:
+            raise ConfigurationError("a series cannot be empty")
+        if np.any(np.diff(times) < 0.0):
+            raise ConfigurationError("series times must be non-decreasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return self.times.size
+
+    @property
+    def final(self) -> float:
+        """Last value of the series."""
+        return float(self.values[-1])
+
+    @property
+    def peak(self) -> float:
+        """Largest value of the series."""
+        return float(self.values.max())
+
+    def at(self, time: float) -> float:
+        """Value linearly interpolated at ``time``."""
+        return float(np.interp(time, self.times, self.values))
+
+    def scaled(self, factor: float, units: str | None = None) -> "Series":
+        """New series with values scaled (e.g. seconds -> nanoseconds)."""
+        return Series(
+            label=self.label,
+            times=self.times,
+            values=self.values * factor,
+            units=self.units if units is None else units,
+        )
+
+    def relabeled(self, label: str) -> "Series":
+        """New series with a different label."""
+        return Series(label=label, times=self.times, values=self.values, units=self.units)
+
+
+def nearest_index(times, target: float) -> int:
+    """Index of the sample closest in time to ``target``."""
+    times = np.asarray(times, dtype=float)
+    if times.size == 0:
+        raise ConfigurationError("cannot search an empty time axis")
+    return int(np.argmin(np.abs(times - target)))
+
+
+def resample(series: Series, times) -> Series:
+    """Series interpolated onto a new time grid."""
+    times = np.asarray(times, dtype=float)
+    values = np.interp(times, series.times, series.values)
+    return Series(label=series.label, times=times, values=values, units=series.units)
+
+
+def downsample(series: Series, every: int) -> Series:
+    """Series keeping every ``every``-th sample (last sample always kept)."""
+    if every <= 0:
+        raise ConfigurationError(f"every must be positive, got {every}")
+    index = np.arange(0, len(series), every)
+    if index[-1] != len(series) - 1:
+        index = np.append(index, len(series) - 1)
+    return Series(
+        label=series.label,
+        times=series.times[index],
+        values=series.values[index],
+        units=series.units,
+    )

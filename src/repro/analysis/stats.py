@@ -1,0 +1,57 @@
+"""Summary statistics for multi-chip / multi-seed experiment sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summary(values) -> Summary:
+    """Summary statistics of a 1-D sample."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ConfigurationError("summary needs a non-empty 1-D sample")
+    return Summary(
+        n=values.size,
+        mean=float(values.mean()),
+        std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        minimum=float(values.min()),
+        median=float(np.median(values)),
+        maximum=float(values.max()),
+    )
+
+
+def bootstrap_ci(
+    values,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: np.random.Generator | int | None = 0,
+) -> tuple[float, float]:
+    """Bootstrap confidence interval for the mean of a sample."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ConfigurationError("bootstrap needs a 1-D sample with >= 2 points")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    indices = rng.integers(0, values.size, size=(n_resamples, values.size))
+    means = values[indices].mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [tail, 1.0 - tail])
+    return float(low), float(high)

@@ -1,0 +1,78 @@
+"""ASCII table rendering for benchmark output.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Table:
+    """A simple aligned text table.
+
+    ``title`` is printed above the header; cells are stringified with
+    ``fmt`` when numeric (pass pre-formatted strings to opt out).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[object]] = field(default_factory=list)
+    fmt: str = "{:.3f}"
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; must match the column count."""
+        if len(cells) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def _render_cell(self, cell: object) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return self.fmt.format(cell)
+        return str(cell)
+
+    def render(self) -> str:
+        """The table as an aligned multi-line string."""
+        header = [str(c) for c in self.columns]
+        body = [[self._render_cell(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table followed by a blank line."""
+        print(self.render())
+        print()
+
+
+def format_paper_comparison(
+    title: str,
+    rows: Sequence[tuple[str, object, object]],
+    paper_label: str = "paper",
+    measured_label: str = "measured",
+) -> str:
+    """Side-by-side paper-vs-measured table used in EXPERIMENTS.md.
+
+    ``rows`` are (quantity, paper value, measured value); values may be
+    strings ("~half", "n/a") or numbers.
+    """
+    table = Table(title, ["quantity", paper_label, measured_label])
+    for name, paper, measured in rows:
+        table.add_row(name, paper, measured)
+    return table.render()

@@ -1,0 +1,44 @@
+"""Temperature and field acceleration factors shared by the BTI models.
+
+Both the trap ensemble and the paper's first-order closed forms scale their
+rates with temperature (Arrhenius) and gate overdrive (exponential field
+dependence); keeping the two factors here guarantees the models agree on
+what "110 degC" or "-0.3 V" means.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import BOLTZMANN_EV
+
+
+def arrhenius_factor(
+    activation_energy_ev: float, temperature: float, reference_temperature: float
+) -> float:
+    """Rate multiplier for a thermally activated process.
+
+    Returns ``exp(-Ea/k * (1/T - 1/Tref))`` — the factor by which a rate
+    with activation energy ``activation_energy_ev`` (eV) speeds up when the
+    temperature moves from ``reference_temperature`` to ``temperature``
+    (both kelvin).  The factor is 1.0 at the reference temperature and
+    greater than 1.0 above it for positive activation energies.
+    """
+    if temperature <= 0.0 or reference_temperature <= 0.0:
+        raise ConfigurationError("temperatures must be positive kelvin values")
+    exponent = (-activation_energy_ev / BOLTZMANN_EV) * (
+        1.0 / temperature - 1.0 / reference_temperature
+    )
+    return float(np.exp(exponent))
+
+
+def field_factor(gamma_per_volt: float, voltage: float, reference_voltage: float) -> float:
+    """Rate multiplier for an exponential field-accelerated process.
+
+    Returns ``exp(gamma * (V - Vref))``.  ``gamma_per_volt`` expresses how
+    strongly the process (trap capture, trap emission) responds to the gate
+    overdrive along the stressing polarity; see
+    :class:`repro.bti.conditions.BiasCondition` for the sign convention.
+    """
+    return float(np.exp(gamma_per_volt * (voltage - reference_voltage)))

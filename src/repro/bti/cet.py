@@ -1,0 +1,139 @@
+"""Capture/emission-time (CET) analysis: trap spectroscopy.
+
+The TD literature characterises BTI with CET maps — the joint density of
+trap capture and emission time constants — and extracts emission spectra
+from measured recovery transients (the log-time derivative of recovered
+delay picks out the traps emitting at each timescale).  This module
+provides both views:
+
+* :func:`cet_map` — the *oracle* view: a 2-D impact-weighted histogram of
+  the population's effective (tau_c, tau_e) at given conditions;
+* :func:`emission_spectrum` — the *measured* view: d(RD)/d(log t) from a
+  recovery series, the spectral density of whatever emitted;
+* :func:`occupied_emission_histogram` — the oracle prediction of that
+  spectrum, for validation.
+
+Together they close the loop: the spectrum recovered from the virtual
+lab's measurements matches the trap population that generated them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bti.conditions import BiasCondition
+from repro.bti.traps import TrapPopulation
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CetMap:
+    """Impact-weighted joint histogram of effective time constants.
+
+    ``density[i, j]`` is the summed dVth impact of traps whose effective
+    capture time falls in bin i and effective emission time in bin j
+    (log10-spaced edges).
+    """
+
+    capture_edges: np.ndarray
+    emission_edges: np.ndarray
+    density: np.ndarray
+
+    @property
+    def total_impact(self) -> float:
+        """Total dVth impact represented by the map (volts)."""
+        return float(self.density.sum())
+
+    def marginal_emission(self) -> np.ndarray:
+        """Impact per emission-time decade bin (sums over capture)."""
+        return self.density.sum(axis=0)
+
+
+def _effective_taus(
+    population: TrapPopulation, condition: BiasCondition
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-trap effective (tau_c, tau_e) at a bias point."""
+    voltage = population._expand(condition.stress_voltage)
+    capture, emission = population._rates(voltage, condition.temperature)
+    return 1.0 / capture, 1.0 / emission
+
+
+def cet_map(
+    population: TrapPopulation,
+    condition: BiasCondition,
+    n_bins: int = 24,
+    bounds_decades: tuple[float, float] = (-2.0, 12.0),
+) -> CetMap:
+    """Build the population's CET map at a bias/temperature point."""
+    if n_bins <= 1:
+        raise ConfigurationError("n_bins must exceed 1")
+    lo, hi = bounds_decades
+    if lo >= hi:
+        raise ConfigurationError("bounds_decades must be ordered")
+    tau_c, tau_e = _effective_taus(population, condition)
+    edges = np.linspace(lo, hi, n_bins + 1)
+    density, __, __ = np.histogram2d(
+        np.clip(np.log10(tau_c), lo, hi),
+        np.clip(np.log10(tau_e), lo, hi),
+        bins=[edges, edges],
+        weights=population.impact,
+    )
+    return CetMap(capture_edges=edges, emission_edges=edges, density=density)
+
+
+@dataclass(frozen=True)
+class EmissionSpectrum:
+    """Spectral density of recovery: impact emitted per log-time decade."""
+
+    log10_time_centers: np.ndarray
+    density: np.ndarray
+
+    @property
+    def peak_decade(self) -> float:
+        """log10(seconds) where the strongest emission activity sits."""
+        return float(self.log10_time_centers[int(np.argmax(self.density))])
+
+
+def emission_spectrum(times, recovered) -> EmissionSpectrum:
+    """d(RD)/d(log10 t) from a measured recovery transient.
+
+    ``times`` are seconds since stress removal (strictly positive after
+    the first sample), ``recovered`` the recovered-delay series RD(t).
+    Each finite-difference slope is the impact emitted in that log-time
+    interval per decade — the standard recovery-spectroscopy estimator.
+    """
+    times = np.asarray(times, dtype=float)
+    recovered = np.asarray(recovered, dtype=float)
+    if times.shape != recovered.shape or times.ndim != 1:
+        raise ConfigurationError("times and recovered must be matching 1-D arrays")
+    positive = times > 0.0
+    times = times[positive]
+    recovered = recovered[positive]
+    if times.size < 3:
+        raise ConfigurationError("need at least three positive-time samples")
+    log_t = np.log10(times)
+    slopes = np.diff(recovered) / np.diff(log_t)
+    centers = 0.5 * (log_t[:-1] + log_t[1:])
+    return EmissionSpectrum(log10_time_centers=centers, density=slopes)
+
+
+def occupied_emission_histogram(
+    population: TrapPopulation,
+    condition: BiasCondition,
+    edges_log10: np.ndarray,
+) -> np.ndarray:
+    """Oracle prediction of the emission spectrum's integral per bin.
+
+    Sums occupancy-weighted impact of traps whose *effective emission
+    time at the recovery condition* falls in each bin — what a perfect
+    recovery transient would emit in that log-time window.
+    """
+    edges_log10 = np.asarray(edges_log10, dtype=float)
+    if edges_log10.ndim != 1 or edges_log10.size < 2:
+        raise ConfigurationError("edges_log10 must hold at least two edges")
+    __, tau_e = _effective_taus(population, condition)
+    weights = population.occupancy * population.impact
+    histogram, __ = np.histogram(np.log10(tau_e), bins=edges_log10, weights=weights)
+    return histogram

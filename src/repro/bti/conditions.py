@@ -1,0 +1,138 @@
+"""Bias conditions, waveforms and phases driving BTI stress and recovery.
+
+Sign convention
+---------------
+
+``BiasCondition.stress_voltage`` is the gate overdrive *along the aging
+polarity* of the transistor:
+
+* ``+1.2`` — the device is fully stressed (Vgs = -Vdd for a PMOS under
+  NBTI, Vgs = +Vdd for an NMOS under PBTI).
+* ``0.0``  — the gate is unbiased; the device passively recovers.
+* ``-0.3`` — the bias is *reversed* (the paper's negative supply during
+  sleep), which actively accelerates detrapping.
+
+This folds NBTI and PBTI into one scalar per transistor: the LUT model in
+:mod:`repro.fpga.lut` decides, per input vector, which transistors see which
+stress voltage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ScheduleError
+from repro.units import celsius
+
+
+class StressPolarity(enum.Enum):
+    """Which BTI flavour ages a transistor."""
+
+    NBTI = "nbti"  # PMOS, negative gate-source stress
+    PBTI = "pbti"  # NMOS, positive gate-source stress
+
+
+@dataclass(frozen=True)
+class BiasCondition:
+    """A constant electrical/thermal operating point.
+
+    Parameters
+    ----------
+    stress_voltage:
+        Gate overdrive along the aging polarity, in volts (see module
+        docstring for the sign convention).
+    temperature:
+        Absolute temperature in kelvin.  Use :func:`repro.units.celsius`
+        for the paper's Celsius values.
+    """
+
+    stress_voltage: float
+    temperature: float
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0.0:
+            raise ConfigurationError(
+                f"temperature must be positive kelvin, got {self.temperature}"
+            )
+
+    @classmethod
+    def at_celsius(cls, stress_voltage: float, degrees_c: float) -> "BiasCondition":
+        """Build a condition from a Celsius temperature."""
+        return cls(stress_voltage=stress_voltage, temperature=celsius(degrees_c))
+
+    def with_voltage(self, stress_voltage: float) -> "BiasCondition":
+        """Copy of this condition at a different stress voltage."""
+        return BiasCondition(stress_voltage=stress_voltage, temperature=self.temperature)
+
+    def with_temperature(self, temperature: float) -> "BiasCondition":
+        """Copy of this condition at a different temperature (kelvin)."""
+        return BiasCondition(stress_voltage=self.stress_voltage, temperature=temperature)
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """Duty-cycled stress waveform.
+
+    ``duty`` is the fraction of time spent at the stress bias; the remainder
+    is spent at the relax bias.  ``duty=1.0`` is DC stress (the paper's
+    frozen ring oscillator), ``duty=0.5`` models AC stress from a free
+    running oscillator whose nodes toggle with a 50 % duty cycle.
+
+    ``frequency`` is informational: the closed-form occupancy evolution uses
+    rate averaging, which is exact in the limit where the toggling period is
+    much shorter than the trap time constants — true for any realistic
+    oscillator (MHz) against BTI traps (milliseconds and up).
+    """
+
+    duty: float = 1.0
+    frequency: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duty <= 1.0:
+            raise ConfigurationError(f"duty must be within [0, 1], got {self.duty}")
+        if self.frequency is not None and self.frequency <= 0.0:
+            raise ConfigurationError(f"frequency must be positive, got {self.frequency}")
+
+    @property
+    def is_dc(self) -> bool:
+        """True when the waveform never leaves the stress bias."""
+        return self.duty == 1.0
+
+
+DC = Waveform(duty=1.0)
+AC_FIFTY_FIFTY = Waveform(duty=0.5)
+
+
+@dataclass(frozen=True)
+class BiasPhase:
+    """One piecewise-constant segment of a stress/recovery schedule.
+
+    During the ``waveform.duty`` fraction of the phase the device sits at
+    ``bias``; during the rest it sits at ``relax_bias`` (defaults to the
+    same temperature with zero stress voltage).
+    """
+
+    duration: float
+    bias: BiasCondition
+    waveform: Waveform = DC
+    relax_bias: BiasCondition | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration < 0.0:
+            raise ScheduleError(f"phase duration must be non-negative, got {self.duration}")
+        if (
+            self.relax_bias is not None
+            and self.relax_bias.temperature != self.bias.temperature
+        ):
+            raise ScheduleError(
+                "relax bias must share the phase temperature: the thermal "
+                "chamber cannot follow the waveform"
+            )
+
+    @property
+    def effective_relax_bias(self) -> BiasCondition:
+        """The bias applied during the off part of the duty cycle."""
+        if self.relax_bias is not None:
+            return self.relax_bias
+        return self.bias.with_voltage(0.0)

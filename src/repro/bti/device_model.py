@@ -1,0 +1,107 @@
+"""Single-transistor convenience wrapper over the trap ensemble.
+
+:class:`DeviceAgingModel` is what you reach for in device-level studies
+(threshold-voltage trajectories, statistical aging across device samples);
+the FPGA substrate uses the underlying :class:`~repro.bti.traps.TrapPopulation`
+directly so a whole chip evolves in one vectorised update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bti.conditions import BiasCondition, BiasPhase, StressPolarity, Waveform, DC
+from repro.bti.traps import TrapParameters, TrapPopulation
+
+
+class DeviceAgingModel:
+    """BTI aging state of one transistor.
+
+    Parameters
+    ----------
+    params:
+        Statistical trap-population description.
+    polarity:
+        NBTI (PMOS) or PBTI (NMOS); informational — the stress-voltage sign
+        convention of :class:`BiasCondition` already folds the polarity in.
+    rng:
+        Seed or generator for sampling the trap population.
+    """
+
+    def __init__(
+        self,
+        params: TrapParameters | None = None,
+        polarity: StressPolarity = StressPolarity.NBTI,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.params = params or TrapParameters()
+        self.polarity = polarity
+        self._population = TrapPopulation(self.params, n_owners=1, rng=rng)
+
+    @property
+    def population(self) -> TrapPopulation:
+        """The underlying trap ensemble."""
+        return self._population
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds accumulated so far."""
+        return self._population.elapsed
+
+    @property
+    def delta_vth(self) -> float:
+        """Current expected threshold-voltage shift in volts."""
+        return float(self._population.delta_vth()[0])
+
+    def stress(
+        self, duration: float, condition: BiasCondition, waveform: Waveform = DC
+    ) -> float:
+        """Apply a stress phase; returns the resulting ``delta_vth``."""
+        self._population.evolve_phase(
+            BiasPhase(duration=duration, bias=condition, waveform=waveform)
+        )
+        return self.delta_vth
+
+    def recover(self, duration: float, condition: BiasCondition) -> float:
+        """Apply a recovery phase; returns the resulting ``delta_vth``.
+
+        ``condition.stress_voltage`` should be <= 0: zero for passive
+        recovery (gated supply), negative for the paper's accelerated
+        recovery.
+        """
+        return self.stress(duration, condition)
+
+    def run_schedule(self, phases: list[BiasPhase]) -> np.ndarray:
+        """Apply phases in order; returns ``delta_vth`` after each phase."""
+        results = np.empty(len(phases))
+        for index, phase in enumerate(phases):
+            self._population.evolve_phase(phase)
+            results[index] = self.delta_vth
+        return results
+
+    def trajectory(
+        self, phase: BiasPhase, n_samples: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Evolve through ``phase`` sampling ``delta_vth`` along the way.
+
+        Returns ``(times, shifts)`` where ``times`` are offsets from the
+        start of the phase (the endpoint included, 0 excluded).
+        """
+        step = phase.duration / n_samples
+        times = np.empty(n_samples)
+        shifts = np.empty(n_samples)
+        sub = BiasPhase(
+            duration=step,
+            bias=phase.bias,
+            waveform=phase.waveform,
+            relax_bias=phase.relax_bias,
+        )
+        for index in range(n_samples):
+            self._population.evolve_phase(sub)
+            times[index] = (index + 1) * step
+            shifts[index] = self.delta_vth
+        return times, shifts
+
+    def reset(self) -> None:
+        """Return the device to the fresh state."""
+        self._population.reset()

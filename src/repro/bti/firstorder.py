@@ -1,0 +1,229 @@
+"""The paper's first-order BTI closed forms (Eqs. 1-4 and 8-13).
+
+Stress (wearout) phase, paper Eq. (1)-(2)::
+
+    dVth(t1)  = phi1 * (A + log(1 + C*t1))
+    phi1      ~ K1 * exp(-E0 / kT) * exp(B * Vdds / (k*T*tox))
+
+Recovery (sleep) phase, paper Eq. (3)-(4)::
+
+    dVth(t1+t2) = phi2 * (A + log(1 + C*t2))
+                + dVth(t1) * (1 - (1 + k1*log(1 + C*t2))
+                                 / (1 + k2*log(1 + C*(t1+t2))))
+
+and the same algebra at path-delay level (Eqs. 8-12) with ``beta`` in place
+of ``phi1``.  The recovery form has the properties the paper describes: for
+``t2 << t1`` the second component dominates and recovery starts fast; as
+``t2`` grows the first component (re-equilibration at the sleep bias) takes
+over and grows logarithmically, so the shift can never fully recover.
+
+As printed, Eq. (3) has a small step at ``t2 = 0+`` — the well-known fast
+sub-second recovery component folded into the log terms.  We implement the
+printed form literally; the trap ensemble in :mod:`repro.bti.traps` is
+continuous and serves as ground truth, with these forms *fitted* to it
+(see :mod:`repro.core.fitting`) exactly as the paper fits them to silicon.
+
+The prefactors scale across conditions via Arrhenius/field factors
+(:class:`PhysicsScaling`), which is how one fitted model predicts both the
+100 degC and 110 degC curves in the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import BOLTZMANN_EV
+
+
+@dataclass(frozen=True)
+class PhysicsScaling:
+    """Condition dependence of a first-order prefactor (Eqs. 2, 4, 13).
+
+    ``prefactor(V, T) = k_prefactor * exp(-e0_ev/kT) * exp(b_field * V / kT)``
+
+    ``b_field_ev_per_volt`` bundles the paper's ``B/tox`` into a single
+    coefficient with units of eV/V so the exponent is dimensionless.
+    """
+
+    k_prefactor: float
+    e0_ev: float = 0.08
+    b_field_ev_per_volt: float = 0.05
+
+    def prefactor(self, voltage: float, temperature: float) -> float:
+        """Evaluate the prefactor at a (voltage, temperature) point."""
+        if temperature <= 0.0:
+            raise ConfigurationError("temperature must be positive kelvin")
+        kt = BOLTZMANN_EV * temperature
+        return float(
+            self.k_prefactor
+            * np.exp(-self.e0_ev / kt)
+            * np.exp(self.b_field_ev_per_volt * voltage / kt)
+        )
+
+
+@dataclass(frozen=True)
+class StressParameters:
+    """Fitted stress-phase parameters: ``shift = prefactor*(A + log(1+C*t))``.
+
+    ``prefactor`` carries the units of the modelled quantity (volts for
+    dVth, seconds for path delay); ``offset_a`` is dimensionless;
+    ``rate_c`` is 1/s.
+    """
+
+    prefactor: float
+    offset_a: float
+    rate_c: float
+
+    def __post_init__(self) -> None:
+        if self.rate_c <= 0.0:
+            raise ConfigurationError(f"rate_c must be positive, got {self.rate_c}")
+
+    def shift(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Accumulated shift after stressing a fresh device for ``t`` seconds."""
+        t = np.asarray(t, dtype=float)
+        result = self.prefactor * (self.offset_a + np.log1p(self.rate_c * t))
+        return float(result) if result.ndim == 0 else result
+
+    def effective_stress_time(self, shift: float) -> float:
+        """Invert :meth:`shift`: stress seconds that would produce ``shift``.
+
+        Used to splice recovery residue back into a subsequent stress phase
+        (the unrecovered part "will be added to the next stress phase",
+        paper Fig. 1).  Shifts at or below the t=0 value map to 0.
+        """
+        if self.prefactor <= 0.0:
+            raise ConfigurationError("effective_stress_time needs a positive prefactor")
+        exponent = shift / self.prefactor - self.offset_a
+        if exponent <= 0.0:
+            return 0.0
+        return float(np.expm1(exponent) / self.rate_c)
+
+
+@dataclass(frozen=True)
+class RecoveryParameters:
+    """Fitted recovery-phase parameters of paper Eq. (3)/(11).
+
+    ``prefactor`` is phi2 (re-equilibration magnitude at the sleep bias);
+    ``k1``/``k2`` shape the decay of the stress residue, with ``k1/k2`` the
+    asymptotically unrecoverable fraction of the residue term.
+    """
+
+    prefactor: float
+    offset_a: float
+    rate_c: float
+    k1: float
+    k2: float
+
+    def __post_init__(self) -> None:
+        if self.rate_c <= 0.0:
+            raise ConfigurationError(f"rate_c must be positive, got {self.rate_c}")
+        if self.k1 < 0.0 or self.k2 <= 0.0:
+            raise ConfigurationError("k1 must be >= 0 and k2 > 0")
+
+    def residual(
+        self,
+        shift_at_stress_end: float,
+        stress_time: float,
+        recovery_time: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """Remaining shift after ``recovery_time`` seconds of sleep.
+
+        ``shift_at_stress_end`` is dVth(t1) (or dTd(t1)); ``stress_time``
+        is t1.
+        """
+        t2 = np.asarray(recovery_time, dtype=float)
+        log_t2 = np.log1p(self.rate_c * t2)
+        log_total = np.log1p(self.rate_c * (stress_time + t2))
+        requilibration = self.prefactor * (self.offset_a + log_t2)
+        survival = 1.0 - (1.0 + self.k1 * log_t2) / (1.0 + self.k2 * log_total)
+        result = requilibration + shift_at_stress_end * survival
+        return float(result) if result.ndim == 0 else result
+
+
+class FirstOrderBtiModel:
+    """Composable stress + recovery first-order model (device or delay level).
+
+    The same algebra serves dVth (paper Eqs. 1-4) and path delay (Eqs.
+    8-12); only the prefactor units differ.  :class:`FirstOrderDelayModel`
+    is a thin alias that documents the delay-level usage.
+    """
+
+    def __init__(self, stress: StressParameters, recovery: RecoveryParameters) -> None:
+        self.stress = stress
+        self.recovery = recovery
+
+    # -- single-phase forms ------------------------------------------- #
+
+    def stress_shift(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Shift after stressing a fresh device for ``t`` seconds (Eq. 1/10)."""
+        return self.stress.shift(t)
+
+    def recovery_shift(
+        self, stress_time: float, recovery_time: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Shift after ``stress_time`` of stress then ``recovery_time`` of sleep."""
+        peak = float(np.asarray(self.stress.shift(stress_time)))
+        return self.recovery.residual(peak, stress_time, recovery_time)
+
+    def recovered(
+        self, stress_time: float, recovery_time: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Recovered amount RD = shift(t1) - shift(t1+t2) (paper Eq. 16)."""
+        peak = float(np.asarray(self.stress.shift(stress_time)))
+        residual = self.recovery_shift(stress_time, recovery_time)
+        return peak - residual
+
+    # -- periodic schedules (Eq. 12, Fig. 9) --------------------------- #
+
+    def simulate_cycles(
+        self, active_time: float, sleep_time: float, n_cycles: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Iterate stress/recovery cycles; returns (peaks, troughs).
+
+        Each cycle stresses for ``active_time`` starting from the residue of
+        the previous cycle (spliced in via the effective-stress-time trick)
+        and then sleeps for ``sleep_time``.  ``peaks[i]`` is the shift at
+        the end of cycle i's active phase, ``troughs[i]`` at the end of its
+        sleep phase.  With ``alpha = active_time / sleep_time`` this
+        realises the paper's Eq. (12) schedule.
+        """
+        if n_cycles <= 0:
+            raise ConfigurationError(f"n_cycles must be positive, got {n_cycles}")
+        peaks = np.empty(n_cycles)
+        troughs = np.empty(n_cycles)
+        residue = 0.0
+        for cycle in range(n_cycles):
+            t_eq = self.stress.effective_stress_time(residue)
+            total_stress = t_eq + active_time
+            peak = float(np.asarray(self.stress.shift(total_stress)))
+            residue = float(
+                np.asarray(self.recovery.residual(peak, total_stress, sleep_time))
+            )
+            residue = max(residue, 0.0)
+            peaks[cycle] = peak
+            troughs[cycle] = residue
+        return peaks, troughs
+
+    def is_monotonic_recovery(
+        self, stress_time: float, horizon: float, n_points: int = 64
+    ) -> bool:
+        """Check the fitted recovery curve decreases over ``(0, horizon]``.
+
+        The printed Eq. (3) only recovers for sensible parameter ranges;
+        fitting can in principle land outside them, so validation code
+        calls this before trusting a fit.
+        """
+        times = np.linspace(horizon / n_points, horizon, n_points)
+        residuals = np.asarray(self.recovery_shift(stress_time, times))
+        return bool(np.all(np.diff(residuals) <= 1e-12))
+
+
+class FirstOrderDelayModel(FirstOrderBtiModel):
+    """Path-delay level first-order model (paper Eqs. 8-12).
+
+    Identical algebra to :class:`FirstOrderBtiModel` with the prefactor
+    ``beta`` in seconds of path delay; exists so call sites read correctly.
+    """

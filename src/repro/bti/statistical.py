@@ -1,0 +1,134 @@
+"""Statistical aging prediction across device populations.
+
+The TD model the paper builds on (Velamala et al., DAC 2012: "Physics
+Matters: Statistical Aging Prediction under Trapping/Detrapping") is
+fundamentally statistical: small devices hold a handful of traps, so two
+identical transistors age differently and the *distribution* of dVth —
+not just its mean — sets the design margin.  This module provides the
+population view:
+
+* :func:`sample_device_shifts` — Monte Carlo dVth samples across device
+  instances after an arbitrary bias schedule;
+* :func:`shift_statistics` — mean/sigma/quantiles of the population;
+* :func:`margin_at_quantile` — the guardband needed to cover a given
+  fraction of devices (3-sigma-style margining);
+* :func:`sigma_mu_relation` — how relative variability falls with device
+  size (trap count), the hallmark TD-statistics result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.bti.conditions import BiasPhase
+from repro.bti.traps import TrapParameters, TrapPopulation
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ShiftStatistics:
+    """Population statistics of device threshold shifts (volts)."""
+
+    n_devices: int
+    mean: float
+    std: float
+    quantiles: dict[float, float]
+
+    @property
+    def relative_sigma(self) -> float:
+        """sigma/mu — the relative variability of the population."""
+        if self.mean == 0.0:
+            return float("nan")
+        return self.std / self.mean
+
+
+def sample_device_shifts(
+    phases: list[BiasPhase],
+    n_devices: int,
+    params: TrapParameters | None = None,
+    rng: np.random.Generator | int | None = None,
+    stochastic: bool = True,
+) -> np.ndarray:
+    """Per-device dVth after running ``phases`` on ``n_devices`` devices.
+
+    Each device gets its own trap draw (count, time constants, impacts).
+    With ``stochastic=True`` trap occupancies are additionally Bernoulli
+    sampled at readout — the full statistical picture; with ``False`` the
+    expected (mean-field) shift per device is returned, isolating the
+    draw-to-draw variability.
+    """
+    if n_devices <= 0:
+        raise ConfigurationError(f"n_devices must be positive, got {n_devices}")
+    if not phases:
+        raise ConfigurationError("at least one bias phase is required")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    population = TrapPopulation(params or TrapParameters(), n_owners=n_devices, rng=rng)
+    for phase in phases:
+        population.evolve_phase(phase)
+    if stochastic:
+        return population.sample_delta_vth(rng)
+    return population.delta_vth()
+
+
+def shift_statistics(
+    shifts: np.ndarray, quantiles: tuple[float, ...] = (0.5, 0.9, 0.99)
+) -> ShiftStatistics:
+    """Reduce a population of shifts to its margin-relevant statistics."""
+    shifts = np.asarray(shifts, dtype=float)
+    if shifts.ndim != 1 or shifts.size == 0:
+        raise ConfigurationError("shifts must be a non-empty 1-D array")
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile {q} outside [0, 1]")
+    return ShiftStatistics(
+        n_devices=shifts.size,
+        mean=float(shifts.mean()),
+        std=float(shifts.std(ddof=1)) if shifts.size > 1 else 0.0,
+        quantiles={q: float(np.quantile(shifts, q)) for q in quantiles},
+    )
+
+
+def margin_at_quantile(shifts: np.ndarray, coverage: float = 0.99) -> float:
+    """Guardband (volts) covering ``coverage`` of the device population.
+
+    Designing for the mean leaves half the devices out of margin; the
+    paper's motivation — margins keep growing with variability — is this
+    number's growth over the mean.
+    """
+    if not 0.0 < coverage < 1.0:
+        raise ConfigurationError(f"coverage must be in (0, 1), got {coverage}")
+    shifts = np.asarray(shifts, dtype=float)
+    if shifts.ndim != 1 or shifts.size == 0:
+        raise ConfigurationError("shifts must be a non-empty 1-D array")
+    return float(np.quantile(shifts, coverage))
+
+
+def sigma_mu_relation(
+    phases: list[BiasPhase],
+    trap_counts: tuple[float, ...] = (10.0, 40.0, 160.0),
+    n_devices: int = 400,
+    params: TrapParameters | None = None,
+    rng: np.random.Generator | int | None = 0,
+) -> dict[float, float]:
+    """Relative sigma vs device size (mean trap count).
+
+    For independent traps, sigma/mu falls like 1/sqrt(N): scaled-down
+    devices (fewer traps) age *less predictably*, which is why statistical
+    aging prediction matters more at every new node.  Returns
+    ``{trap_count: sigma/mu}``.
+    """
+    base = params or TrapParameters()
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    relation: dict[float, float] = {}
+    for count in trap_counts:
+        scaled = replace(base, mean_trap_count=count)
+        shifts = sample_device_shifts(
+            phases, n_devices, params=scaled, rng=rng.spawn(1)[0]
+        )
+        stats = shift_statistics(shifts)
+        relation[count] = stats.relative_sigma
+    return relation

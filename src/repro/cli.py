@@ -1,0 +1,166 @@
+"""Command-line interface: run and inspect the paper's experiments.
+
+Usage::
+
+    python -m repro list                    # all experiments
+    python -m repro info FIG4               # one experiment's description
+    python -m repro run FIG4 [--seed N]     # regenerate an artefact
+    python -m repro campaign [--csv out.csv] [--seed N]
+    python -m repro calibration             # print the acceptance bands
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.analysis.tables import Table
+from repro.errors import ReproError
+from repro.experiments.calibration import PAPER_TARGETS
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    table = Table(
+        f"repro {__version__} — reproducible paper artefacts",
+        ["id", "artefact", "description"],
+    )
+    for descriptor in EXPERIMENTS.values():
+        table.add_row(descriptor.exp_id, descriptor.paper_artifact, descriptor.description)
+    table.print()
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    descriptor = get_experiment(args.experiment)
+    print(f"{descriptor.exp_id} — {descriptor.paper_artifact}")
+    print(f"  {descriptor.description}")
+    print(f"  bench: {descriptor.bench}")
+    return 0
+
+
+def _print_result(result) -> None:
+    """Print whatever tables a runner's result object can render."""
+    printed = False
+    for attr in ("table", "stress_table", "recovery_table", "schedule_table"):
+        method = getattr(result, attr, None)
+        if callable(method):
+            method().print()
+            printed = True
+    if not printed:
+        print(result)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import inspect
+
+    descriptor = get_experiment(args.experiment)
+    print(f"running {descriptor.exp_id} ({descriptor.paper_artifact})...\n")
+    if "seed" in inspect.signature(descriptor.runner).parameters:
+        result = descriptor.runner(seed=args.seed)
+    else:
+        result = descriptor.runner()
+    if descriptor.exp_id == "TAB1":
+        from repro.experiments.table1 import schedule_table
+
+        schedule_table().print()
+        print(f"measurements recorded: {len(result.log)}")
+    elif descriptor.exp_id == "TAB3":
+        result.stress_table().print()
+        result.recovery_table().print()
+    else:
+        _print_result(result)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.lab.campaign import run_table1_campaign
+
+    print("running the full Table 1 campaign...")
+    result = run_table1_campaign(seed=args.seed)
+    print(f"done: {len(result.log)} measurements over {len(result.chips)} chips")
+    if args.csv:
+        result.log.write_csv(args.csv)
+        print(f"log written to {args.csv}")
+    return 0
+
+
+def _cmd_calibration(args: argparse.Namespace) -> int:
+    table = Table(
+        "Calibration acceptance bands (single source of truth for all benches)",
+        ["quantity", "paper", "low", "high"],
+        fmt="{:.2f}",
+    )
+    for name, band in PAPER_TARGETS.items():
+        table.add_row(name, band.paper_value, band.low, band.high)
+    table.print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    text = build_report(seed=args.seed)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Accelerated self-healing reproduction (Guo et al., DAC 2014)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments").set_defaults(
+        func=_cmd_list
+    )
+
+    info = sub.add_parser("info", help="describe one experiment")
+    info.add_argument("experiment", help="experiment id, e.g. FIG4")
+    info.set_defaults(func=_cmd_info)
+
+    run = sub.add_parser("run", help="regenerate one experiment's artefact")
+    run.add_argument("experiment", help="experiment id, e.g. FIG4")
+    run.add_argument("--seed", type=int, default=0, help="campaign seed")
+    run.set_defaults(func=_cmd_run)
+
+    campaign = sub.add_parser("campaign", help="run the full Table 1 campaign")
+    campaign.add_argument("--csv", help="write the measurement log to CSV")
+    campaign.add_argument("--seed", type=int, default=0, help="campaign seed")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    sub.add_parser(
+        "calibration", help="print the paper-shape acceptance bands"
+    ).set_defaults(func=_cmd_calibration)
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument("--out", help="output file (default: stdout)")
+    report.add_argument("--seed", type=int, default=0, help="campaign seed")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Accelerated self-healing core — the paper's primary contribution.
+
+This package turns the raw substrates (BTI physics, virtual FPGA, lab)
+into the techniques the paper proposes:
+
+* :mod:`repro.core.knobs` — the three recovery knobs: active:sleep ratio
+  alpha, sleep (negative) voltage, sleep temperature;
+* :mod:`repro.core.policies` — proactive, reactive, passive and
+  no-recovery scheduling policies (paper Sec. 2.2);
+* :mod:`repro.core.rejuvenator` — drives a chip through operation + sleep
+  according to a policy, recording the wearout/recovery trajectory;
+* :mod:`repro.core.metrics` — recovered delay, recovery fraction, the
+  design-margin-relaxed parameter and lifetime extension;
+* :mod:`repro.core.fitting` — extraction of the paper's first-order model
+  parameters from measured data (paper Table 3);
+* :mod:`repro.core.validation` — model-vs-measurement comparison;
+* :mod:`repro.core.planner` — circadian schedule planning and knob
+  optimisation (paper Fig. 9 and future-work Sec. 7);
+* :mod:`repro.core.lifetime` — lifetime projection under policies.
+"""
+
+from repro.core.adaptation import AdaptiveClockController, ClockTrace
+from repro.core.fitting import (
+    FitReport,
+    fit_physics_scaling,
+    fit_recovery_parameters,
+    fit_stress_parameters,
+)
+from repro.core.knobs import RecoveryKnobs, OperatingPoint
+from repro.core.lifetime import LifetimeReport, project_lifetime
+from repro.core.margin import MarginBudget, build_margin_budget, frequency_guardband, parametric_yield
+from repro.core.negative_rail import (
+    ChargePumpGenerator,
+    GidlModel,
+    recommend_voltage,
+    sweep_sleep_voltage,
+)
+from repro.core.metrics import (
+    design_margin_relaxed,
+    lifetime_extension,
+    margin_relaxed_parameter,
+    recovered_delay,
+    recovery_fraction,
+)
+from repro.core.planner import CircadianPlanner, PlannedSchedule
+from repro.core.policies import (
+    NoRecoveryPolicy,
+    PassiveSleepPolicy,
+    ProactivePolicy,
+    ReactivePolicy,
+    RecoveryAction,
+)
+from repro.core.rejuvenator import Rejuvenator, Trajectory
+from repro.core.gnomo import GnomoResult, gnomo_speedup, run_gnomo
+from repro.core.validation import ValidationReport, validate_model_against_series
+from repro.core.virtual_rhythm import RhythmResult, VirtualCircadianRhythm
+
+__all__ = [
+    "AdaptiveClockController",
+    "CircadianPlanner",
+    "ClockTrace",
+    "FitReport",
+    "LifetimeReport",
+    "MarginBudget",
+    "ChargePumpGenerator",
+    "GidlModel",
+    "NoRecoveryPolicy",
+    "OperatingPoint",
+    "PassiveSleepPolicy",
+    "PlannedSchedule",
+    "ProactivePolicy",
+    "ReactivePolicy",
+    "RecoveryAction",
+    "RecoveryKnobs",
+    "Rejuvenator",
+    "Trajectory",
+    "ValidationReport",
+    "VirtualCircadianRhythm",
+    "GnomoResult",
+    "RhythmResult",
+    "gnomo_speedup",
+    "run_gnomo",
+    "design_margin_relaxed",
+    "fit_physics_scaling",
+    "fit_recovery_parameters",
+    "fit_stress_parameters",
+    "lifetime_extension",
+    "build_margin_budget",
+    "frequency_guardband",
+    "parametric_yield",
+    "recommend_voltage",
+    "sweep_sleep_voltage",
+    "margin_relaxed_parameter",
+    "project_lifetime",
+    "recovered_delay",
+    "recovery_fraction",
+    "validate_model_against_series",
+]

@@ -1,0 +1,99 @@
+"""Adaptation baseline: track aging and slow the clock (paper Secs. 1-2).
+
+The mitigation philosophy the paper argues is insufficient: "accept the
+variations, track and monitor them, then dynamically adapt".  An adaptive
+system keeps *working* as it ages — it re-times its clock to the measured
+critical path — but its delivered performance decays with the aging it
+never repairs: "the system might function correctly with adaptation, but
+will still become sluggish".
+
+:class:`AdaptiveClockController` implements the scheme: periodic delay
+measurements set the clock period to the aged path plus a safety margin.
+The benchmark compares delivered clock frequency over life against a
+self-healing schedule at equal delivered work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClockTrace:
+    """Delivered clock frequency over a run.
+
+    ``times`` are cumulative active seconds; ``frequencies`` the clock the
+    controller could safely ship at each point.
+    """
+
+    times: np.ndarray
+    frequencies: np.ndarray
+
+    @property
+    def final_frequency(self) -> float:
+        """Clock at end of life."""
+        return float(self.frequencies[-1])
+
+    @property
+    def fresh_frequency(self) -> float:
+        """Clock at time zero."""
+        return float(self.frequencies[0])
+
+    @property
+    def performance_loss(self) -> float:
+        """Fractional clock lost to aging by end of life."""
+        return 1.0 - self.final_frequency / self.fresh_frequency
+
+    def mean_frequency(self) -> float:
+        """Work-weighted average delivered clock."""
+        if self.times[-1] == self.times[0]:
+            return self.fresh_frequency
+        return float(
+            np.trapezoid(self.frequencies, self.times) / (self.times[-1] - self.times[0])
+        )
+
+
+class AdaptiveClockController:
+    """Re-times the clock to the measured critical path.
+
+    Parameters
+    ----------
+    safety_margin:
+        Fractional timing slack kept above the measured path delay (an
+        adaptive system still needs *some* guardband for fast transients
+        and sensor error).
+    """
+
+    def __init__(self, safety_margin: float = 0.03) -> None:
+        if not 0.0 <= safety_margin < 1.0:
+            raise ConfigurationError("safety_margin must be in [0, 1)")
+        self.safety_margin = safety_margin
+
+    def clock_frequency(self, path_delay: float) -> float:
+        """Highest safe clock for a measured critical-path delay."""
+        if path_delay <= 0.0:
+            raise ConfigurationError("path_delay must be positive")
+        return 1.0 / (path_delay * (1.0 + self.safety_margin))
+
+    def trace_from_trajectory(self, active_times, delay_shifts, fresh_delay: float) -> ClockTrace:
+        """Clock trace implied by an aging trajectory.
+
+        ``active_times``/``delay_shifts`` as produced by
+        :class:`~repro.core.rejuvenator.Trajectory`; the controller
+        re-times at every sample (the idealised, continuously adapting
+        case — real designs adapt in steps and lose more).
+        """
+        active_times = np.asarray(active_times, dtype=float)
+        delay_shifts = np.asarray(delay_shifts, dtype=float)
+        if active_times.shape != delay_shifts.shape or active_times.ndim != 1:
+            raise ConfigurationError("trajectory arrays must match and be 1-D")
+        if fresh_delay <= 0.0:
+            raise ConfigurationError("fresh_delay must be positive")
+        frequencies = np.array(
+            [self.clock_frequency(fresh_delay + shift) for shift in delay_shifts]
+        )
+        return ClockTrace(times=active_times, frequencies=frequencies)

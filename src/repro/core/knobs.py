@@ -1,0 +1,93 @@
+"""The recovery knobs: active:sleep ratio, sleep voltage, sleep temperature.
+
+The paper's accelerated self-healing is controlled by exactly three knobs
+(Sec. 4.1): the ratio of active (wearout) to sleep (rejuvenation) time
+``alpha``, the supply voltage during sleep (0 V passive, negative for
+accelerated recovery), and the temperature during sleep (ambient, or
+elevated — e.g. neighbouring cores used as on-chip heaters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import celsius
+
+
+@dataclass(frozen=True)
+class RecoveryKnobs:
+    """Sleep-phase settings for accelerated self-healing.
+
+    Parameters
+    ----------
+    alpha:
+        Ratio of active time to sleep time in one circadian cycle.  The
+        paper's headline schedules use ``alpha = 4`` (rejuvenate for 1/4
+        of the stress time).
+    sleep_voltage:
+        Core supply during sleep, in volts.  0.0 is passive recovery;
+        negative values actively reverse the stress (paper uses -0.3 V).
+    sleep_temperature_c:
+        Temperature during sleep in Celsius (paper accelerates at 110 C).
+    """
+
+    alpha: float = 4.0
+    sleep_voltage: float = -0.3
+    sleep_temperature_c: float = 110.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.sleep_voltage > 0.0:
+            raise ConfigurationError(
+                f"sleep voltage must be non-positive, got {self.sleep_voltage}"
+            )
+
+    @property
+    def sleep_fraction(self) -> float:
+        """Fraction of a cycle spent asleep: ``1 / (1 + alpha)``."""
+        return 1.0 / (1.0 + self.alpha)
+
+    @property
+    def active_fraction(self) -> float:
+        """Fraction of a cycle spent active: ``alpha / (1 + alpha)``."""
+        return self.alpha / (1.0 + self.alpha)
+
+    @property
+    def sleep_temperature(self) -> float:
+        """Sleep temperature in kelvin."""
+        return celsius(self.sleep_temperature_c)
+
+    def split_cycle(self, period: float) -> tuple[float, float]:
+        """(active_seconds, sleep_seconds) for a cycle of ``period`` seconds."""
+        if period <= 0.0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        return period * self.active_fraction, period * self.sleep_fraction
+
+
+#: Passive sleep at ambient — what "sleep" means for electronics today
+#: (the paper's strawman: inactivity, not active recovery).
+PASSIVE_KNOBS = RecoveryKnobs(alpha=4.0, sleep_voltage=0.0, sleep_temperature_c=20.0)
+
+#: The paper's headline accelerated-recovery setting.
+ACCELERATED_KNOBS = RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Conditions while the system is active (stress side of the cycle)."""
+
+    supply_voltage: float = 1.2
+    temperature_c: float = 110.0
+
+    def __post_init__(self) -> None:
+        if self.supply_voltage <= 0.0:
+            raise ConfigurationError(
+                f"operating supply must be positive, got {self.supply_voltage}"
+            )
+
+    @property
+    def temperature(self) -> float:
+        """Operating temperature in kelvin."""
+        return celsius(self.temperature_c)

@@ -1,0 +1,121 @@
+"""Margin budgeting: from aging distributions to guardbands and yield.
+
+The paper's economic argument lives here: variations "require increased
+design margins that lead to lower performance or higher power and cost".
+This module turns aging numbers into the designer-facing quantities —
+
+* :func:`frequency_guardband` — the fmax derate covering a population
+  quantile of delay shift;
+* :func:`relaxed_guardband` — the same after a healing schedule, i.e.
+  how much clock the technique buys back;
+* :func:`parametric_yield` — fraction of devices meeting a frequency bin
+  for a chosen guardband;
+* :class:`MarginBudget` — a complete budget with its report table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.errors import ConfigurationError
+
+
+def _check_shifts(relative_shifts) -> np.ndarray:
+    shifts = np.asarray(relative_shifts, dtype=float)
+    if shifts.ndim != 1 or shifts.size == 0:
+        raise ConfigurationError("relative_shifts must be a non-empty 1-D array")
+    if np.any(shifts < 0.0):
+        raise ConfigurationError("relative delay shifts must be non-negative")
+    return shifts
+
+
+def frequency_guardband(relative_shifts, coverage: float = 0.99) -> float:
+    """fmax derate covering ``coverage`` of the population.
+
+    ``relative_shifts`` are per-device dTd / Td0 values at end of life.
+    A device with relative shift s runs at ``f0 / (1 + s)``; the derate is
+    ``1 - 1/(1 + s_q)`` at the coverage quantile — the fraction of nominal
+    frequency the datasheet must give up.
+    """
+    if not 0.0 < coverage < 1.0:
+        raise ConfigurationError("coverage must be in (0, 1)")
+    shifts = _check_shifts(relative_shifts)
+    worst = float(np.quantile(shifts, coverage))
+    return 1.0 - 1.0 / (1.0 + worst)
+
+
+def relaxed_guardband(
+    unhealed_shifts, healed_shifts, coverage: float = 0.99
+) -> tuple[float, float, float]:
+    """(guardband without healing, with healing, relative reduction)."""
+    before = frequency_guardband(unhealed_shifts, coverage)
+    after = frequency_guardband(healed_shifts, coverage)
+    if before <= 0.0:
+        raise ConfigurationError("the unhealed population shows no aging to relax")
+    return before, after, 1.0 - after / before
+
+
+def parametric_yield(relative_shifts, guardband: float) -> float:
+    """Fraction of devices still meeting spec at end of life.
+
+    A device yields if its aged frequency ``f0 / (1 + s)`` stays at or
+    above the shipped bin ``f0 * (1 - guardband)``.
+    """
+    if not 0.0 <= guardband < 1.0:
+        raise ConfigurationError("guardband must be in [0, 1)")
+    shifts = _check_shifts(relative_shifts)
+    limit = 1.0 / (1.0 - guardband) - 1.0
+    return float(np.mean(shifts <= limit))
+
+
+@dataclass(frozen=True)
+class MarginBudget:
+    """A complete aging-margin budget for one design point."""
+
+    coverage: float
+    guardband_unhealed: float
+    guardband_healed: float
+    yield_unhealed: float
+    yield_healed: float
+
+    @property
+    def guardband_reduction(self) -> float:
+        """Relative shrink of the guardband thanks to healing."""
+        if self.guardband_unhealed == 0.0:
+            return 0.0
+        return 1.0 - self.guardband_healed / self.guardband_unhealed
+
+    def table(self) -> Table:
+        """Render the budget."""
+        table = Table(
+            f"Aging margin budget (coverage p{self.coverage * 100:.0f})",
+            ["quantity", "without healing", "with healing"],
+            fmt="{:.4f}",
+        )
+        table.add_row("fmax guardband", self.guardband_unhealed, self.guardband_healed)
+        table.add_row(
+            "yield at the healed guardband", self.yield_unhealed, self.yield_healed
+        )
+        return table
+
+
+def build_margin_budget(
+    unhealed_shifts, healed_shifts, coverage: float = 0.99
+) -> MarginBudget:
+    """Assemble a :class:`MarginBudget` from two shift populations.
+
+    Yields are evaluated at the *healed* guardband: shipping the tighter
+    bin, the unhealed population loses parts that the healed one keeps —
+    the cost of not healing in yield terms.
+    """
+    before, after, __ = relaxed_guardband(unhealed_shifts, healed_shifts, coverage)
+    return MarginBudget(
+        coverage=coverage,
+        guardband_unhealed=before,
+        guardband_healed=after,
+        yield_unhealed=parametric_yield(unhealed_shifts, after),
+        yield_healed=parametric_yield(healed_shifts, after),
+    )

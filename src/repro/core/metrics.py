@@ -1,0 +1,121 @@
+"""Self-healing metrics: recovered delay, margin relaxed, lifetime extension.
+
+Definitions (see DESIGN.md Sec. 3 for the mapping to the paper's wording):
+
+* **recovered delay** ``RD(t2) = dTd(t1) - dTd(t1 + t2)`` — paper Eq. (16);
+* **recovery fraction / margin-relaxed parameter** ``RD_end / dTd(t1)`` —
+  the paper's Table 4/5 "design margin relaxed parameter", i.e. how much
+  of the accumulated shift a sleep phase undid (72.4 % for AR110N6);
+* **design margin relaxed (envelope)** ``1 - peak_with_healing /
+  peak_without`` — the Fig. 9 view: how much guardband a periodic
+  schedule saves against unmitigated aging over the same active time;
+* **lifetime extension** — ratio of times-to-budget with and without
+  healing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _as_series(times, values) -> tuple[np.ndarray, np.ndarray]:
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape or times.ndim != 1:
+        raise ConfigurationError("times and values must be 1-D arrays of equal length")
+    if times.size < 2:
+        raise ConfigurationError("a recovery series needs at least two samples")
+    if np.any(np.diff(times) < 0.0):
+        raise ConfigurationError("times must be non-decreasing")
+    return times, values
+
+
+def recovered_delay(times, delay_changes) -> np.ndarray:
+    """RD(t) for a recovery series anchored at the end of stress.
+
+    ``delay_changes[0]`` must be the shift at the end of the stress phase
+    (the series' time 0); positive RD means the chip got faster again.
+    """
+    __, values = _as_series(times, delay_changes)
+    return values[0] - values
+
+
+def recovery_fraction(times, delay_changes) -> float:
+    """Fraction of the accumulated shift undone by the end of the series."""
+    __, values = _as_series(times, delay_changes)
+    if values[0] <= 0.0:
+        raise ConfigurationError(
+            "the series must start from a positive delay shift (a stressed chip)"
+        )
+    return float((values[0] - values[-1]) / values[0])
+
+
+def margin_relaxed_parameter(times, delay_changes) -> float:
+    """The paper's Table 4/5 design-margin-relaxed parameter (percent).
+
+    Identical to :func:`recovery_fraction` expressed in percent — the
+    paper defines it as "how much the chip recovered from the original
+    margin".
+    """
+    return 100.0 * recovery_fraction(times, delay_changes)
+
+
+def design_margin_relaxed(peak_with_healing: float, peak_without_healing: float) -> float:
+    """Envelope view (paper Fig. 9): guardband saved by periodic healing.
+
+    Both arguments are worst-case delay shifts accumulated over the same
+    total *active* time, with and without the healing schedule.
+    """
+    if peak_without_healing <= 0.0:
+        raise ConfigurationError("the unhealed peak must be positive")
+    if peak_with_healing < 0.0:
+        raise ConfigurationError("the healed peak cannot be negative")
+    return 1.0 - peak_with_healing / peak_without_healing
+
+
+def time_to_budget(times, delay_changes, budget: float) -> float:
+    """First time the shift crosses ``budget`` (linear interpolation).
+
+    Returns ``inf`` if the series never reaches the budget — the caller
+    decides whether to extrapolate.
+    """
+    times, values = _as_series(times, delay_changes)
+    if budget <= 0.0:
+        raise ConfigurationError(f"budget must be positive, got {budget}")
+    above = np.nonzero(values >= budget)[0]
+    if above.size == 0:
+        return float("inf")
+    i = int(above[0])
+    if i == 0:
+        return float(times[0])
+    t0, t1 = times[i - 1], times[i]
+    v0, v1 = values[i - 1], values[i]
+    if v1 == v0:
+        return float(t1)
+    return float(t0 + (budget - v0) * (t1 - t0) / (v1 - v0))
+
+
+def lifetime_extension(
+    baseline_times,
+    baseline_shifts,
+    healed_times,
+    healed_shifts,
+    budget: float,
+) -> float:
+    """Ratio of healed to baseline time-to-budget.
+
+    Returns ``inf`` when healing keeps the shift below the budget for the
+    whole simulated horizon while the baseline crosses it.
+    """
+    t_base = time_to_budget(baseline_times, baseline_shifts, budget)
+    t_heal = time_to_budget(healed_times, healed_shifts, budget)
+    if not np.isfinite(t_base):
+        raise ConfigurationError(
+            "the baseline never reaches the budget; extend the horizon or "
+            "lower the budget"
+        )
+    if t_base <= 0.0:
+        raise ConfigurationError("baseline crosses the budget at time zero")
+    return float(t_heal / t_base)

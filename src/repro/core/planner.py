@@ -1,0 +1,186 @@
+"""Circadian schedule planning and recovery-knob optimisation.
+
+The paper closes by proposing a "virtual circadian rhythm" — periodic,
+known-in-advance deep rejuvenation (Sec. 7).  The planner implements it:
+given recovery knobs and a cycle period it builds the schedule, simulates
+the wearout/recovery envelope on a chip (the Fig. 9 picture), quantifies
+the design margin relaxed against unmitigated aging over the same active
+time, and searches the alpha knob for the cheapest schedule meeting a
+margin target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.core.metrics import design_margin_relaxed
+from repro.core.policies import NoRecoveryPolicy, ProactivePolicy
+from repro.core.rejuvenator import Rejuvenator, Trajectory
+from repro.errors import ConfigurationError
+from repro.fpga.ring_oscillator import StressMode
+
+
+@dataclass(frozen=True)
+class PlannedSchedule:
+    """A concrete circadian plan.
+
+    ``n_cycles`` full cycles of ``active_seconds`` work followed by
+    ``sleep_seconds`` rejuvenation deliver ``total_active_time`` seconds
+    of work in ``wall_clock_time`` seconds.
+    """
+
+    knobs: RecoveryKnobs
+    period: float
+    n_cycles: int
+    active_seconds: float
+    sleep_seconds: float
+
+    @property
+    def total_active_time(self) -> float:
+        """Work delivered by the plan, in seconds."""
+        return self.n_cycles * self.active_seconds
+
+    @property
+    def wall_clock_time(self) -> float:
+        """Total wall-clock span of the plan, in seconds."""
+        return self.n_cycles * self.period
+
+    @property
+    def throughput_overhead(self) -> float:
+        """Extra wall-clock per unit of work: ``sleep / active`` = 1/alpha."""
+        return self.sleep_seconds / self.active_seconds
+
+
+@dataclass(frozen=True)
+class EnvelopeComparison:
+    """Healed vs unhealed aging over the same delivered work."""
+
+    healed: Trajectory
+    baseline: Trajectory
+    margin_relaxed: float
+    end_recovery_fraction: float
+
+
+class CircadianPlanner:
+    """Plans and evaluates periodic accelerated-recovery schedules.
+
+    Parameters
+    ----------
+    knobs:
+        Sleep-phase knobs (alpha, voltage, temperature).
+    operating:
+        Active-phase conditions.
+    period:
+        Cycle length in seconds (active + sleep).
+    stress_mode:
+        How the design stresses while active (DC worst case by default to
+        match the paper's experiments).
+    """
+
+    def __init__(
+        self,
+        knobs: RecoveryKnobs,
+        operating: OperatingPoint | None = None,
+        period: float = 30.0 * 3600.0,
+        stress_mode: StressMode = StressMode.DC,
+    ) -> None:
+        if period <= 0.0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        self.knobs = knobs
+        self.operating = operating or OperatingPoint()
+        self.period = period
+        self.stress_mode = stress_mode
+
+    def plan(self, total_active_time: float) -> PlannedSchedule:
+        """Schedule enough cycles to deliver ``total_active_time`` of work."""
+        if total_active_time <= 0.0:
+            raise ConfigurationError("total_active_time must be positive")
+        active, sleep = self.knobs.split_cycle(self.period)
+        n_cycles = int(np.ceil(total_active_time / active))
+        return PlannedSchedule(
+            knobs=self.knobs,
+            period=self.period,
+            n_cycles=n_cycles,
+            active_seconds=active,
+            sleep_seconds=sleep,
+        )
+
+    def simulate(self, chip, total_active_time: float, max_segment: float = 1800.0) -> Trajectory:
+        """Run the plan on a chip and return the Fig. 9 trajectory."""
+        rejuvenator = Rejuvenator(
+            chip, self.operating, stress_mode=self.stress_mode, max_segment=max_segment
+        )
+        policy = ProactivePolicy(self.knobs, self.period)
+        return rejuvenator.run(policy, total_active_time)
+
+    def compare_against_baseline(
+        self, chip, total_active_time: float, max_segment: float = 1800.0
+    ) -> EnvelopeComparison:
+        """Healed vs never-healed aging for the same delivered work.
+
+        Uses snapshot/restore so both runs start from the chip's current
+        state; the margin-relaxed number compares the healed run's *peak*
+        shift against the baseline's end-of-run shift (both are what a
+        designer must budget for).
+        """
+        state = chip.snapshot()
+        healed = self.simulate(chip, total_active_time, max_segment)
+        chip.restore(state)
+        rejuvenator = Rejuvenator(
+            chip, self.operating, stress_mode=self.stress_mode, max_segment=max_segment
+        )
+        baseline = rejuvenator.run(
+            NoRecoveryPolicy(segment=max_segment), total_active_time
+        )
+        chip.restore(state)
+        margin = design_margin_relaxed(healed.peak_shift, baseline.final_shift)
+        peaks = healed.cycle_peaks()
+        troughs = healed.cycle_troughs()
+        if peaks.size and troughs.size:
+            last = min(peaks.size, troughs.size) - 1
+            end_fraction = float(1.0 - troughs[last] / peaks[last]) if peaks[last] > 0 else 0.0
+        else:
+            end_fraction = 0.0
+        return EnvelopeComparison(
+            healed=healed,
+            baseline=baseline,
+            margin_relaxed=margin,
+            end_recovery_fraction=end_fraction,
+        )
+
+    def optimise_alpha(
+        self,
+        chip,
+        total_active_time: float,
+        margin_target: float,
+        alphas=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0),
+        max_segment: float = 3600.0,
+    ) -> tuple[float, dict[float, float]]:
+        """Largest alpha (least sleep) whose margin relaxed meets the target.
+
+        Returns the chosen alpha and the full alpha -> margin map; raises
+        :class:`ConfigurationError` when no candidate meets the target.
+        """
+        if not 0.0 < margin_target < 1.0:
+            raise ConfigurationError("margin_target must be in (0, 1)")
+        results: dict[float, float] = {}
+        for alpha in sorted(alphas, reverse=True):
+            knobs = RecoveryKnobs(
+                alpha=alpha,
+                sleep_voltage=self.knobs.sleep_voltage,
+                sleep_temperature_c=self.knobs.sleep_temperature_c,
+            )
+            planner = CircadianPlanner(knobs, self.operating, self.period, self.stress_mode)
+            comparison = planner.compare_against_baseline(
+                chip, total_active_time, max_segment
+            )
+            results[alpha] = comparison.margin_relaxed
+            if comparison.margin_relaxed >= margin_target:
+                return alpha, results
+        raise ConfigurationError(
+            f"no alpha in {sorted(alphas)} reaches margin target {margin_target:.0%}; "
+            f"best was {max(results.values()):.0%}"
+        )

@@ -1,0 +1,153 @@
+"""Recovery scheduling policies: proactive, reactive, passive, none.
+
+The paper (Sec. 2.2) argues for *proactive* accelerated rejuvenation —
+sleep scheduled ahead of any sign of stress — over *reactive* recovery
+triggered when aging crosses a threshold.  Both are implemented here, plus
+the two baselines the argument is made against: no recovery at all, and
+today's "sleep" (passive inactivity at ambient, 0 V).
+
+A policy is consulted by :class:`repro.core.rejuvenator.Rejuvenator` once
+per decision step and answers with a :class:`RecoveryAction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.knobs import RecoveryKnobs
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChipStatus:
+    """What a policy may look at when deciding.
+
+    ``delay_shift`` is the current dTd in seconds; reactive policies use
+    it, proactive policies deliberately do not (they need no aging sensor
+    — one of the paper's arguments for proactivity).
+    """
+
+    total_elapsed: float
+    active_elapsed: float
+    delay_shift: float
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One scheduling decision: run active or sleep for ``duration``."""
+
+    duration: float
+    sleep: bool
+    sleep_voltage: float = 0.0
+    sleep_temperature_c: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise ConfigurationError(f"action duration must be positive, got {self.duration}")
+
+
+class RecoveryPolicy(Protocol):
+    """Anything that can schedule active/sleep segments."""
+
+    def next_action(self, status: ChipStatus) -> RecoveryAction:
+        """Decide what the chip does next."""
+        ...
+
+
+class NoRecoveryPolicy:
+    """Baseline: the chip runs continuously and never sleeps."""
+
+    def __init__(self, segment: float = 3600.0) -> None:
+        if segment <= 0.0:
+            raise ConfigurationError("segment must be positive")
+        self.segment = segment
+
+    def next_action(self, status: ChipStatus) -> RecoveryAction:
+        """Always another active segment."""
+        return RecoveryAction(duration=self.segment, sleep=False)
+
+
+class ProactivePolicy:
+    """Circadian scheduling: fixed active/sleep cycles, no sensing needed.
+
+    Parameters
+    ----------
+    knobs:
+        Recovery knobs (alpha and sleep conditions).
+    period:
+        Length of one active+sleep cycle in seconds.
+    """
+
+    def __init__(self, knobs: RecoveryKnobs, period: float) -> None:
+        if period <= 0.0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        self.knobs = knobs
+        self.period = period
+        self._active, self._sleep = knobs.split_cycle(period)
+        self._phase_active = True
+
+    def next_action(self, status: ChipStatus) -> RecoveryAction:
+        """Alternate active and sleep segments of the planned lengths."""
+        if self._phase_active:
+            self._phase_active = False
+            return RecoveryAction(duration=self._active, sleep=False)
+        self._phase_active = True
+        return RecoveryAction(
+            duration=self._sleep,
+            sleep=True,
+            sleep_voltage=self.knobs.sleep_voltage,
+            sleep_temperature_c=self.knobs.sleep_temperature_c,
+        )
+
+
+class PassiveSleepPolicy(ProactivePolicy):
+    """Today's "sleep": same duty cycle, but inactivity at ambient and 0 V.
+
+    The contrast case for the paper's central claim that sleep should be
+    an *active* recovery period.
+    """
+
+    def __init__(self, alpha: float, period: float, ambient_c: float = 20.0) -> None:
+        knobs = RecoveryKnobs(alpha=alpha, sleep_voltage=0.0, sleep_temperature_c=ambient_c)
+        super().__init__(knobs, period)
+
+
+class ReactivePolicy:
+    """Recover only when measured aging crosses a threshold.
+
+    Needs an aging sensor (the paper cites silicon odometers); recovers
+    with the given knobs for a fixed duration whenever ``delay_shift``
+    exceeds ``trigger_shift``, and runs active otherwise.
+    """
+
+    def __init__(
+        self,
+        knobs: RecoveryKnobs,
+        trigger_shift: float,
+        recovery_duration: float,
+        segment: float = 3600.0,
+    ) -> None:
+        if trigger_shift <= 0.0:
+            raise ConfigurationError("trigger_shift must be positive")
+        if recovery_duration <= 0.0:
+            raise ConfigurationError("recovery_duration must be positive")
+        if segment <= 0.0:
+            raise ConfigurationError("segment must be positive")
+        self.knobs = knobs
+        self.trigger_shift = trigger_shift
+        self.recovery_duration = recovery_duration
+        self.segment = segment
+        self.triggers = 0
+
+    def next_action(self, status: ChipStatus) -> RecoveryAction:
+        """Sleep when the sensed shift exceeds the trigger, else run."""
+        if status.delay_shift >= self.trigger_shift:
+            self.triggers += 1
+            return RecoveryAction(
+                duration=self.recovery_duration,
+                sleep=True,
+                sleep_voltage=self.knobs.sleep_voltage,
+                sleep_temperature_c=self.knobs.sleep_temperature_c,
+            )
+        return RecoveryAction(duration=self.segment, sleep=False)

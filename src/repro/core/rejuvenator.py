@@ -1,0 +1,154 @@
+"""Drives a chip through operation and policy-scheduled sleep.
+
+The :class:`Rejuvenator` is the runtime of the paper's techniques: it
+interleaves active (wearout) segments at the operating point with sleep
+segments whose conditions the policy chooses, and records the resulting
+delay-shift trajectory — the paper's Fig. 9 picture.
+
+Comparisons are made at equal *active* time: a healed system that slept
+for a quarter of its stress time has delivered the same work as the
+unhealed baseline, just later in wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.knobs import OperatingPoint
+from repro.core.policies import ChipStatus, RecoveryPolicy
+from repro.errors import ConfigurationError
+from repro.fpga.ring_oscillator import StressMode
+from repro.units import celsius
+
+
+@dataclass
+class Trajectory:
+    """Delay-shift history of a rejuvenation run.
+
+    ``times`` are wall-clock seconds, ``active_times`` cumulative active
+    seconds, ``delay_shifts`` dTd in seconds, ``sleeping`` which segment
+    kind produced each sample.
+    """
+
+    times: np.ndarray
+    active_times: np.ndarray
+    delay_shifts: np.ndarray
+    sleeping: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.times.size
+        if not (self.active_times.size == self.delay_shifts.size == self.sleeping.size == n):
+            raise ConfigurationError("trajectory arrays must have equal length")
+
+    @property
+    def final_shift(self) -> float:
+        """Delay shift at the end of the run."""
+        return float(self.delay_shifts[-1])
+
+    @property
+    def peak_shift(self) -> float:
+        """Worst delay shift seen anywhere in the run — what margins see."""
+        return float(self.delay_shifts.max())
+
+    def cycle_peaks(self) -> np.ndarray:
+        """Shift at each active->sleep transition (end of each stress leg)."""
+        switch = np.nonzero(~self.sleeping[:-1] & self.sleeping[1:])[0]
+        return self.delay_shifts[switch]
+
+    def cycle_troughs(self) -> np.ndarray:
+        """Shift at each sleep->active transition (end of each sleep leg)."""
+        switch = np.nonzero(self.sleeping[:-1] & ~self.sleeping[1:])[0]
+        return self.delay_shifts[switch]
+
+    def sleep_fraction(self) -> float:
+        """Fraction of wall-clock time spent asleep."""
+        if self.times[-1] <= 0.0:
+            return 0.0
+        return float(1.0 - self.active_times[-1] / self.times[-1])
+
+    def at_active_time(self, active_time: float) -> float:
+        """Delay shift interpolated at a given cumulative active time."""
+        return float(np.interp(active_time, self.active_times, self.delay_shifts))
+
+
+class Rejuvenator:
+    """Runs a chip under a recovery policy.
+
+    Parameters
+    ----------
+    chip:
+        Any chip-like object with ``apply_stress``, ``apply_recovery`` and
+        ``delta_path_delay`` (an :class:`~repro.fpga.chip.FpgaChip`).
+    operating:
+        Conditions during active segments.
+    stress_mode:
+        AC for a normally operating (switching) design, DC for the worst
+        case the paper stresses.
+    max_segment:
+        Longest simulated slice; policy actions are subdivided so the
+        trajectory has at least this sampling resolution.
+    """
+
+    def __init__(
+        self,
+        chip,
+        operating: OperatingPoint | None = None,
+        stress_mode: StressMode = StressMode.DC,
+        max_segment: float = 1800.0,
+    ) -> None:
+        if max_segment <= 0.0:
+            raise ConfigurationError("max_segment must be positive")
+        self.chip = chip
+        self.operating = operating or OperatingPoint()
+        self.stress_mode = stress_mode
+        self.max_segment = max_segment
+
+    def run(self, policy: RecoveryPolicy, total_active_time: float) -> Trajectory:
+        """Run until ``total_active_time`` seconds of work were delivered."""
+        if total_active_time <= 0.0:
+            raise ConfigurationError("total_active_time must be positive")
+        times = [0.0]
+        active_times = [0.0]
+        shifts = [self.chip.delta_path_delay()]
+        sleeping = [False]
+        wall = 0.0
+        active = 0.0
+        while active < total_active_time - 1e-9:
+            status = ChipStatus(
+                total_elapsed=wall, active_elapsed=active, delay_shift=shifts[-1]
+            )
+            action = policy.next_action(status)
+            duration = action.duration
+            if not action.sleep:
+                duration = min(duration, total_active_time - active)
+            remaining = duration
+            while remaining > 1e-12:
+                chunk = min(self.max_segment, remaining)
+                if action.sleep:
+                    self.chip.apply_recovery(
+                        chunk,
+                        temperature=celsius(action.sleep_temperature_c),
+                        supply_voltage=action.sleep_voltage,
+                    )
+                else:
+                    self.chip.apply_stress(
+                        chunk,
+                        temperature=self.operating.temperature,
+                        supply_voltage=self.operating.supply_voltage,
+                        mode=self.stress_mode,
+                    )
+                    active += chunk
+                wall += chunk
+                remaining -= chunk
+                times.append(wall)
+                active_times.append(active)
+                shifts.append(self.chip.delta_path_delay())
+                sleeping.append(action.sleep)
+        return Trajectory(
+            times=np.array(times),
+            active_times=np.array(active_times),
+            delay_shifts=np.array(shifts),
+            sleeping=np.array(sleeping, dtype=bool),
+        )

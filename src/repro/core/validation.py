@@ -1,0 +1,72 @@
+"""Model-vs-measurement validation, the paper's Sec. 5 methodology.
+
+The paper overlays its fitted first-order model on every measured curve
+(Figs. 5-8) and argues the match visually; here the comparison is
+quantified: RMSE, range-normalised RMSE, worst-point error and R^2, with a
+single pass/fail against an NRMSE threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Range-normalised RMSE below which we call a model curve a match.
+DEFAULT_NRMSE_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Agreement between a model curve and a measured series."""
+
+    rmse: float
+    nrmse: float
+    max_abs_error: float
+    r_squared: float
+    n_points: int
+    threshold: float
+
+    @property
+    def passed(self) -> bool:
+        """True when the normalised RMSE is within the threshold."""
+        return self.nrmse <= self.threshold
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"{verdict}: nrmse={self.nrmse:.3f} (<= {self.threshold}), "
+            f"rmse={self.rmse:.3e}, max|err|={self.max_abs_error:.3e}, "
+            f"R^2={self.r_squared:.3f}, n={self.n_points}"
+        )
+
+
+def validate_model_against_series(
+    measured, predicted, threshold: float = DEFAULT_NRMSE_THRESHOLD
+) -> ValidationReport:
+    """Compare a model prediction against a measured series point-wise."""
+    measured = np.asarray(measured, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if measured.shape != predicted.shape or measured.ndim != 1:
+        raise ConfigurationError("measured and predicted must be 1-D arrays of equal length")
+    if measured.size < 2:
+        raise ConfigurationError("validation needs at least two points")
+    if threshold <= 0.0:
+        raise ConfigurationError("threshold must be positive")
+    residual = measured - predicted
+    rmse = float(np.sqrt(np.mean(residual**2)))
+    value_range = float(measured.max() - measured.min())
+    nrmse = rmse / value_range if value_range > 0.0 else float("inf")
+    ss_tot = float(np.sum((measured - measured.mean()) ** 2))
+    r_squared = 1.0 - float(np.sum(residual**2)) / ss_tot if ss_tot > 0.0 else float("nan")
+    return ValidationReport(
+        rmse=rmse,
+        nrmse=nrmse,
+        max_abs_error=float(np.max(np.abs(residual))),
+        r_squared=r_squared,
+        n_points=measured.size,
+        threshold=threshold,
+    )

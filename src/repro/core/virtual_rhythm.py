@@ -1,0 +1,160 @@
+"""Virtual circadian rhythm: adaptive periodic deep rejuvenation.
+
+The paper's future work: "exploring the prospect of periodic deep
+rejuvenation on a periodic schedule and developing a *virtual circadian
+rhythm*".  This controller implements it as a closed loop around the
+proactive schedule: the cycle structure stays periodic and known in
+advance (the property that enables cross-layer optimisation), but the
+active:sleep ratio alpha adapts slowly — cycle to cycle — so the chip
+wakes from every sleep with its residual shift at a target level, using
+no more sleep than necessary.
+
+Sensing uses the end-of-sleep readout that the schedule takes anyway, so
+the controller needs no extra hardware beyond the odometer the testbench
+already has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.errors import ConfigurationError
+from repro.fpga.ring_oscillator import StressMode
+from repro.units import celsius
+
+
+@dataclass(frozen=True)
+class RhythmCycle:
+    """One adapted cycle of the virtual rhythm."""
+
+    index: int
+    alpha: float
+    active_time: float
+    sleep_time: float
+    peak_shift: float
+    trough_shift: float
+
+
+@dataclass(frozen=True)
+class RhythmResult:
+    """Full adaptive run: cycles plus convergence facts."""
+
+    cycles: tuple[RhythmCycle, ...]
+    target_shift: float
+
+    @property
+    def final_alpha(self) -> float:
+        """Alpha the controller settled on."""
+        return self.cycles[-1].alpha
+
+    @property
+    def converged(self) -> bool:
+        """True when the last cycles hold the trough at/below target."""
+        tail = self.cycles[-2:]
+        return all(c.trough_shift <= self.target_shift * 1.15 for c in tail)
+
+    def alphas(self) -> np.ndarray:
+        """Alpha trace over cycles."""
+        return np.array([c.alpha for c in self.cycles])
+
+    def troughs(self) -> np.ndarray:
+        """End-of-sleep residual shift per cycle."""
+        return np.array([c.trough_shift for c in self.cycles])
+
+
+class VirtualCircadianRhythm:
+    """Adaptive alpha controller over a fixed cycle period.
+
+    Parameters
+    ----------
+    target_shift:
+        Residual delay shift (seconds) the chip should wake with.
+    period:
+        Fixed cycle length; only the split between active and sleep moves.
+    knobs:
+        Sleep conditions (voltage, temperature); alpha is controlled.
+    alpha_bounds:
+        The controller never leaves this range (throughput and healing
+        both need a floor).
+    gain:
+        Multiplicative adaptation strength per cycle.
+    """
+
+    def __init__(
+        self,
+        target_shift: float,
+        period: float,
+        knobs: RecoveryKnobs | None = None,
+        operating: OperatingPoint | None = None,
+        alpha_bounds: tuple[float, float] = (1.0, 16.0),
+        gain: float = 0.5,
+        stress_mode: StressMode = StressMode.DC,
+    ) -> None:
+        if target_shift <= 0.0:
+            raise ConfigurationError("target_shift must be positive")
+        if period <= 0.0:
+            raise ConfigurationError("period must be positive")
+        lo, hi = alpha_bounds
+        if not 0.0 < lo < hi:
+            raise ConfigurationError("alpha_bounds must satisfy 0 < low < high")
+        if not 0.0 < gain <= 1.0:
+            raise ConfigurationError("gain must be in (0, 1]")
+        self.target_shift = target_shift
+        self.period = period
+        self.knobs = knobs or RecoveryKnobs()
+        self.operating = operating or OperatingPoint()
+        self.alpha_bounds = alpha_bounds
+        self.gain = gain
+        self.stress_mode = stress_mode
+
+    def _next_alpha(self, alpha: float, trough: float) -> float:
+        """Adapt alpha from the observed end-of-sleep residual.
+
+        Over target -> sleep more (smaller alpha); under -> reclaim
+        throughput.  Multiplicative update with clamping keeps the loop
+        stable against the log-like plant.
+        """
+        lo, hi = self.alpha_bounds
+        error = trough / self.target_shift
+        adapted = alpha * error ** (-self.gain)
+        return float(np.clip(adapted, lo, hi))
+
+    def run(self, chip, n_cycles: int, alpha0: float | None = None) -> RhythmResult:
+        """Run ``n_cycles`` adaptive cycles on a chip."""
+        if n_cycles <= 0:
+            raise ConfigurationError("n_cycles must be positive")
+        alpha = alpha0 if alpha0 is not None else self.knobs.alpha
+        lo, hi = self.alpha_bounds
+        if not lo <= alpha <= hi:
+            raise ConfigurationError(f"alpha0 {alpha} outside bounds {self.alpha_bounds}")
+        cycles: list[RhythmCycle] = []
+        sleep_temp = celsius(self.knobs.sleep_temperature_c)
+        for index in range(n_cycles):
+            active = self.period * alpha / (1.0 + alpha)
+            sleep = self.period - active
+            chip.apply_stress(
+                active,
+                temperature=self.operating.temperature,
+                supply_voltage=self.operating.supply_voltage,
+                mode=self.stress_mode,
+            )
+            peak = chip.delta_path_delay()
+            chip.apply_recovery(
+                sleep, temperature=sleep_temp, supply_voltage=self.knobs.sleep_voltage
+            )
+            trough = chip.delta_path_delay()
+            cycles.append(
+                RhythmCycle(
+                    index=index,
+                    alpha=alpha,
+                    active_time=active,
+                    sleep_time=sleep,
+                    peak_shift=peak,
+                    trough_shift=trough,
+                )
+            )
+            alpha = self._next_alpha(alpha, trough)
+        return RhythmResult(cycles=tuple(cycles), target_shift=self.target_shift)

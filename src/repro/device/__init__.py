@@ -1,0 +1,21 @@
+"""Transistor-level building blocks: technology, delay and variation models."""
+
+from repro.device.delay import AlphaPowerDelayModel, FirstOrderDelayShift, GateDelayModel
+from repro.device.electromigration import BlackModel, EmWearState
+from repro.device.technology import TechnologyParameters, TECH_40NM
+from repro.device.transistor import Transistor, TransistorRole
+from repro.device.variation import ProcessVariation, VariationSample
+
+__all__ = [
+    "AlphaPowerDelayModel",
+    "BlackModel",
+    "EmWearState",
+    "FirstOrderDelayShift",
+    "GateDelayModel",
+    "ProcessVariation",
+    "TECH_40NM",
+    "TechnologyParameters",
+    "Transistor",
+    "TransistorRole",
+    "VariationSample",
+]

@@ -1,0 +1,87 @@
+"""Gate-delay models mapping threshold shifts to delay shifts.
+
+Two models are provided:
+
+* :class:`FirstOrderDelayShift` — the paper's Eq. (5)-(6) linearisation,
+  ``d(td) = td0 * dVth / (Vdd - Vth)``;
+* :class:`AlphaPowerDelayModel` — the alpha-power saturation-current law,
+  ``td ~ Vdd / (Vdd - Vth)**alpha``, kept as the higher-fidelity ablation
+  (the paper acknowledges its delay estimate is first order).
+
+Both expose the same ``delay_shift`` interface so the FPGA substrate can be
+configured with either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class GateDelayModel(Protocol):
+    """Anything that maps (td0, dVth) to a delay increase."""
+
+    def delay_shift(
+        self, td0: np.ndarray | float, dvth: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Delay increase of a gate with fresh delay ``td0`` under ``dvth``."""
+        ...
+
+
+@dataclass(frozen=True)
+class FirstOrderDelayShift:
+    """Paper Eq. (6): ``d(td) = td0 * dVth / (Vdd - Vth0)``."""
+
+    vdd: float
+    vth0: float
+
+    def __post_init__(self) -> None:
+        if self.vdd <= self.vth0:
+            raise ConfigurationError("vdd must exceed vth0 for a meaningful overdrive")
+
+    def delay_shift(
+        self, td0: np.ndarray | float, dvth: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Linearised delay increase (same shape as the broadcast inputs)."""
+        result = np.asarray(td0, dtype=float) * np.asarray(dvth, dtype=float) / (
+            self.vdd - self.vth0
+        )
+        return float(result) if result.ndim == 0 else result
+
+
+@dataclass(frozen=True)
+class AlphaPowerDelayModel:
+    """Alpha-power law: ``td ~ Vdd / (Vdd - Vth)**alpha``.
+
+    ``alpha`` is the velocity-saturation index (~1.3 at 40 nm).  The delay
+    shift is exact under the law rather than linearised:
+    ``d(td) = td0 * (((Vdd - Vth0) / (Vdd - Vth0 - dVth))**alpha - 1)``.
+    """
+
+    vdd: float
+    vth0: float
+    alpha: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.vdd <= self.vth0:
+            raise ConfigurationError("vdd must exceed vth0 for a meaningful overdrive")
+        if self.alpha < 1.0:
+            raise ConfigurationError(f"alpha must be >= 1, got {self.alpha}")
+
+    def delay_shift(
+        self, td0: np.ndarray | float, dvth: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Delay increase under the alpha-power law."""
+        overdrive = self.vdd - self.vth0
+        dvth = np.asarray(dvth, dtype=float)
+        if np.any(dvth >= overdrive):
+            raise ConfigurationError(
+                "dVth reached the gate overdrive; the device no longer switches"
+            )
+        ratio = overdrive / (overdrive - dvth)
+        result = np.asarray(td0, dtype=float) * (np.power(ratio, self.alpha) - 1.0)
+        return float(result) if result.ndim == 0 else result

@@ -1,0 +1,105 @@
+"""Electromigration (EM): the irreversible wear the paper's model ignores.
+
+The paper's stated limitation: "the first order model is optimistic in
+that it ignores other aging effects, such as Electromigration".  EM is
+metal wear — current-driven atom transport in interconnect — and unlike
+BTI it has no recovery phase: sleep, negative voltages and heat do not
+put copper back (heat actively makes it worse).
+
+This module quantifies the limitation with Black's equation,
+
+    MTTF = A * J**(-n) * exp(Ea / kT)
+
+accumulated as fractional damage ``dt / MTTF(J, T)`` over the current/
+temperature history (Miner's rule).  The benchmark uses it to show what
+fraction of total wear self-healing *cannot* touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import BOLTZMANN_EV, SECONDS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class BlackModel:
+    """Black's-equation parameters for one interconnect class.
+
+    Calibrated so a wire at the reference current density and 105 degC
+    has ``reference_lifetime_years`` MTTF — the typical datasheet anchor.
+    """
+
+    current_exponent: float = 2.0
+    activation_energy_ev: float = 0.85
+    reference_current_density: float = 1.0  # normalised J/J0
+    reference_temperature: float = 378.15  # 105 degC
+    reference_lifetime_years: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.current_exponent <= 0.0:
+            raise ConfigurationError("current_exponent must be positive")
+        if self.reference_lifetime_years <= 0.0:
+            raise ConfigurationError("reference_lifetime_years must be positive")
+
+    def mttf(self, current_density: float, temperature: float) -> float:
+        """Mean time to failure in seconds at a (J, T) operating point."""
+        if current_density < 0.0:
+            raise ConfigurationError("current_density must be non-negative")
+        if temperature <= 0.0:
+            raise ConfigurationError("temperature must be positive kelvin")
+        if current_density == 0.0:
+            return float("inf")
+        reference = self.reference_lifetime_years * SECONDS_PER_YEAR
+        j_factor = (current_density / self.reference_current_density) ** (
+            -self.current_exponent
+        )
+        t_factor = np.exp(
+            (self.activation_energy_ev / BOLTZMANN_EV)
+            * (1.0 / temperature - 1.0 / self.reference_temperature)
+        )
+        return float(reference * j_factor * t_factor)
+
+
+class EmWearState:
+    """Accumulated (irreversible) EM damage of one interconnect.
+
+    ``damage`` is the Miner's-rule fraction of life consumed: 1.0 means
+    expected failure.  There is deliberately no ``recover`` method.
+    """
+
+    def __init__(self, model: BlackModel | None = None) -> None:
+        self.model = model or BlackModel()
+        self._damage = 0.0
+
+    @property
+    def damage(self) -> float:
+        """Fraction of EM life consumed (monotonically non-decreasing)."""
+        return self._damage
+
+    @property
+    def failed(self) -> bool:
+        """True once expected life is exhausted."""
+        return self._damage >= 1.0
+
+    def stress(self, duration: float, current_density: float, temperature: float) -> None:
+        """Accumulate damage for ``duration`` seconds at (J, T).
+
+        Power-gated intervals (J = 0) accumulate nothing — the only mercy
+        EM grants; accelerated-recovery *heat* applied while current flows
+        would make things worse, which is why healing schedules gate the
+        rail first.
+        """
+        if duration < 0.0:
+            raise ConfigurationError("duration must be non-negative")
+        mttf = self.model.mttf(current_density, temperature)
+        if np.isfinite(mttf):
+            self._damage += duration / mttf
+
+    def remaining_life(self, current_density: float, temperature: float) -> float:
+        """Seconds of life left if (J, T) were held constant."""
+        mttf = self.model.mttf(current_density, temperature)
+        return float(max(0.0, (1.0 - self._damage)) * mttf)

@@ -1,0 +1,91 @@
+"""Technology parameters for the virtual 40 nm FPGA process.
+
+The paper's chips are commercial 40 nm FPGAs; the constants here are
+representative of that node (nominal 1.2 V core supply, ~0.4 V thresholds)
+and are the single calibration point for the virtual silicon.  The
+experiment layer (:mod:`repro.experiments.calibration`) builds on these
+defaults so every benchmark sees one consistent process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bti.traps import TrapParameters
+from repro.errors import ConfigurationError
+from repro.units import celsius, nanoseconds
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Process constants shared by every device on a chip.
+
+    Delay constants describe one LUT stage of the ring oscillator (paper
+    Fig. 3): the pass-transistor tree, the output buffer and the routing
+    between LUTs, whose sum is the fresh per-stage delay.
+    """
+
+    name: str = "virtual-40nm"
+    vdd_nominal: float = 1.2
+    vth0_pmos: float = 0.42
+    vth0_nmos: float = 0.40
+    # Negative supply the chip tolerates during accelerated recovery before
+    # lateral pn-junction breakdown / GIDL become a concern (paper Sec. 6.1).
+    min_recovery_voltage: float = -0.6
+    # Vendor-recommended operating range; the accelerated tests exceed the
+    # upper limit deliberately (paper Sec. 4.3).
+    recommended_temperature_range: tuple[float, float] = (celsius(-40.0), celsius(85.0))
+    max_accelerated_temperature: float = celsius(125.0)
+    # Fresh per-stage delay contributions (seconds).  Calibrated so a
+    # 75-stage CUT has ~155 ns path delay (fosc ~ 3.2 MHz) and a 24 h
+    # accelerated DC stress shifts it by ~3.5 ns, the range of the paper's
+    # Fig. 8.
+    pass_tree_delay: float = nanoseconds(0.62)
+    buffer_delay: float = nanoseconds(0.52)
+    routing_delay: float = nanoseconds(0.93)
+    # Trap-population statistics per transistor, per polarity.
+    nbti_traps: TrapParameters = field(default_factory=TrapParameters)
+    pbti_traps: TrapParameters = field(
+        default_factory=lambda: TrapParameters(
+            mean_trap_count=56.0, impact_mean_volts=2.56e-3
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.vdd_nominal <= max(self.vth0_pmos, self.vth0_nmos):
+            raise ConfigurationError("vdd_nominal must exceed the threshold voltages")
+        if self.min_recovery_voltage >= 0.0:
+            raise ConfigurationError("min_recovery_voltage must be negative")
+        lo, hi = self.recommended_temperature_range
+        if not lo < hi <= self.max_accelerated_temperature:
+            raise ConfigurationError(
+                "temperature range must be ordered and within the accelerated limit"
+            )
+
+    @property
+    def stage_delay(self) -> float:
+        """Fresh delay of one LUT stage including routing (seconds)."""
+        return self.pass_tree_delay + self.buffer_delay + self.routing_delay
+
+    def overdrive(self, vth0: float) -> float:
+        """Nominal gate overdrive ``Vdd - Vth0`` used by the delay models."""
+        return self.vdd_nominal - vth0
+
+    def check_recovery_voltage(self, voltage: float) -> None:
+        """Raise if a requested sleep supply would break the junctions."""
+        if voltage < self.min_recovery_voltage:
+            raise ConfigurationError(
+                f"recovery voltage {voltage} V is below the breakdown limit "
+                f"{self.min_recovery_voltage} V for {self.name}"
+            )
+
+    def check_temperature(self, temperature: float) -> None:
+        """Raise if a chamber setpoint exceeds the accelerated-test limit."""
+        if temperature > self.max_accelerated_temperature:
+            raise ConfigurationError(
+                f"temperature {temperature} K exceeds the accelerated-test limit "
+                f"{self.max_accelerated_temperature} K for {self.name}"
+            )
+
+
+TECH_40NM = TechnologyParameters()

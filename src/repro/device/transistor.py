@@ -1,0 +1,71 @@
+"""Transistor descriptors used by the LUT and routing netlists.
+
+A :class:`Transistor` is a *static* description — name, polarity, circuit
+role and how strongly its threshold shift moves the stage delay.  The
+dynamic aging state lives in the chip-wide
+:class:`~repro.bti.traps.TrapPopulation`; each transistor is one "owner"
+there, identified by the index the netlist assigns at construction time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.bti.conditions import StressPolarity
+from repro.errors import ConfigurationError
+
+
+class TransistorRole(enum.Enum):
+    """Where a transistor sits in the LUT/routing structure (paper Fig. 2)."""
+
+    PASS_LEVEL1 = "pass-level1"  # input-driven first mux level (In0)
+    PASS_LEVEL2 = "pass-level2"  # second mux level (In1)
+    BUFFER_PULLUP = "buffer-pullup"  # output inverter PMOS
+    BUFFER_PULLDOWN = "buffer-pulldown"  # output inverter NMOS
+    ROUTING = "routing"  # routing-mux pass transistor
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """One aging transistor in the netlist.
+
+    Parameters
+    ----------
+    name:
+        Netlist name (M1..M8 inside a LUT, R1.. in routing).
+    polarity:
+        NBTI for PMOS, PBTI for NMOS.
+    role:
+        Circuit role; decides which delay component the device loads.
+    delay_weight:
+        Fraction of the role's fresh delay component whose sensitivity to
+        ``dVth`` this device carries (paper Eq. 6 applies per device:
+        ``d(td) = delay_weight * td0_component * dVth / (Vdd - Vth0)``).
+    stress_fraction:
+        Scale on the stress overdrive this device sees when the netlist
+        marks it stressed.  1.0 for a full-rail stress; below 1.0 for the
+        buffer pulldown driven by a pass-transistor weak 1 (its gate sits
+        at ``Vdd - Vth_pass``).
+    """
+
+    name: str
+    polarity: StressPolarity
+    role: TransistorRole
+    delay_weight: float = 1.0
+    stress_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delay_weight <= 1.0:
+            raise ConfigurationError(
+                f"delay_weight must be within [0, 1], got {self.delay_weight}"
+            )
+        if not 0.0 < self.stress_fraction <= 1.0:
+            raise ConfigurationError(
+                f"stress_fraction must be within (0, 1], got {self.stress_fraction}"
+            )
+
+    @property
+    def is_pmos(self) -> bool:
+        """True for PMOS (NBTI-prone) devices."""
+        return self.polarity is StressPolarity.NBTI

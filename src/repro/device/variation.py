@@ -1,0 +1,75 @@
+"""Process variation: chip-to-chip and within-die parameter spread.
+
+The paper stresses *different individual chips* for different cases and
+notes their fresh RO frequencies differ, which is why it reports recovered
+delay (RD) rather than absolute frequency.  The virtual chips reproduce
+that: each chip draws a global threshold/delay offset, and every transistor
+adds a local mismatch term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VariationSample:
+    """Concrete variation drawn for one chip.
+
+    ``vth_offset`` shifts every fresh threshold on the chip (volts);
+    ``delay_multiplier`` scales every fresh delay component;
+    ``local_delay_multipliers`` holds the per-stage mismatch factors.
+    """
+
+    vth_offset: float
+    delay_multiplier: float
+    local_delay_multipliers: np.ndarray
+
+
+@dataclass(frozen=True)
+class ProcessVariation:
+    """Statistical description of the process spread.
+
+    Parameters
+    ----------
+    chip_vth_sigma:
+        Standard deviation of the per-chip global threshold offset (volts).
+    chip_delay_sigma:
+        Relative sigma of the per-chip delay multiplier.
+    local_delay_sigma:
+        Relative sigma of per-stage delay mismatch.
+    """
+
+    chip_vth_sigma: float = 0.010
+    chip_delay_sigma: float = 0.02
+    local_delay_sigma: float = 0.03
+
+    def __post_init__(self) -> None:
+        for name in ("chip_vth_sigma", "chip_delay_sigma", "local_delay_sigma"):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def sample(
+        self, n_stages: int, rng: np.random.Generator | int | None = None
+    ) -> VariationSample:
+        """Draw one chip's variation for a design with ``n_stages`` stages."""
+        if n_stages <= 0:
+            raise ConfigurationError(f"n_stages must be positive, got {n_stages}")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        multipliers = rng.normal(1.0, self.local_delay_sigma, size=n_stages)
+        # A mismatch draw far in the left tail would mean a negative delay;
+        # clip to a small positive floor (physically a very fast stage).
+        multipliers = np.clip(multipliers, 0.5, None)
+        return VariationSample(
+            vth_offset=float(rng.normal(0.0, self.chip_vth_sigma)),
+            delay_multiplier=float(max(rng.normal(1.0, self.chip_delay_sigma), 0.5)),
+            local_delay_multipliers=multipliers,
+        )
+
+
+NO_VARIATION = ProcessVariation(0.0, 0.0, 0.0)

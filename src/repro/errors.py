@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model, instrument or schedule was configured with invalid values."""
+
+
+class ScheduleError(ConfigurationError):
+    """A stress/recovery schedule is malformed (overlaps, negative time...)."""
+
+
+class InstrumentError(ReproError):
+    """A virtual lab instrument was driven outside its operating envelope."""
+
+
+class MeasurementError(ReproError):
+    """A measurement could not be taken or produced an out-of-range value."""
+
+
+class CounterOverflowError(MeasurementError):
+    """The ring-oscillator readout counter exceeded its bit width."""
+
+
+class FittingError(ReproError):
+    """Model parameter extraction failed to converge or was ill-posed."""
+
+
+class SimulationError(ReproError):
+    """A simulation reached an inconsistent internal state."""

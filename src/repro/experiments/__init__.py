@@ -1,0 +1,12 @@
+"""Experiment runners — one module per paper table/figure.
+
+Each module exposes a ``run(...)`` function returning a result object with
+the series/rows the paper reports, plus a ``table()`` (or ``tables()``)
+rendering helper used by the benchmark harness.  The registry maps
+experiment ids (``FIG4``, ``TAB4``, ...) to their runners; see DESIGN.md
+for the full index.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, ExperimentDescriptor, get_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentDescriptor", "get_experiment"]

@@ -1,0 +1,78 @@
+"""Shared extraction of recovery curves from the Table-1 campaign.
+
+Figures 6-8 and Tables 4-5 all view the same five recovery cases; this
+module extracts a case once — measured delay-change and recovered-delay
+series, a fitted Eq. (11) model with validation, and the margin-relaxed
+parameter — and the per-figure modules regroup the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.series import Series
+from repro.bti.firstorder import RecoveryParameters
+from repro.core.fitting import FitReport, fit_recovery_parameters
+from repro.core.metrics import margin_relaxed_parameter, recovered_delay
+from repro.core.validation import ValidationReport, validate_model_against_series
+from repro.lab.campaign import CampaignResult
+from repro.units import hours
+
+#: case -> (chip number, sleep temperature degC, sleep voltage V, stress hours)
+RECOVERY_CASES: dict[str, tuple[int, float, float, float]] = {
+    "R20Z6": (2, 20.0, 0.0, 24.0),
+    "AR20N6": (3, 20.0, -0.3, 24.0),
+    "AR110Z6": (4, 110.0, 0.0, 24.0),
+    "AR110N6": (5, 110.0, -0.3, 24.0),
+    "AR110N12": (5, 110.0, -0.3, 48.0),
+}
+
+
+@dataclass(frozen=True)
+class RecoveryCurve:
+    """Everything the recovery figures need about one case."""
+
+    case: str
+    chip_no: int
+    temperature_c: float
+    voltage: float
+    stress_time: float
+    delay_change: Series  # dTd(t2), anchored at end of stress
+    recovered: Series  # RD(t2) = dTd(0) - dTd(t2), paper Eq. (16)
+    model: Series  # fitted Eq. (11) residual curve
+    fit: FitReport[RecoveryParameters]
+    validation: ValidationReport
+    margin_relaxed_percent: float
+
+
+def extract(result: CampaignResult, case: str) -> RecoveryCurve:
+    """Build the :class:`RecoveryCurve` for one Table-1 recovery case."""
+    chip_no, temp_c, voltage, stress_hours = RECOVERY_CASES[case]
+    times, shifts = result.delay_change_series(case, chip_no=chip_no)
+    stress_time = hours(stress_hours)
+    fit = fit_recovery_parameters(
+        stress_time=stress_time,
+        shift_at_stress_end=float(shifts[0]),
+        times=times,
+        shifts=shifts,
+    )
+    predicted = fit.parameters.residual(float(shifts[0]), stress_time, times)
+    label = f"{case} ({temp_c:.0f}C, {voltage:g}V)"
+    return RecoveryCurve(
+        case=case,
+        chip_no=chip_no,
+        temperature_c=temp_c,
+        voltage=voltage,
+        stress_time=stress_time,
+        delay_change=Series(label, times, shifts, units="s"),
+        recovered=Series(f"RD {label}", times, recovered_delay(times, shifts), units="s"),
+        model=Series(f"{label} (model)", times, predicted, units="s"),
+        fit=fit,
+        validation=validate_model_against_series(shifts, predicted),
+        margin_relaxed_percent=margin_relaxed_parameter(times, shifts),
+    )
+
+
+def extract_all(result: CampaignResult) -> dict[str, RecoveryCurve]:
+    """All five recovery curves keyed by case name."""
+    return {case: extract(result, case) for case in RECOVERY_CASES}

@@ -1,0 +1,86 @@
+"""Calibration of the virtual silicon against the paper's measurements.
+
+The trap-ensemble defaults in :class:`repro.bti.traps.TrapParameters` and
+the technology constants in :data:`repro.device.technology.TECH_40NM` were
+calibrated (see DESIGN.md) so the *measured* behaviour of the virtual lab
+— including the readout bursts' fast-recovery measurement artifact that
+real BTI experiments also contain — lands on the paper's reported shapes:
+
+========================  ================  =======================
+quantity                   paper             calibration target
+========================  ================  =======================
+DC degradation, 24 h 110C  ~2.3 %            2.2 - 2.5 %
+AC/DC degradation ratio    "about half"      0.45 - 0.65
+110C vs 100C at 24 h       visible gap       1.15 - 1.30x
+growth 3 h -> 24 h         fast then slower  1.6 - 2.0x
+margin relaxed AR110N6     72.4 %            68 - 78 %
+ordering of recovery       Z20 < N20 <       strict ordering
+                           Z110 < N110
+recovery in t2 = t1/4      "significant"     per-case bands below
+========================  ================  =======================
+
+``PAPER_TARGETS`` makes the bands machine-checkable; the calibration test
+suite and the benchmark assertions both read them from here so there is a
+single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bti.firstorder import (
+    FirstOrderBtiModel,
+    RecoveryParameters,
+    StressParameters,
+)
+
+
+@dataclass(frozen=True)
+class Band:
+    """An acceptance band for a calibrated quantity."""
+
+    low: float
+    high: float
+    paper_value: str
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` falls inside the band (inclusive)."""
+        return self.low <= value <= self.high
+
+
+#: Acceptance bands for the headline measured quantities.
+PAPER_TARGETS: dict[str, Band] = {
+    # Frequency degradation after 24 h accelerated DC stress at 110 degC.
+    "dc_degradation_percent_110": Band(1.9, 2.8, "~2.3 %"),
+    # AC-to-DC degradation ratio at 24 h ("about half").
+    "ac_dc_ratio": Band(0.40, 0.70, "~0.5"),
+    # Degradation ratio 110 degC / 100 degC at 24 h.
+    "temp_ratio_110_over_100": Band(1.10, 1.35, ">1 (Fig. 5 gap)"),
+    # Degradation growth from 3 h to 24 h at 110 degC DC.
+    "growth_24h_over_3h": Band(1.5, 2.2, "fast then slower"),
+    # Margin-relaxed parameter (recovery fraction, %) per Table-1 case.
+    "margin_relaxed_R20Z6": Band(8.0, 28.0, "lowest (passive)"),
+    "margin_relaxed_AR20N6": Band(25.0, 52.0, "negative V helps at 20 C"),
+    "margin_relaxed_AR110Z6": Band(45.0, 68.0, "high T helps at 0 V"),
+    "margin_relaxed_AR110N6": Band(64.0, 84.0, "72.4 %"),
+    # Table 5: AR110N12 within a few points of AR110N6 (alpha invariance).
+    "alpha_invariance_gap_points": Band(0.0, 10.0, "same parameter"),
+}
+
+
+#: Representative first-order parameters for illustration figures (Fig. 1)
+#: — the magnitude of a device-level dVth trace in volts.  Fitted values
+#: for the delay-level model come from :mod:`repro.core.fitting` at run
+#: time; these constants exist so behavioural illustrations do not depend
+#: on a simulation run.
+ILLUSTRATIVE_FIRST_ORDER = FirstOrderBtiModel(
+    stress=StressParameters(prefactor=2.4e-3, offset_a=0.05, rate_c=2.0e-4),
+    recovery=RecoveryParameters(
+        prefactor=1.5e-4, offset_a=0.05, rate_c=2.0e-4, k1=0.9, k2=1.6
+    ),
+)
+
+
+def check_value(name: str, value: float) -> bool:
+    """True when a measured quantity falls in its calibration band."""
+    return PAPER_TARGETS[name].contains(value)

@@ -1,0 +1,93 @@
+"""FIG2 — pass-transistor LUT structure and stress mapping (paper Fig. 2).
+
+The paper's Fig. 2 is structural: the generic PT-based 2-input LUT and
+the observation (via the inverter example) that the stressed transistor
+set is input-dependent but, under DC, constant — Hypothesis 1.  This
+runner enumerates the structure: the transistor inventory, and for every
+input vector of the paper's inverter configuration the stressed set and
+the conducting path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import Table
+from repro.fpga.lut import INVERTER_ON_IN0, PassTransistorLut
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Structure and stress mapping of the inverter-configured LUT."""
+
+    lut: PassTransistorLut
+
+    @property
+    def paper_example_holds(self) -> bool:
+        """The paper's worked example (In1 = 1, config = inverter).
+
+        In0 = 1 stresses the conducting level-1/level-2 passes (our M1,
+        M5); In0 = 0 stresses only the buffer device driven by the weak 1
+        (the paper's "only M7", our M8).  See DESIGN.md for the naming
+        note.
+        """
+        high = self.lut.stressed_fractions(1, 1)
+        low = self.lut.stressed_fractions(0, 1)
+        on_path_high = set(high) & set(self.lut.conducting_path(1, 1))
+        return on_path_high == {"M1", "M5", "M7"} and set(low) == {"M8"}
+
+    @property
+    def hypothesis2_off_path_has_no_delay_weight(self) -> bool:
+        """Recovery of never-conducting devices cannot move the delay."""
+        from repro.device.technology import TECH_40NM
+        from repro.fpga.netlist import InverterChainNetlist
+
+        netlist = InverterChainNetlist(n_stages=3)
+        weights = netlist.delay_weights(TECH_40NM)
+        return all(
+            weights[netlist.owner_index(0, name)] == 0.0
+            for name in ("M3", "M4", "M6")
+        )
+
+    def inventory_table(self) -> Table:
+        """The eight transistors of the LUT."""
+        table = Table(
+            "Fig. 2 — pass-transistor LUT inventory",
+            ["name", "type", "role", "delay share", "stress fraction"],
+            fmt="{:.2f}",
+        )
+        for t in self.lut.transistors:
+            table.add_row(
+                t.name,
+                "PMOS" if t.is_pmos else "NMOS",
+                t.role.value,
+                t.delay_weight,
+                t.stress_fraction,
+            )
+        return table
+
+    def stress_table(self) -> Table:
+        """Stressed set and POI per input vector (inverter config)."""
+        table = Table(
+            "Fig. 2 — stress mapping of the inverter configuration",
+            ["(In0, In1)", "output", "stressed", "conducting path"],
+        )
+        for in1 in (0, 1):
+            for in0 in (0, 1):
+                stressed = self.lut.stressed_fractions(in0, in1)
+                table.add_row(
+                    f"({in0}, {in1})",
+                    self.lut.evaluate(in0, in1),
+                    ", ".join(sorted(stressed)) or "-",
+                    " -> ".join(self.lut.conducting_path(in0, in1)),
+                )
+        return table
+
+    def table(self) -> Table:
+        """Default rendering (the stress mapping)."""
+        return self.stress_table()
+
+
+def run() -> Fig2Result:
+    """Build the Fig. 2 structural result."""
+    return Fig2Result(lut=PassTransistorLut(INVERTER_ON_IN0))

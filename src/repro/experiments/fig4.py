@@ -1,0 +1,53 @@
+"""FIG4 — AC vs DC stress test results (paper Fig. 4).
+
+Frequency degradation over 24 h at 110 degC for the AC-stressed chip 1 and
+the DC-stressed chip 2, and the paper's headline observation that AC lands
+at about half of DC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.experiments import table1
+from repro.experiments.calibration import PAPER_TARGETS
+from repro.units import hours, to_hours
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """The two degradation series and their 24 h ratio."""
+
+    ac: Series
+    dc: Series
+    ac_dc_ratio: float
+
+    @property
+    def in_band(self) -> bool:
+        """True when the ratio lies in the calibration band (~0.5)."""
+        return PAPER_TARGETS["ac_dc_ratio"].contains(self.ac_dc_ratio)
+
+    def table(self) -> Table:
+        """Hour-marked rows of both curves plus the ratio."""
+        table = Table(
+            "Fig. 4 — AC vs DC stress (110 degC, freq. degradation %)",
+            ["time (h)", "AC stress (%)", "DC stress (%)", "AC/DC"],
+        )
+        for mark in (3.0, 6.0, 12.0, 24.0):
+            ac = self.ac.at(hours(mark))
+            dc = self.dc.at(hours(mark))
+            table.add_row(f"{mark:.0f}", ac, dc, ac / dc if dc > 0 else float("nan"))
+        return table
+
+
+def run(seed: int = 0) -> Fig4Result:
+    """Extract the Fig. 4 series from the shared campaign."""
+    result = table1.campaign(seed)
+    t_ac, p_ac = result.degradation_percent_series("AS110AC24", chip_no=1)
+    t_dc, p_dc = result.degradation_percent_series("AS110DC24", chip_no=2)
+    ac = Series("AC stress 110C", t_ac, p_ac, units="%")
+    dc = Series("DC stress 110C", t_dc, p_dc, units="%")
+    ratio = ac.final / dc.final if dc.final > 0 else float("nan")
+    return Fig4Result(ac=ac, dc=dc, ac_dc_ratio=ratio)

@@ -1,0 +1,81 @@
+"""FIG5 — accelerated wearout at 100/110 degC, measurement vs model.
+
+Reproduces the paper's Fig. 5: measured delay-change curves for 24 h DC
+stress at both temperatures with the fitted first-order model (Eq. 10)
+overlaid, and quantified model agreement instead of a visual overlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.bti.firstorder import StressParameters
+from repro.core.fitting import FitReport, fit_stress_parameters
+from repro.core.validation import ValidationReport, validate_model_against_series
+from repro.experiments import table1
+from repro.units import hours
+
+
+@dataclass(frozen=True)
+class WearoutCurve:
+    """One temperature's measured curve, model fit and validation."""
+
+    measured: Series
+    model: Series
+    fit: FitReport[StressParameters]
+    validation: ValidationReport
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Both temperatures of Fig. 5."""
+
+    at_110c: WearoutCurve
+    at_100c: WearoutCurve
+
+    @property
+    def hotter_wears_faster(self) -> bool:
+        """The headline ordering: 110 degC above 100 degC at every mark."""
+        marks = [hours(h) for h in (3.0, 6.0, 12.0, 24.0)]
+        return all(
+            self.at_110c.measured.at(m) > self.at_100c.measured.at(m) for m in marks
+        )
+
+    def table(self) -> Table:
+        """Measured vs model delay change (ns) at the paper's hour marks."""
+        table = Table(
+            "Fig. 5 — accelerated wearout, measured vs model (delay change, ns)",
+            ["time (h)", "110C meas", "110C model", "100C meas", "100C model"],
+        )
+        for mark in (3.0, 6.0, 12.0, 24.0):
+            t = hours(mark)
+            table.add_row(
+                f"{mark:.0f}",
+                self.at_110c.measured.at(t) * 1e9,
+                self.at_110c.model.at(t) * 1e9,
+                self.at_100c.measured.at(t) * 1e9,
+                self.at_100c.model.at(t) * 1e9,
+            )
+        return table
+
+
+def _curve(times, delays, label: str) -> WearoutCurve:
+    measured = Series(label, times, delays, units="s")
+    fit = fit_stress_parameters(times, delays)
+    predicted = fit.parameters.shift(times)
+    model = Series(f"{label} (model)", times, predicted, units="s")
+    validation = validate_model_against_series(delays, predicted)
+    return WearoutCurve(measured=measured, model=model, fit=fit, validation=validation)
+
+
+def run(seed: int = 0) -> Fig5Result:
+    """Fit and validate the Fig. 5 curves from the shared campaign."""
+    result = table1.campaign(seed)
+    t110, d110 = result.delay_change_series("AS110DC24", chip_no=2)
+    t100, d100 = result.delay_change_series("AS100DC24", chip_no=4)
+    return Fig5Result(
+        at_110c=_curve(t110, d110, "110C DC stress"),
+        at_100c=_curve(t100, d100, "100C DC stress"),
+    )

@@ -1,0 +1,64 @@
+"""FIG6 — recovered delay vs time, grouped by temperature (paper Fig. 6).
+
+Panel (a): 20 degC, 0 V vs -0.3 V.  Panel (b): 110 degC, 0 V vs -0.3 V.
+The headline: a negative supply voltage accelerates recovery at *both*
+temperatures — "significantly accelerated even at room temperature".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import Table
+from repro.experiments import table1
+from repro.experiments._recovery import RecoveryCurve, extract
+from repro.units import hours
+
+#: Sample marks the paper annotates (hours into recovery).
+MARKS_HOURS = (0.3, 1.0, 2.0, 4.0, 6.0)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """The four 6 h recovery curves grouped as the paper panels them."""
+
+    panel_20c: tuple[RecoveryCurve, RecoveryCurve]  # (0V, -0.3V)
+    panel_110c: tuple[RecoveryCurve, RecoveryCurve]  # (0V, -0.3V)
+
+    @property
+    def negative_voltage_accelerates_at_20c(self) -> bool:
+        """RD(-0.3 V) above RD(0 V) at every mark, 20 degC panel."""
+        return _dominates(self.panel_20c[1], self.panel_20c[0])
+
+    @property
+    def negative_voltage_accelerates_at_110c(self) -> bool:
+        """RD(-0.3 V) above RD(0 V) at every mark, 110 degC panel."""
+        return _dominates(self.panel_110c[1], self.panel_110c[0])
+
+    def table(self) -> Table:
+        """Recovered delay (ns) at the paper's marks for all four cases."""
+        table = Table(
+            "Fig. 6 — recovered delay (ns) at (a) 20 degC and (b) 110 degC",
+            ["time (h)", "20C 0V", "20C -0.3V", "110C 0V", "110C -0.3V"],
+        )
+        curves = [*self.panel_20c, *self.panel_110c]
+        for mark in MARKS_HOURS:
+            t = hours(mark)
+            table.add_row(f"{mark:g}", *[c.recovered.at(t) * 1e9 for c in curves])
+        return table
+
+
+def _dominates(faster: RecoveryCurve, slower: RecoveryCurve) -> bool:
+    return all(
+        faster.recovered.at(hours(m)) > slower.recovered.at(hours(m))
+        for m in MARKS_HOURS
+    )
+
+
+def run(seed: int = 0) -> Fig6Result:
+    """Extract the Fig. 6 panels from the shared campaign."""
+    result = table1.campaign(seed)
+    return Fig6Result(
+        panel_20c=(extract(result, "R20Z6"), extract(result, "AR20N6")),
+        panel_110c=(extract(result, "AR110Z6"), extract(result, "AR110N6")),
+    )

@@ -1,0 +1,56 @@
+"""FIG7 — recovered delay vs time, grouped by voltage (paper Fig. 7).
+
+The same four curves as Fig. 6 regrouped: panel (a) 0 V (20 vs 110 degC),
+panel (b) -0.3 V (20 vs 110 degC).  The headline: high temperature
+accelerates recovery at both voltages — heat is a healing knob, not only a
+wearout accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import Table
+from repro.experiments import table1
+from repro.experiments._recovery import RecoveryCurve, extract
+from repro.experiments.fig6 import MARKS_HOURS, _dominates
+from repro.units import hours
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """The four 6 h recovery curves grouped by sleep voltage."""
+
+    panel_0v: tuple[RecoveryCurve, RecoveryCurve]  # (20C, 110C)
+    panel_neg: tuple[RecoveryCurve, RecoveryCurve]  # (20C, 110C)
+
+    @property
+    def heat_accelerates_at_0v(self) -> bool:
+        """RD(110 C) above RD(20 C) at every mark, 0 V panel."""
+        return _dominates(self.panel_0v[1], self.panel_0v[0])
+
+    @property
+    def heat_accelerates_at_negative(self) -> bool:
+        """RD(110 C) above RD(20 C) at every mark, -0.3 V panel."""
+        return _dominates(self.panel_neg[1], self.panel_neg[0])
+
+    def table(self) -> Table:
+        """Recovered delay (ns) at the marks, grouped by voltage."""
+        table = Table(
+            "Fig. 7 — recovered delay (ns) under (a) 0 V and (b) -0.3 V",
+            ["time (h)", "0V 20C", "0V 110C", "-0.3V 20C", "-0.3V 110C"],
+        )
+        curves = [*self.panel_0v, *self.panel_neg]
+        for mark in MARKS_HOURS:
+            t = hours(mark)
+            table.add_row(f"{mark:g}", *[c.recovered.at(t) * 1e9 for c in curves])
+        return table
+
+
+def run(seed: int = 0) -> Fig7Result:
+    """Extract the Fig. 7 panels from the shared campaign."""
+    result = table1.campaign(seed)
+    return Fig7Result(
+        panel_0v=(extract(result, "R20Z6"), extract(result, "AR110Z6")),
+        panel_neg=(extract(result, "AR20N6"), extract(result, "AR110N6")),
+    )

@@ -1,0 +1,71 @@
+"""FIG8 — delay change over time during recovery, all four conditions.
+
+The paper's Fig. 8 overlays the measured dTd trajectories of the four
+6 h recovery cases with their model curves; the combined knob case
+(110 degC, -0.3 V) recovers fastest and deepest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import Table
+from repro.experiments import table1
+from repro.experiments._recovery import RecoveryCurve, extract
+from repro.units import hours
+
+#: Panel order: worst to best recovery per the paper's legend.
+CASE_ORDER = ("R20Z6", "AR20N6", "AR110Z6", "AR110N6")
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """All four recovery trajectories with model fits."""
+
+    curves: dict[str, RecoveryCurve]
+
+    @property
+    def combined_knobs_win(self) -> bool:
+        """(110 C, -0.3 V) ends with the lowest residual delay change."""
+        finals = {case: c.delay_change.final for case, c in self.curves.items()}
+        return finals["AR110N6"] == min(finals.values())
+
+    @property
+    def ordering_holds(self) -> bool:
+        """Residuals ordered: R20Z6 > AR20N6 > AR110Z6 > AR110N6 (relative).
+
+        Compared on recovery fraction to remove chip-to-chip differences
+        in the stressed starting level.
+        """
+        fractions = [
+            self.curves[case].margin_relaxed_percent for case in CASE_ORDER
+        ]
+        return all(a < b for a, b in zip(fractions, fractions[1:]))
+
+    @property
+    def models_validate(self) -> bool:
+        """Every fitted model curve passes the NRMSE threshold."""
+        return all(curve.validation.passed for curve in self.curves.values())
+
+    def table(self) -> Table:
+        """dTd (ns) during recovery: measured and model at hour marks."""
+        table = Table(
+            "Fig. 8 — delay change (ns) during 6 h recovery, measured | model",
+            ["time (h)"] + [f"{c}" for c in CASE_ORDER],
+        )
+        for mark in (0.0, 0.3, 1.0, 2.0, 4.0, 6.0):
+            t = hours(mark)
+            cells = []
+            for case in CASE_ORDER:
+                curve = self.curves[case]
+                cells.append(
+                    f"{curve.delay_change.at(t) * 1e9:.2f} | {curve.model.at(t) * 1e9:.2f}"
+                )
+            table.add_row(f"{mark:g}", *cells)
+        return table
+
+
+def run(seed: int = 0) -> Fig8Result:
+    """Extract the Fig. 8 trajectories from the shared campaign."""
+    result = table1.campaign(seed)
+    return Fig8Result(curves={case: extract(result, case) for case in CASE_ORDER})

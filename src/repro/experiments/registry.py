@@ -1,0 +1,162 @@
+"""Registry mapping experiment ids to paper artefacts and runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentDescriptor:
+    """One reproducible paper artefact.
+
+    ``runner`` regenerates the artefact's data; ``bench`` names the
+    pytest-benchmark target that prints it.
+    """
+
+    exp_id: str
+    paper_artifact: str
+    description: str
+    runner: Callable
+    bench: str
+
+
+EXPERIMENTS: dict[str, ExperimentDescriptor] = {
+    d.exp_id: d
+    for d in (
+        ExperimentDescriptor(
+            "FIG1",
+            "Figure 1",
+            "Behavioural illustration of stress and recovery",
+            fig1.run,
+            "benchmarks/bench_fig1_behavioral.py",
+        ),
+        ExperimentDescriptor(
+            "FIG2",
+            "Figure 2",
+            "Pass-transistor LUT structure and its stress mapping",
+            fig2.run,
+            "benchmarks/bench_fig2_lut_structure.py",
+        ),
+        ExperimentDescriptor(
+            "FIG3",
+            "Figure 3",
+            "RO test configuration: 75 LUTs + En NAND + 16-bit counter",
+            fig3.run,
+            "benchmarks/bench_fig3_test_configuration.py",
+        ),
+        ExperimentDescriptor(
+            "TAB1",
+            "Table 1",
+            "Test-case schedule: 5 chips, accelerated stress + recovery",
+            table1.run,
+            "benchmarks/bench_table1_campaign.py",
+        ),
+        ExperimentDescriptor(
+            "FIG4",
+            "Figure 4",
+            "AC vs DC stress: AC degradation about half of DC",
+            fig4.run,
+            "benchmarks/bench_fig4_ac_dc_stress.py",
+        ),
+        ExperimentDescriptor(
+            "FIG5",
+            "Figure 5",
+            "Accelerated wearout at 100/110 degC, measured vs model",
+            fig5.run,
+            "benchmarks/bench_fig5_wearout.py",
+        ),
+        ExperimentDescriptor(
+            "TAB2",
+            "Table 2",
+            "Delay change (%) for different temperature conditions",
+            table2.run,
+            "benchmarks/bench_table2_delay_change.py",
+        ),
+        ExperimentDescriptor(
+            "TAB3",
+            "Table 3",
+            "Extracted first-order model parameters",
+            table3.run,
+            "benchmarks/bench_table3_parameters.py",
+        ),
+        ExperimentDescriptor(
+            "FIG6",
+            "Figure 6",
+            "Recovery at 20/110 degC: negative voltage accelerates",
+            fig6.run,
+            "benchmarks/bench_fig6_recovery_voltage.py",
+        ),
+        ExperimentDescriptor(
+            "FIG7",
+            "Figure 7",
+            "Recovery at 0/-0.3 V: high temperature accelerates",
+            fig7.run,
+            "benchmarks/bench_fig7_recovery_temperature.py",
+        ),
+        ExperimentDescriptor(
+            "FIG8",
+            "Figure 8",
+            "Delay change during recovery, four conditions + model",
+            fig8.run,
+            "benchmarks/bench_fig8_recovery_trajectories.py",
+        ),
+        ExperimentDescriptor(
+            "TAB4",
+            "Table 4",
+            "Design margin relaxed per recovery condition (72.4 % headline)",
+            table4.run,
+            "benchmarks/bench_table4_margin_relaxed.py",
+        ),
+        ExperimentDescriptor(
+            "TAB5",
+            "Table 5",
+            "Active:sleep ratio invariance (alpha = 4)",
+            table5.run,
+            "benchmarks/bench_table5_alpha_ratio.py",
+        ),
+        ExperimentDescriptor(
+            "FIG9",
+            "Figure 9",
+            "Wearout vs accelerated recovery over periodic cycles",
+            fig9.run,
+            "benchmarks/bench_fig9_circadian_cycles.py",
+        ),
+        ExperimentDescriptor(
+            "FIG10",
+            "Figure 10",
+            "Multi-core self-healing: scheduler ladder + on-chip heaters",
+            fig10.run,
+            "benchmarks/bench_fig10_multicore.py",
+        ),
+    )
+}
+
+
+def get_experiment(exp_id: str) -> ExperimentDescriptor:
+    """Look up an experiment by id (e.g. ``"FIG4"``)."""
+    try:
+        return EXPERIMENTS[exp_id.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None

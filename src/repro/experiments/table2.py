@@ -1,0 +1,53 @@
+"""TAB2 — delay change (%) for different temperature conditions.
+
+The paper's Table 2 summarises the Fig. 5 curves at the hour marks; we
+report frequency degradation percent at 3/6/12/24 h for 100 and 110 degC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.experiments import table1
+from repro.units import hours
+
+MARKS_HOURS = (3.0, 6.0, 12.0, 24.0)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Degradation percent per temperature per hour mark."""
+
+    at_110c: Series
+    at_100c: Series
+
+    def values(self) -> dict[str, dict[float, float]]:
+        """{'110C': {3: ..., ...}, '100C': {...}} degradation percents."""
+        return {
+            "110C": {m: self.at_110c.at(hours(m)) for m in MARKS_HOURS},
+            "100C": {m: self.at_100c.at(hours(m)) for m in MARKS_HOURS},
+        }
+
+    def table(self) -> Table:
+        """Render the Table 2 analogue."""
+        table = Table(
+            "Table 2 — delay change (%) vs temperature (DC stress)",
+            ["T (degC)"] + [f"{m:.0f} h" for m in MARKS_HOURS],
+        )
+        values = self.values()
+        for temp in ("110C", "100C"):
+            table.add_row(temp, *[values[temp][m] for m in MARKS_HOURS])
+        return table
+
+
+def run(seed: int = 0) -> Table2Result:
+    """Extract the Table 2 rows from the shared campaign."""
+    result = table1.campaign(seed)
+    t110, p110 = result.degradation_percent_series("AS110DC24", chip_no=2)
+    t100, p100 = result.degradation_percent_series("AS100DC24", chip_no=4)
+    return Table2Result(
+        at_110c=Series("110C DC", t110, p110, units="%"),
+        at_100c=Series("100C DC", t100, p100, units="%"),
+    )

@@ -1,0 +1,33 @@
+"""Virtual 40 nm FPGA substrate: LUTs, routing, ring oscillator, chips.
+
+This package is the stand-in for the paper's commercial FPGA hardware: a
+transistor-level model of the pass-transistor 2-input LUT (paper Fig. 2),
+the routing between LUTs, the 75-stage LUT ring oscillator with its 16-bit
+readout counter (paper Fig. 3), and :class:`FpgaChip`, which ties the
+netlist to the trap-level aging engine and process variation.
+"""
+
+from repro.fpga.chip import FpgaChip
+from repro.fpga.counter import ReadoutCounter
+from repro.fpga.fabric import Fabric, Location
+from repro.fpga.lut import LutConfig, PassTransistorLut, INVERTER_ON_IN0
+from repro.fpga.netlist import InverterChainNetlist
+from repro.fpga.ring_oscillator import RingOscillator, StressMode
+from repro.fpga.routing import RoutingBlock
+from repro.fpga.sensors import OdometerReading, SiliconOdometer
+
+__all__ = [
+    "Fabric",
+    "FpgaChip",
+    "INVERTER_ON_IN0",
+    "InverterChainNetlist",
+    "Location",
+    "LutConfig",
+    "PassTransistorLut",
+    "ReadoutCounter",
+    "RingOscillator",
+    "RoutingBlock",
+    "OdometerReading",
+    "SiliconOdometer",
+    "StressMode",
+]

@@ -1,0 +1,261 @@
+"""A virtual 40 nm FPGA chip: netlist + process variation + trap aging.
+
+:class:`FpgaChip` is the library's replacement for the paper's physical
+devices.  It carries one :class:`~repro.bti.traps.TrapPopulation` per BTI
+polarity (NBTI for the PMOS devices, PBTI for the NMOS pass/pulldown
+devices), wired to the inverter-chain netlist, and exposes the observables
+the paper measures: CUT path delay and ring-oscillator frequency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bti.traps import TrapPopulation
+from repro.device.delay import AlphaPowerDelayModel, FirstOrderDelayShift, GateDelayModel
+from repro.device.technology import TechnologyParameters, TECH_40NM
+from repro.device.variation import ProcessVariation, VariationSample
+from repro.errors import ConfigurationError
+from repro.fpga.fabric import Fabric, Location
+from repro.fpga.netlist import InverterChainNetlist
+from repro.fpga.ring_oscillator import StressMode
+
+
+class FpgaChip:
+    """One virtual chip under test.
+
+    Parameters
+    ----------
+    chip_id:
+        Label used in campaign data logs ("chip-1" .. "chip-5").
+    n_stages:
+        Ring-oscillator length (paper: 75 LUT inverters).
+    tech:
+        Process constants.
+    variation:
+        Statistical process spread; each chip samples its own instance so
+        fresh frequencies differ chip to chip, as the paper observes.
+    fabric / location:
+        Optional placement of the CUT on the fabric; adds the systematic
+        delay gradient of the location.
+    delay_model:
+        "first-order" for the paper's Eq. (6) linearisation (default) or
+        "alpha-power" for the ablation model.
+    seed:
+        Seeds both the variation draw and the trap populations, making a
+        chip fully reproducible.
+    """
+
+    def __init__(
+        self,
+        chip_id: str = "chip-1",
+        n_stages: int = 75,
+        tech: TechnologyParameters = TECH_40NM,
+        variation: ProcessVariation | None = None,
+        fabric: Fabric | None = None,
+        location: Location | None = None,
+        delay_model: str = "first-order",
+        enable_gated: bool = False,
+        seed: int | None = None,
+    ) -> None:
+        self.chip_id = chip_id
+        self.tech = tech
+        self.netlist = InverterChainNetlist(n_stages=n_stages, enable_gated=enable_gated)
+        rng = np.random.default_rng(seed)
+        variation = variation if variation is not None else ProcessVariation()
+        self.variation_sample: VariationSample = variation.sample(n_stages, rng=rng)
+
+        systematic = 1.0
+        if fabric is not None:
+            location = location if location is not None else fabric.center
+            systematic = fabric.systematic_multiplier(location)
+        elif location is not None:
+            raise ConfigurationError("a location requires a fabric")
+        self.fabric = fabric
+        self.location = location
+
+        stage_multiplier = (
+            self.variation_sample.local_delay_multipliers
+            * self.variation_sample.delay_multiplier
+            * systematic
+        )
+        self._owner_multiplier = stage_multiplier[self.netlist.owner_stage]
+        self._weights = self.netlist.delay_weights(tech) * self._owner_multiplier
+        self.fresh_path_delay = float(tech.stage_delay * stage_multiplier.sum())
+
+        vth_offset = self.variation_sample.vth_offset
+        self._vth0_pmos = tech.vth0_pmos + vth_offset
+        self._vth0_nmos = tech.vth0_nmos + vth_offset
+        if delay_model == "first-order":
+            self._pmos_delay: GateDelayModel = FirstOrderDelayShift(
+                tech.vdd_nominal, self._vth0_pmos
+            )
+            self._nmos_delay: GateDelayModel = FirstOrderDelayShift(
+                tech.vdd_nominal, self._vth0_nmos
+            )
+        elif delay_model == "alpha-power":
+            self._pmos_delay = AlphaPowerDelayModel(tech.vdd_nominal, self._vth0_pmos)
+            self._nmos_delay = AlphaPowerDelayModel(tech.vdd_nominal, self._vth0_nmos)
+        else:
+            raise ConfigurationError(
+                f"delay_model must be 'first-order' or 'alpha-power', got {delay_model!r}"
+            )
+
+        is_pmos = self.netlist.owner_is_pmos
+        self._pmos_owners = np.flatnonzero(is_pmos)
+        self._nmos_owners = np.flatnonzero(~is_pmos)
+        pop_rng_p, pop_rng_n = rng.spawn(2)
+        self._pmos_population = TrapPopulation(
+            tech.nbti_traps, n_owners=self._pmos_owners.size, rng=pop_rng_p
+        )
+        self._nmos_population = TrapPopulation(
+            tech.pbti_traps, n_owners=self._nmos_owners.size, rng=pop_rng_n
+        )
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------ #
+    # observables
+    # ------------------------------------------------------------------ #
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds the chip has lived through."""
+        return self._elapsed
+
+    @property
+    def n_owners(self) -> int:
+        """Total number of aging transistors on the CUT."""
+        return self.netlist.n_owners
+
+    def delta_vth(self) -> np.ndarray:
+        """Per-owner expected threshold shift (volts), global owner order."""
+        shifts = np.zeros(self.n_owners)
+        shifts[self._pmos_owners] = self._pmos_population.delta_vth()
+        shifts[self._nmos_owners] = self._nmos_population.delta_vth()
+        return shifts
+
+    def path_delay(self) -> float:
+        """Current CUT delay in seconds (half the oscillation period)."""
+        shifts = self.delta_vth()
+        pmos_shift = np.sum(
+            self._pmos_delay.delay_shift(
+                self._weights[self._pmos_owners], shifts[self._pmos_owners]
+            )
+        )
+        nmos_shift = np.sum(
+            self._nmos_delay.delay_shift(
+                self._weights[self._nmos_owners], shifts[self._nmos_owners]
+            )
+        )
+        return self.fresh_path_delay + float(pmos_shift) + float(nmos_shift)
+
+    def delta_path_delay(self) -> float:
+        """Delay increase versus the fresh chip (paper's dTd)."""
+        return self.path_delay() - self.fresh_path_delay
+
+    def oscillation_frequency(self) -> float:
+        """Ring-oscillator frequency ``1 / (2 * path_delay)`` in Hz."""
+        return 1.0 / (2.0 * self.path_delay())
+
+    # ------------------------------------------------------------------ #
+    # bias application
+    # ------------------------------------------------------------------ #
+
+    def _evolve(
+        self,
+        duration: float,
+        stress_voltage: np.ndarray,
+        temperature: float,
+        duty: float = 1.0,
+        relax_voltage: np.ndarray | None = None,
+    ) -> None:
+        relax = relax_voltage if relax_voltage is not None else np.zeros(self.n_owners)
+        self._pmos_population.evolve(
+            duration,
+            stress_voltage[self._pmos_owners],
+            temperature,
+            duty=duty,
+            relax_voltage=relax[self._pmos_owners],
+        )
+        self._nmos_population.evolve(
+            duration,
+            stress_voltage[self._nmos_owners],
+            temperature,
+            duty=duty,
+            relax_voltage=relax[self._nmos_owners],
+        )
+        self._elapsed += duration
+
+    def apply_stress(
+        self,
+        duration: float,
+        temperature: float,
+        supply_voltage: float | None = None,
+        mode: StressMode = StressMode.DC,
+        chain_input: int = 1,
+    ) -> None:
+        """Stress the CUT for ``duration`` seconds.
+
+        DC mode freezes the ring at ``chain_input``; AC mode lets it
+        oscillate (50 % duty between the two complementary static
+        patterns).  ``supply_voltage`` defaults to the nominal rail.
+        """
+        supply = supply_voltage if supply_voltage is not None else self.tech.vdd_nominal
+        if supply <= 0.0:
+            raise ConfigurationError("stress requires a positive supply; use apply_recovery")
+        self.tech.check_temperature(temperature)
+        if mode is StressMode.DC:
+            fractions = self.netlist.dc_stress_fractions(chain_input)
+            self._evolve(duration, fractions * supply, temperature)
+        elif mode is StressMode.AC:
+            pattern_a, pattern_b = self.netlist.ac_stress_fractions()
+            self._evolve(
+                duration,
+                pattern_a * supply,
+                temperature,
+                duty=0.5,
+                relax_voltage=pattern_b * supply,
+            )
+        else:
+            raise ConfigurationError(f"unknown stress mode {mode!r}")
+
+    def apply_recovery(
+        self, duration: float, temperature: float, supply_voltage: float = 0.0
+    ) -> None:
+        """Let the CUT recover for ``duration`` seconds.
+
+        ``supply_voltage`` of 0 is passive recovery (power gated); a
+        negative value is the paper's accelerated recovery.  Every device
+        sees the recovery bias uniformly.
+        """
+        if supply_voltage > 0.0:
+            raise ConfigurationError("recovery needs a non-positive supply voltage")
+        self.tech.check_recovery_voltage(supply_voltage)
+        self.tech.check_temperature(temperature)
+        voltage = np.full(self.n_owners, supply_voltage)
+        self._evolve(duration, voltage, temperature)
+
+    # ------------------------------------------------------------------ #
+    # state management
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> tuple:
+        """Capture aging state for later :meth:`restore` (what-if runs)."""
+        return (
+            self._pmos_population.snapshot(),
+            self._nmos_population.snapshot(),
+            self._elapsed,
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Restore a snapshot taken on this chip."""
+        pmos, nmos, elapsed = state
+        self._pmos_population.restore(pmos)
+        self._nmos_population.restore(nmos)
+        self._elapsed = elapsed
+
+    def reset(self) -> None:
+        """Return the chip to the fresh, unaged state."""
+        self._pmos_population.reset()
+        self._nmos_population.reset()
+        self._elapsed = 0.0

@@ -1,0 +1,84 @@
+"""16-bit readout counter for the ring oscillator (paper Fig. 3, Eq. 14).
+
+The counter counts oscillator edges over one half-period of the reference
+clock ``fref``; the paper's relation ``fosc = 2 * Cout * fref`` inverts the
+readout.  The physical counter quantises and carries a small repeatability
+error — the paper quotes counter variation "within +/-5" counts at
+``fref = 500 Hz`` — which we reproduce so measured curves carry realistic
+noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, CounterOverflowError
+
+
+class ReadoutCounter:
+    """Counts oscillator cycles against a reference clock.
+
+    Parameters
+    ----------
+    fref:
+        Reference clock frequency in Hz (paper uses 500 Hz).
+    bits:
+        Counter width; the paper's design uses 16 bits.
+    noise_counts:
+        Half-width of the uniform readout repeatability error in LSBs.
+    """
+
+    def __init__(self, fref: float = 500.0, bits: int = 16, noise_counts: int = 5) -> None:
+        if fref <= 0.0:
+            raise ConfigurationError(f"fref must be positive, got {fref}")
+        if bits <= 0:
+            raise ConfigurationError(f"bits must be positive, got {bits}")
+        if noise_counts < 0:
+            raise ConfigurationError(f"noise_counts must be non-negative, got {noise_counts}")
+        self.fref = fref
+        self.bits = bits
+        self.noise_counts = noise_counts
+
+    @property
+    def max_count(self) -> int:
+        """Largest representable count."""
+        return (1 << self.bits) - 1
+
+    def ideal_count(self, fosc: float) -> int:
+        """Noise-free count for an oscillator frequency (paper Eq. 14 inverted)."""
+        if fosc <= 0.0:
+            raise ConfigurationError(f"fosc must be positive, got {fosc}")
+        return int(round(fosc / (2.0 * self.fref)))
+
+    def read(self, fosc: float, rng: np.random.Generator | int | None = None) -> int:
+        """One noisy counter readout for oscillator frequency ``fosc``.
+
+        Raises :class:`CounterOverflowError` if the count would exceed the
+        counter width — on hardware that readout would silently wrap, so
+        the virtual instrument refuses instead.
+        """
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        count = self.ideal_count(fosc)
+        if self.noise_counts > 0:
+            count += int(rng.integers(-self.noise_counts, self.noise_counts + 1))
+        if count < 0:
+            count = 0
+        if count > self.max_count:
+            raise CounterOverflowError(
+                f"count {count} exceeds the {self.bits}-bit counter range; "
+                f"raise fref above {self.fref} Hz"
+            )
+        return count
+
+    def frequency(self, count: int) -> float:
+        """Oscillator frequency implied by a count (paper Eq. 14)."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        return 2.0 * count * self.fref
+
+    def delay(self, count: int) -> float:
+        """CUT delay implied by a count (paper Eq. 15): ``1/(4*Cout*fref)``."""
+        if count <= 0:
+            raise ConfigurationError("count must be positive to imply a finite delay")
+        return 1.0 / (4.0 * count * self.fref)

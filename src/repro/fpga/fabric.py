@@ -1,0 +1,82 @@
+"""FPGA fabric: a grid of LUT sites with systematic spatial variation.
+
+The paper places the CUT "at different locations on the FPGA" and runs a
+diagnostic program per location.  The fabric models the spatial dimension:
+a rows x columns grid of LUT sites whose delays carry a smooth systematic
+process gradient, so placements at different locations measure slightly
+different fresh frequencies — exactly why the paper normalises per chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Location:
+    """A LUT-site coordinate on the fabric."""
+
+    row: int
+    col: int
+
+
+class Fabric:
+    """Grid of LUT sites with a systematic delay gradient.
+
+    Parameters
+    ----------
+    rows / cols:
+        Fabric dimensions in LUT sites.
+    gradient:
+        Peak-to-centre relative delay excursion of the systematic surface
+        (a bowl shape — dies are typically slower toward the edges).
+    """
+
+    def __init__(self, rows: int = 32, cols: int = 32, gradient: float = 0.015) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError("fabric dimensions must be positive")
+        if gradient < 0.0:
+            raise ConfigurationError(f"gradient must be non-negative, got {gradient}")
+        self.rows = rows
+        self.cols = cols
+        self.gradient = gradient
+
+    @property
+    def center(self) -> Location:
+        """The centre site of the fabric."""
+        return Location(self.rows // 2, self.cols // 2)
+
+    def contains(self, location: Location) -> bool:
+        """True if ``location`` is a valid site."""
+        return 0 <= location.row < self.rows and 0 <= location.col < self.cols
+
+    def systematic_multiplier(self, location: Location) -> float:
+        """Delay multiplier of the systematic surface at ``location``.
+
+        1.0 at the die centre, rising quadratically toward the corners up
+        to ``1 + gradient``.
+        """
+        if not self.contains(location):
+            raise ConfigurationError(
+                f"location {location} outside the {self.rows}x{self.cols} fabric"
+            )
+        # Normalised offsets in [-1, 1] relative to the die centre.
+        dr = (location.row - (self.rows - 1) / 2.0) / max((self.rows - 1) / 2.0, 1.0)
+        dc = (location.col - (self.cols - 1) / 2.0) / max((self.cols - 1) / 2.0, 1.0)
+        radial = 0.5 * (dr * dr + dc * dc)
+        return 1.0 + self.gradient * radial
+
+    def placement_sites(self, n_sites: int, rng: np.random.Generator | int | None = None) -> list[Location]:
+        """Sample distinct candidate placements for a diagnostic sweep."""
+        if n_sites <= 0 or n_sites > self.rows * self.cols:
+            raise ConfigurationError(
+                f"n_sites must be in 1..{self.rows * self.cols}, got {n_sites}"
+            )
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        flat = rng.choice(self.rows * self.cols, size=n_sites, replace=False)
+        return [Location(int(i) // self.cols, int(i) % self.cols) for i in flat]

@@ -1,0 +1,174 @@
+"""Pass-transistor 2-input LUT model (paper Fig. 2).
+
+Netlist
+-------
+
+The paper notes the exact gate-level netlists of commercial FPGAs are
+unavailable, so we use an explicit generic pass-transistor mux tree whose
+behaviour satisfies the paper's two hypotheses by construction:
+
+* level 1 — four NMOS pass transistors select a configuration bit by
+  ``In0``:  M1 (branch In1=1, gate In0), M2 (branch In1=1, gate ~In0),
+  M3 (branch In1=0, gate In0), M4 (branch In1=0, gate ~In0);
+* level 2 — two NMOS pass transistors select the branch by ``In1``:
+  M5 (gate In1), M6 (gate ~In1);
+* output buffer — inverter-style level restorer: PMOS M7, NMOS M8.
+
+Config bits are indexed ``bits[2*in1 + in0]`` and the LUT output is the
+buffered (non-inverting) tree value.
+
+Stress rules (data-dependent, the physical reason behind the paper's
+Hypothesis 1):
+
+* an NMOS pass transistor is PBTI-stressed iff its gate is high **and**
+  it carries a logic 0 (gate high over a weak 1 leaves ``Vgs ~ Vth``);
+* the buffer PMOS M7 is NBTI-stressed iff the tree output is 0;
+* the buffer NMOS M8 is PBTI-stressed iff the tree output is a (weak) 1 —
+  at reduced overdrive because pass transistors only pull to
+  ``Vdd - Vth``.
+
+For the paper's inverter example (bits 1010 in our indexing, ``In1 = 1``,
+``In0 = 1``) the stressed devices *on the conducting path* are M1, M5 plus
+the buffer — matching the paper's {M1, M5} up to the buffer bookkeeping
+(see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bti.conditions import StressPolarity
+from repro.device.transistor import Transistor, TransistorRole
+from repro.errors import ConfigurationError
+
+# Gate of the buffer NMOS sees a pass-transistor weak 1 (Vdd - Vth_pass),
+# i.e. roughly this fraction of a full-rail stress.
+_WEAK_ONE_STRESS_FRACTION = 0.67
+
+
+@dataclass(frozen=True)
+class LutConfig:
+    """The four configuration bits of a 2-input LUT.
+
+    ``bits[2*in1 + in0]`` is the LUT output for inputs ``(in1, in0)``.
+    """
+
+    bits: tuple[int, int, int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.bits) != 4 or any(b not in (0, 1) for b in self.bits):
+            raise ConfigurationError(f"bits must be four 0/1 values, got {self.bits}")
+
+    def evaluate(self, in0: int, in1: int) -> int:
+        """Logic value of the LUT for the given inputs."""
+        _check_bit("in0", in0)
+        _check_bit("in1", in1)
+        return self.bits[2 * in1 + in0]
+
+
+#: Inverter on In0 (output = NOT In0, independent of In1) — the paper's
+#: ring-oscillator stage function.
+INVERTER_ON_IN0 = LutConfig((1, 0, 1, 0))
+
+#: Buffer on In0, used by tests as a contrast case.
+BUFFER_ON_IN0 = LutConfig((0, 1, 0, 1))
+
+
+def _check_bit(name: str, value: int) -> None:
+    if value not in (0, 1):
+        raise ConfigurationError(f"{name} must be 0 or 1, got {value}")
+
+
+class PassTransistorLut:
+    """One configured 2-input LUT with its eight aging transistors."""
+
+    #: Share of the pass-tree delay attributed to each mux level.
+    LEVEL_SHARE = 0.5
+    #: Share of the buffer delay attributed to each buffer transistor
+    #: (rising edges exercise the PMOS, falling edges the NMOS).
+    BUFFER_SHARE = 0.5
+
+    def __init__(self, config: LutConfig) -> None:
+        self.config = config
+        self.transistors: tuple[Transistor, ...] = (
+            Transistor("M1", StressPolarity.PBTI, TransistorRole.PASS_LEVEL1, self.LEVEL_SHARE),
+            Transistor("M2", StressPolarity.PBTI, TransistorRole.PASS_LEVEL1, self.LEVEL_SHARE),
+            Transistor("M3", StressPolarity.PBTI, TransistorRole.PASS_LEVEL1, self.LEVEL_SHARE),
+            Transistor("M4", StressPolarity.PBTI, TransistorRole.PASS_LEVEL1, self.LEVEL_SHARE),
+            Transistor("M5", StressPolarity.PBTI, TransistorRole.PASS_LEVEL2, self.LEVEL_SHARE),
+            Transistor("M6", StressPolarity.PBTI, TransistorRole.PASS_LEVEL2, self.LEVEL_SHARE),
+            Transistor("M7", StressPolarity.NBTI, TransistorRole.BUFFER_PULLUP, self.BUFFER_SHARE),
+            Transistor(
+                "M8",
+                StressPolarity.PBTI,
+                TransistorRole.BUFFER_PULLDOWN,
+                self.BUFFER_SHARE,
+                stress_fraction=_WEAK_ONE_STRESS_FRACTION,
+            ),
+        )
+        self._index = {t.name: i for i, t in enumerate(self.transistors)}
+
+    def evaluate(self, in0: int, in1: int) -> int:
+        """LUT output for the given inputs."""
+        return self.config.evaluate(in0, in1)
+
+    def stressed_fractions(self, in0: int, in1: int) -> dict[str, float]:
+        """Per-transistor stress fraction under a static (DC) input.
+
+        Returns a mapping from transistor name to the fraction of the full
+        rail stress it sees; absent names are unstressed.  This covers
+        *all* physically stressed devices, including those off the
+        conducting path (e.g. M3 when ``In0 = 1``) — the paper's POI view
+        is :meth:`conducting_path`.
+        """
+        _check_bit("in0", in0)
+        _check_bit("in1", in1)
+        bits = self.config.bits
+        branch1 = bits[2 + in0]  # value presented by the In1=1 branch
+        branch0 = bits[in0]  # value presented by the In1=0 branch
+        tree_out = bits[2 * in1 + in0]
+        stressed: dict[str, float] = {}
+        if in0 == 1 and bits[3] == 0:
+            stressed["M1"] = 1.0
+        if in0 == 0 and bits[2] == 0:
+            stressed["M2"] = 1.0
+        if in0 == 1 and bits[1] == 0:
+            stressed["M3"] = 1.0
+        if in0 == 0 and bits[0] == 0:
+            stressed["M4"] = 1.0
+        if in1 == 1 and branch1 == 0:
+            stressed["M5"] = 1.0
+        if in1 == 0 and branch0 == 0:
+            stressed["M6"] = 1.0
+        if tree_out == 0:
+            stressed["M7"] = 1.0
+        else:
+            stressed["M8"] = self.transistor("M8").stress_fraction
+        return stressed
+
+    def conducting_path(self, in0: int, in1: int) -> tuple[str, ...]:
+        """Names of the transistors on the POI for the given inputs.
+
+        The conducting (delay-relevant) path is: the selected level-1 pass
+        transistor, the selected level-2 pass transistor, and both buffer
+        devices (each edge polarity exercises one of them).
+        """
+        _check_bit("in0", in0)
+        _check_bit("in1", in1)
+        level1 = {(1, 1): "M1", (0, 1): "M2", (1, 0): "M3", (0, 0): "M4"}[(in0, in1)]
+        level2 = "M5" if in1 == 1 else "M6"
+        return (level1, level2, "M7", "M8")
+
+    def transistor(self, name: str) -> Transistor:
+        """Look up a transistor descriptor by netlist name."""
+        try:
+            return self.transistors[self._index[name]]
+        except KeyError:
+            raise ConfigurationError(f"no transistor named {name!r} in the LUT") from None
+
+    def transistor_index(self, name: str) -> int:
+        """Position of a transistor in :attr:`transistors`."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ConfigurationError(f"no transistor named {name!r} in the LUT") from None

@@ -1,0 +1,221 @@
+"""Mapped ring-oscillator netlist: 75 LUT inverters plus routing.
+
+The netlist is pure structure — which transistors exist, how they sit on
+the path of interest (POI), and which of them a given static or toggling
+pattern stresses.  Process variation and aging state are applied by
+:class:`repro.fpga.chip.FpgaChip` on top.
+
+Owner indexing
+--------------
+
+Every aging transistor of the chain is an "owner" for the trap populations.
+Owners are numbered stage-major: stage 0's LUT transistors (M1..M8), stage
+0's routing switches (R1..), then stage 1, and so on.  All per-owner arrays
+produced here follow that order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.technology import TechnologyParameters, TECH_40NM
+from repro.device.transistor import TransistorRole
+from repro.errors import ConfigurationError
+from repro.fpga.lut import INVERTER_ON_IN0, LutConfig, PassTransistorLut
+from repro.fpga.routing import RoutingBlock
+
+#: NAND configuration: ``out = NOT(In0 AND In1)`` — the paper's Fig. 3
+#: enable stage.  With ``In1 = En = 1`` it inverts In0 (the ring runs);
+#: with ``En = 0`` its output is forced to 1 (the ring freezes).
+NAND_CONFIG = LutConfig((1, 1, 1, 0))
+
+#: Probability that a transistor sits on the conducting path while the
+#: oscillator toggles (inputs In0 = 0 and 1 visited equally, In1 fixed 1).
+_POI_MEMBERSHIP = {
+    "M1": 0.5,
+    "M2": 0.5,
+    "M3": 0.0,
+    "M4": 0.0,
+    "M5": 1.0,
+    "M6": 0.0,
+    "M7": 1.0,
+    "M8": 1.0,
+}
+
+
+class InverterChainNetlist:
+    """A chain of ``n_stages`` LUT inverters closed into a ring oscillator.
+
+    Each stage is one :class:`PassTransistorLut` configured as an inverter
+    on ``In0`` (``In1`` tied high, as in the paper's example) followed by a
+    :class:`RoutingBlock` to the next stage.
+    """
+
+    def __init__(
+        self,
+        n_stages: int = 75,
+        routing_switches: int = 2,
+        config: LutConfig = INVERTER_ON_IN0,
+        enable_gated: bool = False,
+    ) -> None:
+        if n_stages < 3 or n_stages % 2 == 0:
+            raise ConfigurationError(
+                f"a ring oscillator needs an odd stage count >= 3, got {n_stages}"
+            )
+        self.n_stages = n_stages
+        self.lut = PassTransistorLut(config)
+        # With enable gating, stage 0 is a NAND whose In1 is the enable:
+        # En = 1 leaves it an inverter (ring runs), En = 0 forces its
+        # output high (ring freezes with a defined pattern) — Fig. 3's En.
+        self.enable_gated = enable_gated
+        self._enable_lut = PassTransistorLut(NAND_CONFIG) if enable_gated else self.lut
+        self.routing = RoutingBlock(routing_switches)
+        self._stage_transistors = tuple(self.lut.transistors) + tuple(
+            self.routing.transistors
+        )
+        per_stage = len(self._stage_transistors)
+        self.owners_per_stage = per_stage
+        self.n_owners = n_stages * per_stage
+
+        names: list[str] = []
+        stages = np.empty(self.n_owners, dtype=int)
+        is_pmos = np.empty(self.n_owners, dtype=bool)
+        stress_fraction = np.empty(self.n_owners)
+        for stage in range(n_stages):
+            for local, tr in enumerate(self._stage_transistors):
+                idx = stage * per_stage + local
+                names.append(f"S{stage}.{tr.name}")
+                stages[idx] = stage
+                is_pmos[idx] = tr.is_pmos
+                stress_fraction[idx] = tr.stress_fraction
+        self.owner_names: tuple[str, ...] = tuple(names)
+        self.owner_stage = stages
+        self.owner_is_pmos = is_pmos
+        self.owner_stress_fraction = stress_fraction
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+
+    def owner_index(self, stage: int, name: str) -> int:
+        """Global owner index of transistor ``name`` in ``stage``."""
+        if not 0 <= stage < self.n_stages:
+            raise ConfigurationError(f"stage {stage} outside 0..{self.n_stages - 1}")
+        for local, tr in enumerate(self._stage_transistors):
+            if tr.name == name:
+                return stage * self.owners_per_stage + local
+        raise ConfigurationError(f"no transistor named {name!r} in a stage")
+
+    def delay_weights(self, tech: TechnologyParameters) -> np.ndarray:
+        """Per-owner delay sensitivity weight in seconds.
+
+        ``weights[i]`` is the share of the fresh stage delay whose
+        ``dVth``-sensitivity owner ``i`` carries while the oscillator is
+        being measured: component fresh delay x within-component share x
+        POI-membership probability (paper Eq. 7 with Ns realised per
+        device).  Off-POI devices get zero weight — aging them never moves
+        the measured frequency (paper Hypothesis 2's corollary).
+        """
+        component_delay = {
+            TransistorRole.PASS_LEVEL1: tech.pass_tree_delay,
+            TransistorRole.PASS_LEVEL2: tech.pass_tree_delay,
+            TransistorRole.BUFFER_PULLUP: tech.buffer_delay,
+            TransistorRole.BUFFER_PULLDOWN: tech.buffer_delay,
+            TransistorRole.ROUTING: tech.routing_delay,
+        }
+        per_stage = np.array(
+            [
+                component_delay[tr.role]
+                * tr.delay_weight
+                * _POI_MEMBERSHIP.get(tr.name, 1.0)
+                for tr in self._stage_transistors
+            ]
+        )
+        return np.tile(per_stage, self.n_stages)
+
+    # ------------------------------------------------------------------ #
+    # stress patterns
+    # ------------------------------------------------------------------ #
+
+    def node_values(self, chain_input: int) -> np.ndarray:
+        """Static logic value at each stage input when the ring is frozen.
+
+        For a plain chain, ``chain_input`` is the value forced at stage
+        0's input; inverters alternate it down the chain.  For an
+        enable-gated chain the frozen pattern is fixed by the NAND stage
+        (``En = 0`` forces stage 0's output high) and ``chain_input`` is
+        ignored — as on hardware, where freezing the ring leaves exactly
+        one consistent pattern.
+        """
+        if chain_input not in (0, 1):
+            raise ConfigurationError(f"chain_input must be 0 or 1, got {chain_input}")
+        values = np.empty(self.n_stages, dtype=int)
+        if self.enable_gated:
+            # Stage 0 (NAND, En = 0) outputs 1 whatever its In0; the odd
+            # chain feeds a consistent 1 back to its input.
+            values[0] = 1
+            value = 1  # stage 1 sees stage 0's forced-high output
+            for stage in range(1, self.n_stages):
+                values[stage] = value
+                value = 1 - value
+            return values
+        value = chain_input
+        for stage in range(self.n_stages):
+            values[stage] = value
+            value = 1 - value
+        return values
+
+    def _stage_stressed(self, stage: int, in0: int, enable: int) -> dict[str, float]:
+        """Stressed fractions of one stage's LUT for given inputs."""
+        if stage == 0 and self.enable_gated:
+            return self._enable_lut.stressed_fractions(in0, enable)
+        return self.lut.stressed_fractions(in0, 1)
+
+    def _stage_output(self, stage: int, in0: int, enable: int) -> int:
+        """Logic output of one stage for given inputs."""
+        if stage == 0 and self.enable_gated:
+            return self._enable_lut.evaluate(in0, enable)
+        return self.lut.evaluate(in0, 1)
+
+    def dc_stress_fractions(self, chain_input: int = 1) -> np.ndarray:
+        """Per-owner stress fraction for the frozen (DC) chain.
+
+        0.0 means unstressed; otherwise the fraction of the full-rail
+        overdrive the device sees.  Under DC the set is constant once the
+        inputs are fixed — the paper's Hypothesis 1.  Enable-gated chains
+        freeze with ``En = 0``.
+        """
+        fractions = np.zeros(self.n_owners)
+        inputs = self.node_values(chain_input)
+        enable = 0  # frozen ring: En held low (only used when gated)
+        for stage in range(self.n_stages):
+            in0 = int(inputs[stage])
+            out = self._stage_output(stage, in0, enable)
+            for name, fraction in self._stage_stressed(stage, in0, enable).items():
+                fractions[self.owner_index(stage, name)] = fraction
+            for name, fraction in self.routing.stressed_fractions(out).items():
+                fractions[self.owner_index(stage, name)] = fraction
+        return fractions
+
+    def _running_pattern(self, phase_input: int) -> np.ndarray:
+        """One oscillation half-cycle's stress pattern (En = 1)."""
+        fractions = np.zeros(self.n_owners)
+        value = phase_input
+        for stage in range(self.n_stages):
+            in0 = value
+            out = self._stage_output(stage, in0, 1)
+            for name, fraction in self._stage_stressed(stage, in0, 1).items():
+                fractions[self.owner_index(stage, name)] = fraction
+            for name, fraction in self.routing.stressed_fractions(out).items():
+                fractions[self.owner_index(stage, name)] = fraction
+            value = out
+        return fractions
+
+    def ac_stress_fractions(self) -> tuple[np.ndarray, np.ndarray]:
+        """The two complementary half-cycle stress patterns under AC.
+
+        A free-running ring alternates between the two static patterns; a
+        50 % duty cycle between them models the oscillation (the toggling
+        period, ~100 ns, is far below any trap time constant).
+        """
+        return self._running_pattern(1), self._running_pattern(0)

@@ -1,0 +1,55 @@
+"""Routing-block model: the pass transistors between LUT outputs and inputs.
+
+The paper's POI (path of interest) runs "from the input of the LUT-based
+inverter to the output of the routing blocks".  We model the routing
+between consecutive LUTs as a chain of always-selected NMOS routing-mux
+pass transistors.  Their gates are driven high by configuration SRAM, so a
+routing transistor is PBTI-stressed exactly when the net it carries sits at
+logic 0 (same data-dependent rule as the LUT pass tree).
+"""
+
+from __future__ import annotations
+
+from repro.bti.conditions import StressPolarity
+from repro.device.transistor import Transistor, TransistorRole
+from repro.errors import ConfigurationError
+
+
+class RoutingBlock:
+    """Routing segment between two LUTs.
+
+    Parameters
+    ----------
+    n_switches:
+        Number of series routing-mux pass transistors on the segment.
+    """
+
+    def __init__(self, n_switches: int = 2) -> None:
+        if n_switches <= 0:
+            raise ConfigurationError(f"n_switches must be positive, got {n_switches}")
+        share = 1.0 / n_switches
+        self.transistors: tuple[Transistor, ...] = tuple(
+            Transistor(f"R{i + 1}", StressPolarity.PBTI, TransistorRole.ROUTING, share)
+            for i in range(n_switches)
+        )
+
+    @property
+    def n_switches(self) -> int:
+        """Number of series switches on the segment."""
+        return len(self.transistors)
+
+    def stressed_fractions(self, net_value: int) -> dict[str, float]:
+        """Stress fractions for a static net value (all-or-nothing).
+
+        Every switch carries the same net, so all are stressed when the net
+        is 0 and none when it is 1.
+        """
+        if net_value not in (0, 1):
+            raise ConfigurationError(f"net_value must be 0 or 1, got {net_value}")
+        if net_value == 1:
+            return {}
+        return {t.name: 1.0 for t in self.transistors}
+
+    def conducting_path(self) -> tuple[str, ...]:
+        """All switches sit on the POI (they are in series with the net)."""
+        return tuple(t.name for t in self.transistors)

@@ -1,0 +1,163 @@
+"""Multi-chip campaign runner reproducing the paper's Table 1 schedule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.device.technology import TechnologyParameters, TECH_40NM
+from repro.device.variation import ProcessVariation
+from repro.errors import ScheduleError
+from repro.fpga.chip import FpgaChip
+from repro.lab.datalog import DataLog
+from repro.lab.measurement import VirtualTestbench
+from repro.lab.schedule import (
+    CHIP_SEQUENCES,
+    TestCase,
+    baseline_phase,
+    standard_case,
+)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced.
+
+    ``log`` holds every measurement; ``chips`` the final chip states (for
+    follow-up what-if experiments); ``fresh_delays`` the per-chip fresh CUT
+    delay, needed to convert absolute delay readings into delay change.
+    """
+
+    log: DataLog
+    chips: dict[str, FpgaChip]
+    fresh_delays: dict[str, float] = field(default_factory=dict)
+
+    def _case_records(self, case: str, chip_no: int | None) -> DataLog:
+        """Records of one case, disambiguated to a single chip.
+
+        Several Table-1 chips run the same stress case name; a series must
+        come from exactly one chip or the time axis interleaves.
+        """
+        records = self.log.filter(case=case)
+        if chip_no is not None:
+            records = records.filter(chip_id=f"chip-{chip_no}")
+        if len(records) == 0:
+            raise ScheduleError(f"no records for case {case!r} (chip_no={chip_no})")
+        chip_ids = {record.chip_id for record in records}
+        if len(chip_ids) > 1:
+            raise ScheduleError(
+                f"case {case!r} was run on chips {sorted(chip_ids)}; pass chip_no "
+                "to select one"
+            )
+        return records
+
+    def delay_change_series(
+        self, case: str, chip_no: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(phase_elapsed, dTd) for a case, relative to the chip's fresh delay.
+
+        For recovery cases the first sample (phase_elapsed 0) is the end of
+        the preceding stress, so the series starts at the stressed level
+        and falls — the paper's Fig. 8 view.
+        """
+        records = self._case_records(case, chip_no)
+        times, delays = records.series("delay")
+        chip_id = records.first().chip_id
+        return times, delays - self.fresh_delays[chip_id]
+
+    def degradation_percent_series(
+        self, case: str, chip_no: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(phase_elapsed, frequency degradation %) — the paper's Fig. 4/5 view."""
+        records = self._case_records(case, chip_no)
+        times, freqs = records.series("frequency")
+        chip_id = records.first().chip_id
+        fresh_frequency = 1.0 / (2.0 * self.fresh_delays[chip_id])
+        return times, 100.0 * (1.0 - freqs / fresh_frequency)
+
+
+class Campaign:
+    """A set of chips, their testbenches, and a shared data log.
+
+    Parameters
+    ----------
+    n_chips:
+        Chips on the bench ("chip-1" .. "chip-N"); the paper uses five.
+    tech / variation:
+        Shared process; each chip samples its own variation so fresh
+        frequencies differ, as the paper observes.
+    seed:
+        Master seed; chips and bench noise get independent child streams.
+    """
+
+    def __init__(
+        self,
+        n_chips: int = 5,
+        tech: TechnologyParameters = TECH_40NM,
+        variation: ProcessVariation | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        if n_chips <= 0:
+            raise ScheduleError(f"n_chips must be positive, got {n_chips}")
+        master = np.random.default_rng(seed)
+        self.log = DataLog()
+        self.chips: dict[str, FpgaChip] = {}
+        self.benches: dict[str, VirtualTestbench] = {}
+        variation = variation if variation is not None else ProcessVariation()
+        for index in range(n_chips):
+            chip_seed, bench_seed = master.spawn(2)
+            chip_id = f"chip-{index + 1}"
+            chip = FpgaChip(
+                chip_id, tech=tech, variation=variation, seed=int(chip_seed.integers(2**31))
+            )
+            self.chips[chip_id] = chip
+            self.benches[chip_id] = VirtualTestbench(chip, rng=bench_seed)
+        self.fresh_delays = {cid: chip.fresh_path_delay for cid, chip in self.chips.items()}
+
+    def chip_id(self, chip_no: int) -> str:
+        """Map a Table-1 chip number to its bench identifier."""
+        chip_id = f"chip-{chip_no}"
+        if chip_id not in self.chips:
+            raise ScheduleError(f"no chip number {chip_no} on this bench")
+        return chip_id
+
+    def run_case(self, case: TestCase) -> None:
+        """Execute a case's phases on its chip, appending to the shared log."""
+        bench = self.benches[self.chip_id(case.chip_no)]
+        for phase in case.phases:
+            bench.run_phase(phase, case.name, self.log)
+
+    def run_baseline(self) -> None:
+        """Burn every chip in (2 h at 20 degC, 1.2 V) — the paper's baseline."""
+        phase = baseline_phase()
+        for chip_id, bench in self.benches.items():
+            bench.run_phase(phase, f"BASELINE-{chip_id}", self.log)
+
+    def result(self) -> CampaignResult:
+        """Bundle the current state into a :class:`CampaignResult`."""
+        return CampaignResult(
+            log=self.log, chips=dict(self.chips), fresh_delays=dict(self.fresh_delays)
+        )
+
+
+def run_table1_campaign(
+    seed: int | None = 0,
+    n_chips: int = 5,
+    include_baseline: bool = True,
+) -> CampaignResult:
+    """Run the full Table 1 schedule and return the result.
+
+    Chip execution order follows the paper: each chip runs its stress case
+    then its recovery case; chip 5 additionally re-stresses for 48 h and
+    runs the 12 h recovery (``AR110N12``).
+    """
+    campaign = Campaign(n_chips=n_chips, seed=seed)
+    if include_baseline:
+        campaign.run_baseline()
+    for chip_no, case_names in CHIP_SEQUENCES.items():
+        if chip_no > n_chips:
+            continue
+        for name in case_names:
+            campaign.run_case(standard_case(name, chip_no))
+    return campaign.result()

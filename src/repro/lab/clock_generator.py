@@ -1,0 +1,34 @@
+"""Virtual reference clock generator for the readout counter."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InstrumentError
+
+
+class ClockGenerator:
+    """External clock source providing the counter reference ``fref``.
+
+    Parameters
+    ----------
+    frequency:
+        Programmed output frequency in Hz (paper uses 500 Hz).
+    accuracy_ppm:
+        Frequency accuracy in parts per million.
+    """
+
+    def __init__(self, frequency: float = 500.0, accuracy_ppm: float = 5.0) -> None:
+        if frequency <= 0.0:
+            raise InstrumentError("clock frequency must be positive")
+        if accuracy_ppm < 0.0:
+            raise InstrumentError("accuracy must be non-negative")
+        self.frequency = frequency
+        self.accuracy_ppm = accuracy_ppm
+
+    def actual_frequency(self, rng: np.random.Generator | int | None = None) -> float:
+        """One realisation of the delivered reference frequency (Hz)."""
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        error = rng.uniform(-self.accuracy_ppm, self.accuracy_ppm) * 1e-6
+        return self.frequency * (1.0 + error)

@@ -1,0 +1,76 @@
+"""Virtual DC power supply with a negative rail for accelerated recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InstrumentError
+
+
+class DcPowerSupply:
+    """Programmable core supply.
+
+    The paper's recovery tests drive the core rail to -0.3 V; a real bench
+    supply has a programmable range and a small setpoint error, both
+    modelled here.
+
+    Parameters
+    ----------
+    min_voltage / max_voltage:
+        Programmable range in volts.  The default upper bound is the 40 nm
+        core rail plus 10 % margin; the lower bound allows the negative
+        recovery voltages.
+    accuracy_volts:
+        Half-width of the uniform setpoint error.
+    """
+
+    def __init__(
+        self,
+        min_voltage: float = -0.6,
+        max_voltage: float = 1.32,
+        accuracy_volts: float = 1.0e-3,
+    ) -> None:
+        if min_voltage >= max_voltage:
+            raise InstrumentError("supply range must satisfy min < max")
+        if accuracy_volts < 0.0:
+            raise InstrumentError("accuracy must be non-negative")
+        self.min_voltage = min_voltage
+        self.max_voltage = max_voltage
+        self.accuracy_volts = accuracy_volts
+        self._setpoint = 1.2
+        self._output_enabled = True
+
+    @property
+    def setpoint(self) -> float:
+        """Programmed output voltage in volts."""
+        return self._setpoint
+
+    @property
+    def output_enabled(self) -> bool:
+        """Whether the output relay is closed."""
+        return self._output_enabled
+
+    def set_voltage(self, volts: float) -> None:
+        """Program the output voltage; raises outside the supply range."""
+        if not self.min_voltage <= volts <= self.max_voltage:
+            raise InstrumentError(
+                f"setpoint {volts} V outside supply range "
+                f"[{self.min_voltage}, {self.max_voltage}] V"
+            )
+        self._setpoint = volts
+
+    def enable_output(self) -> None:
+        """Close the output relay."""
+        self._output_enabled = True
+
+    def disable_output(self) -> None:
+        """Open the output relay (chip sees 0 V — passive recovery)."""
+        self._output_enabled = False
+
+    def actual_voltage(self, rng: np.random.Generator | int | None = None) -> float:
+        """One realisation of the delivered voltage (volts)."""
+        if not self._output_enabled:
+            return 0.0
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        return self._setpoint + rng.uniform(-self.accuracy_volts, self.accuracy_volts)

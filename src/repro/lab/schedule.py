@@ -1,0 +1,181 @@
+"""Accelerated test schedules: phases, cases and the paper's Table 1.
+
+Case naming follows the paper:
+
+* ``AS<temp><AC|DC><hours>`` — accelerated stress, e.g. ``AS110DC24`` is
+  24 h of DC stress at 110 degC and nominal 1.2 V;
+* ``R<temp>Z<hours>`` — passive recovery at 0 V, e.g. ``R20Z6``;
+* ``AR<temp><Z|N><hours>`` — accelerated recovery, ``Z`` at 0 V, ``N`` at
+  the negative rail (-0.3 V), e.g. ``AR110N6``.
+
+:func:`parse_case_name` turns any such name into a :class:`TestCase`;
+:data:`TABLE1_CASES` reproduces the paper's Table 1 schedule.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.fpga.ring_oscillator import StressMode
+from repro.units import hours, minutes
+
+#: Negative core voltage used by the paper's accelerated-recovery cases.
+NEGATIVE_RAIL = -0.3
+
+#: Nominal core voltage of the 40 nm parts.
+NOMINAL_RAIL = 1.2
+
+#: DC-stress sampling cadence — "RO is enabled only every 20 minutes for
+#: data recording" (paper Sec. 4.4).
+STRESS_SAMPLING_INTERVAL = minutes(20.0)
+
+#: Recovery sampling cadence — "RO wakes up every 30 minutes" (Sec. 4.4).
+RECOVERY_SAMPLING_INTERVAL = minutes(30.0)
+
+
+class PhaseKind(enum.Enum):
+    """Whether a phase wears the chip out or heals it."""
+
+    STRESS = "stress"
+    RECOVERY = "recovery"
+
+
+@dataclass(frozen=True)
+class TestPhase:
+    """One leg of a test case.
+
+    ``mode`` is only meaningful for stress phases; ``sampling_interval``
+    sets how often the testbench wakes the RO for a readout.
+    """
+
+    # Not a pytest class despite the domain name.
+    __test__ = False
+
+    label: str
+    kind: PhaseKind
+    duration: float
+    temperature_c: float
+    supply_voltage: float
+    mode: StressMode = StressMode.DC
+    sampling_interval: float = STRESS_SAMPLING_INTERVAL
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise ScheduleError(f"phase duration must be positive, got {self.duration}")
+        if self.sampling_interval <= 0.0:
+            raise ScheduleError("sampling interval must be positive")
+        if self.kind is PhaseKind.STRESS and self.supply_voltage <= 0.0:
+            raise ScheduleError("a stress phase needs a positive supply voltage")
+        if self.kind is PhaseKind.RECOVERY and self.supply_voltage > 0.0:
+            raise ScheduleError("a recovery phase needs a non-positive supply voltage")
+
+
+@dataclass(frozen=True)
+class TestCase:
+    """A named sequence of phases applied to one chip."""
+
+    # Not a pytest class despite the domain name.
+    __test__ = False
+
+    name: str
+    chip_no: int
+    phases: tuple[TestPhase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ScheduleError(f"case {self.name!r} has no phases")
+        if self.chip_no <= 0:
+            raise ScheduleError(f"chip_no must be positive, got {self.chip_no}")
+
+    @property
+    def total_duration(self) -> float:
+        """Sum of all phase durations in seconds."""
+        return sum(phase.duration for phase in self.phases)
+
+
+_STRESS_RE = re.compile(r"^AS(\d+)(AC|DC)(\d+)$")
+_RECOVERY_RE = re.compile(r"^(A?R)(\d+)(Z|N)(\d+)$")
+
+
+def parse_case_name(name: str) -> TestPhase:
+    """Translate a paper-style case name into its :class:`TestPhase`.
+
+    Raises :class:`ScheduleError` for names outside the grammar.
+    """
+    match = _STRESS_RE.match(name)
+    if match:
+        temp, mode, dur = match.groups()
+        return TestPhase(
+            label=name,
+            kind=PhaseKind.STRESS,
+            duration=hours(float(dur)),
+            temperature_c=float(temp),
+            supply_voltage=NOMINAL_RAIL,
+            mode=StressMode.AC if mode == "AC" else StressMode.DC,
+            sampling_interval=STRESS_SAMPLING_INTERVAL,
+        )
+    match = _RECOVERY_RE.match(name)
+    if match:
+        prefix, temp, volt, dur = match.groups()
+        if prefix == "R" and (volt == "N" or float(temp) > 25.0):
+            raise ScheduleError(
+                f"case {name!r}: plain recovery (R) means room temperature at "
+                "0 V; use the AR prefix for accelerated conditions"
+            )
+        return TestPhase(
+            label=name,
+            kind=PhaseKind.RECOVERY,
+            duration=hours(float(dur)),
+            temperature_c=float(temp),
+            supply_voltage=NEGATIVE_RAIL if volt == "N" else 0.0,
+            sampling_interval=RECOVERY_SAMPLING_INTERVAL,
+        )
+    raise ScheduleError(f"unrecognised case name {name!r}")
+
+
+def standard_case(name: str, chip_no: int) -> TestCase:
+    """Single-phase :class:`TestCase` from a paper-style name."""
+    return TestCase(name=name, chip_no=chip_no, phases=(parse_case_name(name),))
+
+
+def baseline_phase() -> TestPhase:
+    """The paper's burn-in: every chip is stressed 2 h at 20 degC, 1.2 V."""
+    return TestPhase(
+        label="BASELINE",
+        kind=PhaseKind.STRESS,
+        duration=hours(2.0),
+        temperature_c=20.0,
+        supply_voltage=NOMINAL_RAIL,
+        mode=StressMode.DC,
+        sampling_interval=minutes(20.0),
+    )
+
+
+#: The paper's Table 1 rows: (phase group, case name, chip number).
+TABLE1_CASES: tuple[tuple[str, str, int], ...] = (
+    ("Active (Stress)", "AS110AC24", 1),
+    ("Active (Stress)", "AS110DC24", 2),
+    ("Active (Stress)", "AS110DC24", 3),
+    ("Active (Stress)", "AS100DC24", 4),
+    ("Active (Stress)", "AS110DC24", 5),
+    ("Active (Stress)", "AS110DC48", 5),
+    ("Sleep (Recovery)", "R20Z6", 2),
+    ("Sleep (Recovery)", "AR20N6", 3),
+    ("Sleep (Recovery)", "AR110Z6", 4),
+    ("Sleep (Recovery)", "AR110N6", 5),
+    ("Sleep (Recovery)", "AR110N12", 5),
+)
+
+#: Execution order per chip — chip 5 runs its 48 h re-stress *after* the
+#: first recovery case (the paper notes AR110N12 "is conducted after chip 5
+#: is re-stressed for 48 hours").
+CHIP_SEQUENCES: dict[int, tuple[str, ...]] = {
+    1: ("AS110AC24",),
+    2: ("AS110DC24", "R20Z6"),
+    3: ("AS110DC24", "AR20N6"),
+    4: ("AS100DC24", "AR110Z6"),
+    5: ("AS110DC24", "AR110N6", "AS110DC48", "AR110N12"),
+}

@@ -1,0 +1,64 @@
+"""Virtual thermal chamber with the paper's +/-0.3 degC fluctuation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InstrumentError
+from repro.units import celsius, to_celsius
+
+
+class ThermalChamber:
+    """Heats or cools the device under test to a programmed setpoint.
+
+    Parameters
+    ----------
+    fluctuation_c:
+        Half-width of the uniform temperature fluctuation around the
+        setpoint in degrees (the paper quotes +/-0.3 degC).
+    min_c / max_c:
+        Programmable setpoint range of the chamber.
+    """
+
+    def __init__(
+        self, fluctuation_c: float = 0.3, min_c: float = -60.0, max_c: float = 150.0
+    ) -> None:
+        if fluctuation_c < 0.0:
+            raise InstrumentError("fluctuation must be non-negative")
+        if min_c >= max_c:
+            raise InstrumentError("chamber range must satisfy min_c < max_c")
+        self.fluctuation_c = fluctuation_c
+        self.min_c = min_c
+        self.max_c = max_c
+        self._setpoint = celsius(20.0)
+
+    @property
+    def setpoint(self) -> float:
+        """Programmed temperature in kelvin."""
+        return self._setpoint
+
+    @property
+    def setpoint_celsius(self) -> float:
+        """Programmed temperature in degrees Celsius."""
+        return to_celsius(self._setpoint)
+
+    def set_temperature_celsius(self, degrees_c: float) -> None:
+        """Program a new setpoint; raises if outside the chamber range."""
+        if not self.min_c <= degrees_c <= self.max_c:
+            raise InstrumentError(
+                f"setpoint {degrees_c} degC outside chamber range "
+                f"[{self.min_c}, {self.max_c}] degC"
+            )
+        self._setpoint = celsius(degrees_c)
+
+    def actual_temperature(self, rng: np.random.Generator | int | None = None) -> float:
+        """One realisation of the chamber temperature (kelvin).
+
+        The chamber holds the setpoint within a uniform +/-fluctuation
+        band; sampling per stress chunk feeds realistic thermal jitter
+        into the aging engine.
+        """
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        jitter = rng.uniform(-self.fluctuation_c, self.fluctuation_c)
+        return self._setpoint + jitter

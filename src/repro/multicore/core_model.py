@@ -1,0 +1,141 @@
+"""Per-core aging model: a critical path driven by the trap ensemble.
+
+A core is abstracted as one representative critical path whose PMOS and
+NMOS populations age with the same physics as the FPGA substrate.  While
+the core runs, its devices see AC stress at the core supply and its local
+die temperature; while it sleeps, they see the recovery bias the scheduler
+chose (0 V for plain power gating, negative for accelerated self-healing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bti.traps import TrapParameters, TrapPopulation
+from repro.errors import ConfigurationError
+from repro.units import nanoseconds
+
+#: Trap count of one "device equivalent" — matches the per-transistor
+#: population of the FPGA substrate so both share one calibration.
+_REFERENCE_TRAPS_PER_DEVICE = 80.0
+
+
+@dataclass(frozen=True)
+class CoreParameters:
+    """Electrical/thermal description of one core.
+
+    ``delay_sensitivity`` maps average device dVth (volts) to relative
+    critical-path slowdown per volt — the Eq. (6) factor
+    ``1/(Vdd - Vth0)`` times the stressed fraction of the path.
+    """
+
+    fresh_path_delay: float = nanoseconds(0.5)  # ~2 GHz critical path
+    supply_voltage: float = 1.2
+    delay_sensitivity: float = 0.9
+    active_power: float = 10.0  # watts while running
+    sleep_power: float = 0.4  # watts while power gated
+    # Overhead of the on-chip negative-voltage generator while it is in
+    # use, as a fraction of active power (paper Sec. 6.1 cost note).
+    negative_rail_overhead: float = 0.02
+    nbti_traps: TrapParameters = field(
+        default_factory=lambda: TrapParameters(mean_trap_count=600.0)
+    )
+    pbti_traps: TrapParameters = field(
+        default_factory=lambda: TrapParameters(
+            mean_trap_count=420.0, impact_mean_volts=2.56e-3
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.fresh_path_delay <= 0.0:
+            raise ConfigurationError("fresh_path_delay must be positive")
+        if self.delay_sensitivity <= 0.0:
+            raise ConfigurationError("delay_sensitivity must be positive")
+        if self.active_power <= 0.0 or self.sleep_power < 0.0:
+            raise ConfigurationError("powers must be positive (active) / non-negative (sleep)")
+
+
+class CoreAgingModel:
+    """Aging state and energy accounting of one core."""
+
+    def __init__(
+        self,
+        core_id: str,
+        params: CoreParameters | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.core_id = core_id
+        self.params = params or CoreParameters()
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        rng_p, rng_n = rng.spawn(2)
+        self._pmos = TrapPopulation(self.params.nbti_traps, n_owners=1, rng=rng_p)
+        self._nmos = TrapPopulation(self.params.pbti_traps, n_owners=1, rng=rng_n)
+        # The large population represents the many devices of the critical
+        # path; dividing the total shift by the number of 80-trap device
+        # equivalents yields the average per-device shift with low
+        # statistical noise.
+        self._pmos_devices = max(self._pmos.n_traps, 1) / _REFERENCE_TRAPS_PER_DEVICE
+        self._nmos_devices = max(self._nmos.n_traps, 1) / _REFERENCE_TRAPS_PER_DEVICE
+        self.energy_joules = 0.0
+        self.active_seconds = 0.0
+        self.sleep_seconds = 0.0
+
+    def average_delta_vth(self) -> float:
+        """Average device threshold shift on the critical path (volts)."""
+        pmos = float(self._pmos.delta_vth()[0]) / self._pmos_devices
+        nmos = float(self._nmos.delta_vth()[0]) / self._nmos_devices
+        return 0.5 * (pmos + nmos)
+
+    def delta_path_delay(self) -> float:
+        """Critical-path delay increase (seconds)."""
+        return (
+            self.params.fresh_path_delay
+            * self.params.delay_sensitivity
+            * self.average_delta_vth()
+        )
+
+    def relative_slowdown(self) -> float:
+        """Fractional frequency loss the core has accumulated."""
+        return self.delta_path_delay() / self.params.fresh_path_delay
+
+    def run_active(self, duration: float, temperature: float) -> None:
+        """Run the core (AC stress at supply) for ``duration`` seconds."""
+        half = self.params.supply_voltage
+        self._pmos.evolve(duration, half, temperature, duty=0.5, relax_voltage=0.0)
+        self._nmos.evolve(duration, half, temperature, duty=0.5, relax_voltage=0.0)
+        self.active_seconds += duration
+        self.energy_joules += self.params.active_power * duration
+
+    def sleep(self, duration: float, temperature: float, voltage: float = 0.0) -> None:
+        """Power-gate the core; negative ``voltage`` heals actively."""
+        if voltage > 0.0:
+            raise ConfigurationError("sleep voltage must be non-positive")
+        self._pmos.evolve(duration, voltage, temperature)
+        self._nmos.evolve(duration, voltage, temperature)
+        self.sleep_seconds += duration
+        power = self.params.sleep_power
+        if voltage < 0.0:
+            power += self.params.negative_rail_overhead * self.params.active_power
+        self.energy_joules += power * duration
+
+    def snapshot(self) -> tuple:
+        """Capture aging and accounting state for what-if runs."""
+        return (
+            self._pmos.snapshot(),
+            self._nmos.snapshot(),
+            self.energy_joules,
+            self.active_seconds,
+            self.sleep_seconds,
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Restore a :meth:`snapshot`."""
+        pmos, nmos, energy, active, sleep = state
+        self._pmos.restore(pmos)
+        self._nmos.restore(nmos)
+        self.energy_joules = energy
+        self.active_seconds = active
+        self.sleep_seconds = sleep

@@ -1,0 +1,122 @@
+"""Multi-core lifetime projection: BTI margins and the EM ledger together.
+
+Extends the scheduler comparison from "who ages least in two weeks" to
+"who dies first": the system runs until the worst core's BTI delay shift
+eats the timing budget or any core's EM ledger is spent, whichever comes
+first.  Because self-healing only touches BTI, schedulers converge to an
+EM-limited regime — the quantitative version of the paper's limitation
+note, at system level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.electromigration import BlackModel, EmWearState
+from repro.errors import ConfigurationError
+from repro.multicore.scheduler import Scheduler
+from repro.multicore.system import MulticoreSystem
+from repro.units import hours
+
+
+@dataclass(frozen=True)
+class MulticoreLifetime:
+    """Outcome of a run-to-failure projection.
+
+    ``epochs_survived`` counts completed epochs before a budget death (or
+    the horizon); ``limited_by`` is "bti", "em" or "horizon".
+    """
+
+    epochs_survived: int
+    limited_by: str
+    final_worst_bti_shift: float
+    final_worst_em_damage: float
+
+    @property
+    def survived_horizon(self) -> bool:
+        """True when neither budget was exhausted."""
+        return self.limited_by == "horizon"
+
+
+def project_multicore_lifetime(
+    system: MulticoreSystem,
+    scheduler: Scheduler,
+    workload,
+    bti_budget: float,
+    horizon_epochs: int,
+    epoch_duration: float = hours(1.0),
+    em_model: BlackModel | None = None,
+    em_budget: float = 1.0,
+) -> MulticoreLifetime:
+    """Run until a budget dies or the horizon ends.
+
+    ``bti_budget`` is the tolerable per-core delay shift (seconds);
+    ``em_budget`` the tolerable Miner's-rule damage fraction.  Each core
+    gets its own EM ledger charged while it is active at its epoch
+    temperature.
+    """
+    if bti_budget <= 0.0:
+        raise ConfigurationError("bti_budget must be positive")
+    if not 0.0 < em_budget <= 1.0:
+        raise ConfigurationError("em_budget must be in (0, 1]")
+    if horizon_epochs <= 0:
+        raise ConfigurationError("horizon_epochs must be positive")
+    ledgers = [EmWearState(em_model) for __ in range(system.n_cores)]
+    for epoch in range(horizon_epochs):
+        history = system.run(
+            scheduler,
+            workload,
+            n_epochs=1,
+            epoch_duration=epoch_duration,
+            epoch_offset=epoch,
+        )
+        temperatures = history.temperatures[0]
+        active = history.active_mask[0]
+        for core, ledger in enumerate(ledgers):
+            ledger.stress(
+                epoch_duration,
+                1.0 if active[core] else 0.0,
+                float(temperatures[core]),
+            )
+        worst_bti = float(history.delay_shifts[-1].max())
+        worst_em = max(ledger.damage for ledger in ledgers)
+        if worst_bti >= bti_budget:
+            return MulticoreLifetime(epoch + 1, "bti", worst_bti, worst_em)
+        if worst_em >= em_budget:
+            return MulticoreLifetime(epoch + 1, "em", worst_bti, worst_em)
+    return MulticoreLifetime(
+        horizon_epochs,
+        "horizon",
+        float(system.delay_shifts().max()),
+        max(ledger.damage for ledger in ledgers),
+    )
+
+
+def compare_scheduler_lifetimes(
+    make_system,
+    schedulers: dict[str, Scheduler],
+    workload,
+    bti_budget: float,
+    horizon_epochs: int,
+    epoch_duration: float = hours(1.0),
+    em_model: BlackModel | None = None,
+) -> dict[str, MulticoreLifetime]:
+    """Project every scheduler on identically-built systems.
+
+    ``make_system`` is a zero-argument factory so each scheduler starts
+    from statistically identical hardware.
+    """
+    results: dict[str, MulticoreLifetime] = {}
+    for name, scheduler in schedulers.items():
+        results[name] = project_multicore_lifetime(
+            make_system(),
+            scheduler,
+            workload,
+            bti_budget=bti_budget,
+            horizon_epochs=horizon_epochs,
+            epoch_duration=epoch_duration,
+            em_model=em_model,
+        )
+    return results

@@ -1,0 +1,58 @@
+"""System-level metrics for scheduler comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.multicore.system import SystemHistory
+
+
+@dataclass(frozen=True)
+class SystemMetrics:
+    """Aggregate outcome of a multi-core run.
+
+    ``worst_shift`` drives design margin (the slowest core limits the
+    system); ``aging_spread`` is the max-min gap (fairness of wear);
+    ``energy_joules`` includes any negative-rail generator overhead;
+    ``work_epochs`` is total delivered core-epochs, to confirm schedulers
+    are compared at equal work.
+    """
+
+    worst_shift: float
+    mean_shift: float
+    aging_spread: float
+    energy_joules: float
+    work_epochs: int
+    mean_sleep_temperature_c: float
+
+
+def compute_metrics(history: SystemHistory) -> SystemMetrics:
+    """Reduce a :class:`SystemHistory` to scheduler-comparison numbers."""
+    final = history.final_shifts()
+    sleeping = ~history.active_mask
+    if sleeping.any():
+        sleep_temp = float(history.temperatures[sleeping].mean()) - 273.15
+    else:
+        sleep_temp = float("nan")
+    return SystemMetrics(
+        worst_shift=float(final.max()),
+        mean_shift=float(final.mean()),
+        aging_spread=float(final.max() - final.min()),
+        energy_joules=history.energy_joules,
+        work_epochs=int(history.active_mask.sum()),
+        mean_sleep_temperature_c=sleep_temp,
+    )
+
+
+def compare_final_margin(reference: SystemMetrics, candidate: SystemMetrics) -> float:
+    """Relative margin improvement of ``candidate`` over ``reference``.
+
+    Positive means the candidate scheduler leaves more timing margin
+    (smaller worst-core shift) at end of life.
+    """
+    if reference.worst_shift <= 0.0:
+        raise ConfigurationError("reference run shows no aging to compare against")
+    return 1.0 - candidate.worst_shift / reference.worst_shift

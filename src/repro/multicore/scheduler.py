@@ -1,0 +1,156 @@
+"""Core schedulers: from naive fixed mapping to heater-aware circadian.
+
+A scheduler answers one question per epoch: *which* cores run, and what
+bias the sleeping cores get.  Four policies ladder up to the paper's
+proposal:
+
+* :class:`BaselineScheduler` — fixed active set; sleepers idle at 0 V.
+  The paper's implicit status quo: some cores simply age out first.
+* :class:`RoundRobinScheduler` — rotates the sleep slots (wear levelling)
+  but sleep is still passive inactivity.
+* :class:`CircadianScheduler` — rotation plus *active* recovery: sleeping
+  cores get the negative rail.
+* :class:`HeaterAwareScheduler` — circadian, and additionally chooses the
+  sleeping cores to (a) prioritise the most-aged cores and (b) prefer
+  sleep slots surrounded by active neighbours, exploiting their heat to
+  accelerate recovery (paper Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.multicore.thermal import ThermalGrid
+
+
+@dataclass(frozen=True)
+class ScheduleDecision:
+    """Active set and sleep bias for one epoch."""
+
+    active: tuple[int, ...]
+    sleep_voltage: float
+
+
+class Scheduler(Protocol):
+    """Anything that can pick the active set each epoch."""
+
+    def decide(
+        self, epoch: int, demand: int, aging: np.ndarray, grid: ThermalGrid
+    ) -> ScheduleDecision:
+        """Choose which cores run this epoch."""
+        ...
+
+
+def _check_demand(demand: int, n_cores: int) -> int:
+    if demand < 0:
+        raise ConfigurationError("demand must be non-negative")
+    return min(demand, n_cores)
+
+
+class BaselineScheduler:
+    """Fixed active set: cores 0..demand-1 always run; sleep is passive."""
+
+    def decide(
+        self, epoch: int, demand: int, aging: np.ndarray, grid: ThermalGrid
+    ) -> ScheduleDecision:
+        """Always the lowest-numbered cores."""
+        demand = _check_demand(demand, aging.size)
+        return ScheduleDecision(active=tuple(range(demand)), sleep_voltage=0.0)
+
+
+class RoundRobinScheduler:
+    """Rotating active window; sleep is passive (0 V) inactivity."""
+
+    def __init__(self, sleep_voltage: float = 0.0) -> None:
+        if sleep_voltage > 0.0:
+            raise ConfigurationError("sleep voltage must be non-positive")
+        self.sleep_voltage = sleep_voltage
+
+    def decide(
+        self, epoch: int, demand: int, aging: np.ndarray, grid: ThermalGrid
+    ) -> ScheduleDecision:
+        """Rotate the active window by one core per epoch."""
+        n = aging.size
+        demand = _check_demand(demand, n)
+        start = epoch % n
+        active = tuple(sorted((start + i) % n for i in range(demand)))
+        return ScheduleDecision(active=active, sleep_voltage=self.sleep_voltage)
+
+
+class CircadianScheduler(RoundRobinScheduler):
+    """Round-robin rotation with *active* recovery during sleep."""
+
+    def __init__(self, sleep_voltage: float = -0.3) -> None:
+        super().__init__(sleep_voltage=sleep_voltage)
+
+
+class HeaterAwareScheduler:
+    """Aging- and heat-aware circadian scheduling (paper Fig. 10).
+
+    Each epoch the most-aged cores are sent to sleep (they need healing
+    most); ties and near-ties are broken toward sleep slots with more
+    active neighbours, whose waste heat accelerates the healing.
+
+    Parameters
+    ----------
+    sleep_voltage:
+        Bias for sleeping cores (negative for accelerated recovery).
+    aging_weight / heat_weight:
+        Relative importance of aging level vs neighbour heat when ranking
+        sleep candidates.  Aging is normalised by its current maximum.
+    """
+
+    def __init__(
+        self,
+        sleep_voltage: float = -0.3,
+        aging_weight: float = 1.0,
+        heat_weight: float = 0.25,
+    ) -> None:
+        if sleep_voltage > 0.0:
+            raise ConfigurationError("sleep voltage must be non-positive")
+        if aging_weight < 0.0 or heat_weight < 0.0:
+            raise ConfigurationError("weights must be non-negative")
+        self.sleep_voltage = sleep_voltage
+        self.aging_weight = aging_weight
+        self.heat_weight = heat_weight
+
+    def decide(
+        self, epoch: int, demand: int, aging: np.ndarray, grid: ThermalGrid
+    ) -> ScheduleDecision:
+        """Sleep the most-aged cores, preferring well-heated slots.
+
+        The selection is iterative: sleep slots are granted one at a time,
+        and the neighbour-heat score counts only cores still slated to be
+        active, so two adjacent cores do not both sleep expecting each
+        other's heat.
+        """
+        n = aging.size
+        demand = _check_demand(demand, n)
+        n_sleepers = n - demand
+        active = set(range(n))
+        max_aging = float(aging.max()) if aging.size else 0.0
+        norm = max_aging if max_aging > 0.0 else 1.0
+        for _ in range(n_sleepers):
+            best_core = None
+            best_score = -np.inf
+            for core in sorted(active):
+                neighbours = grid.neighbours(core)
+                active_neighbours = sum(1 for nb in neighbours if nb in active)
+                # Absolute neighbour count (normalised by the grid's max
+                # degree): an inner slot with three active neighbours is a
+                # better heater site than a corner with two, even though
+                # both have "all neighbours active".
+                heat = active_neighbours / 4.0
+                score = (
+                    self.aging_weight * float(aging[core]) / norm
+                    + self.heat_weight * heat
+                )
+                if score > best_score:
+                    best_score = score
+                    best_core = core
+            active.remove(best_core)
+        return ScheduleDecision(active=tuple(sorted(active)), sleep_voltage=self.sleep_voltage)

@@ -1,0 +1,156 @@
+"""The multi-core system simulation loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.multicore.core_model import CoreAgingModel, CoreParameters
+from repro.multicore.scheduler import Scheduler
+from repro.multicore.thermal import ThermalGrid
+from repro.units import hours
+
+
+@dataclass
+class SystemHistory:
+    """Per-epoch record of a multi-core run.
+
+    ``delay_shifts`` has shape (epochs+1, cores): row 0 is the initial
+    state, row i the state after epoch i.  ``temperatures`` and
+    ``active_mask`` have shape (epochs, cores).
+    """
+
+    epoch_duration: float
+    delay_shifts: np.ndarray
+    temperatures: np.ndarray
+    active_mask: np.ndarray
+    energy_joules: float
+
+    @property
+    def n_epochs(self) -> int:
+        """Number of simulated epochs."""
+        return self.active_mask.shape[0]
+
+    @property
+    def times(self) -> np.ndarray:
+        """Wall-clock seconds at each recorded state row."""
+        return np.arange(self.delay_shifts.shape[0]) * self.epoch_duration
+
+    def worst_core_shift(self) -> np.ndarray:
+        """System-level margin consumption: max shift across cores per row."""
+        return self.delay_shifts.max(axis=1)
+
+    def final_shifts(self) -> np.ndarray:
+        """Per-core delay shift at the end of the run."""
+        return self.delay_shifts[-1]
+
+    def utilisation(self) -> np.ndarray:
+        """Fraction of epochs each core spent active."""
+        return self.active_mask.mean(axis=0)
+
+
+class MulticoreSystem:
+    """Cores + thermal grid + scheduler, stepped epoch by epoch.
+
+    Parameters
+    ----------
+    grid:
+        Thermal network; its size fixes the core count (paper Fig. 10 uses
+        a 2 x 4 grid of 8 cores).
+    core_params:
+        Shared per-core electrical parameters.
+    seed:
+        Seeds the per-core trap populations (each core gets a child
+        stream, so cores differ the way real dies do).
+    """
+
+    def __init__(
+        self,
+        grid: ThermalGrid | None = None,
+        core_params: CoreParameters | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        self.grid = grid or ThermalGrid()
+        params = core_params or CoreParameters()
+        master = np.random.default_rng(seed)
+        self.cores = [
+            CoreAgingModel(f"core-{i + 1}", params=params, rng=child)
+            for i, child in enumerate(master.spawn(self.grid.n_cores))
+        ]
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores in the system."""
+        return len(self.cores)
+
+    def delay_shifts(self) -> np.ndarray:
+        """Current per-core delay shift (seconds)."""
+        return np.array([core.delta_path_delay() for core in self.cores])
+
+    def total_energy(self) -> float:
+        """Energy consumed so far across all cores (joules)."""
+        return float(sum(core.energy_joules for core in self.cores))
+
+    def run(
+        self,
+        scheduler: Scheduler,
+        workload,
+        n_epochs: int,
+        epoch_duration: float = hours(1.0),
+        epoch_offset: int = 0,
+    ) -> SystemHistory:
+        """Simulate ``n_epochs`` epochs under a scheduler and workload.
+
+        Each epoch: the workload states its demand, the scheduler picks
+        the active set and sleep bias, the thermal grid finds the
+        steady-state temperature field, and every core ages accordingly.
+        ``epoch_offset`` shifts the epoch indices the scheduler and
+        workload see — callers that step the system one epoch at a time
+        (the lifetime projector) pass it so rotation policies keep
+        rotating.
+        """
+        if n_epochs <= 0:
+            raise ConfigurationError("n_epochs must be positive")
+        if epoch_duration <= 0.0:
+            raise ConfigurationError("epoch_duration must be positive")
+        n = self.n_cores
+        shifts = np.empty((n_epochs + 1, n))
+        temps = np.empty((n_epochs, n))
+        active_mask = np.zeros((n_epochs, n), dtype=bool)
+        shifts[0] = self.delay_shifts()
+        energy_start = self.total_energy()
+        for epoch in range(n_epochs):
+            logical_epoch = epoch_offset + epoch
+            demand = workload.demand(logical_epoch)
+            decision = scheduler.decide(logical_epoch, demand, shifts[epoch], self.grid)
+            active = set(decision.active)
+            if len(active) > n:
+                raise ConfigurationError("scheduler activated more cores than exist")
+            powers = np.array(
+                [
+                    self.cores[i].params.active_power
+                    if i in active
+                    else self.cores[i].params.sleep_power
+                    for i in range(n)
+                ]
+            )
+            temperatures = self.grid.steady_state(powers)
+            for i, core in enumerate(self.cores):
+                if i in active:
+                    core.run_active(epoch_duration, temperatures[i])
+                else:
+                    core.sleep(
+                        epoch_duration, temperatures[i], voltage=decision.sleep_voltage
+                    )
+            temps[epoch] = temperatures
+            active_mask[epoch] = [i in active for i in range(n)]
+            shifts[epoch + 1] = self.delay_shifts()
+        return SystemHistory(
+            epoch_duration=epoch_duration,
+            delay_shifts=shifts,
+            temperatures=temps,
+            active_mask=active_mask,
+            energy_joules=self.total_energy() - energy_start,
+        )

@@ -1,0 +1,82 @@
+"""Dark silicon: TDP-constrained scheduling.
+
+The paper motivates multi-core self-healing with "the future emergence of
+dark Silicon" — at fixed power budgets, some cores *must* be off; those
+mandatory sleep slots are free healing opportunities.  This module adds
+the power-budget layer: a :class:`TdpConstraint` that caps how many cores
+may run, and :class:`TdpConstrainedScheduler`, which clamps any inner
+scheduler's demand to the budget so the dark cores heal instead of merely
+idling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.multicore.scheduler import ScheduleDecision, Scheduler
+from repro.multicore.thermal import ThermalGrid
+
+
+@dataclass(frozen=True)
+class TdpConstraint:
+    """A package power budget.
+
+    ``max_active_cores`` is derived from the budget and per-core powers:
+    the dark-silicon fraction is whatever does not fit.
+    """
+
+    budget_watts: float
+    active_power: float = 10.0
+    sleep_power: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.budget_watts <= 0.0:
+            raise ConfigurationError("budget_watts must be positive")
+        if self.active_power <= self.sleep_power:
+            raise ConfigurationError("active power must exceed sleep power")
+
+    def max_active_cores(self, n_cores: int) -> int:
+        """Most cores that can run without busting the budget.
+
+        Every core draws at least sleep power; actives add the difference.
+        """
+        if n_cores <= 0:
+            raise ConfigurationError("n_cores must be positive")
+        floor_power = n_cores * self.sleep_power
+        headroom = self.budget_watts - floor_power
+        if headroom < 0.0:
+            return 0
+        per_active = self.active_power - self.sleep_power
+        return min(n_cores, int(headroom / per_active))
+
+    def dark_fraction(self, n_cores: int) -> float:
+        """Fraction of the die that must stay dark under this budget."""
+        return 1.0 - self.max_active_cores(n_cores) / n_cores
+
+
+class TdpConstrainedScheduler:
+    """Wrap any scheduler with a TDP clamp.
+
+    The inner scheduler still chooses *which* cores run; the wrapper only
+    caps *how many*.  Sleeping cores keep the inner scheduler's sleep
+    voltage, so a circadian inner policy turns the dark fraction into
+    active healing for free.
+    """
+
+    def __init__(self, inner: Scheduler, constraint: TdpConstraint) -> None:
+        self.inner = inner
+        self.constraint = constraint
+        self.clamped_epochs = 0
+
+    def decide(
+        self, epoch: int, demand: int, aging: np.ndarray, grid: ThermalGrid
+    ) -> ScheduleDecision:
+        """Clamp demand to the budget, then delegate."""
+        allowed = self.constraint.max_active_cores(aging.size)
+        if demand > allowed:
+            self.clamped_epochs += 1
+            demand = allowed
+        return self.inner.decide(epoch, demand, aging, grid)

@@ -1,0 +1,101 @@
+"""Steady-state thermal RC grid of cores — the on-chip heater substrate.
+
+The paper's first multi-core proposal (Sec. 6.2) uses active cores as
+heaters for sleeping neighbours.  The grid solves the steady-state heat
+equation on a networkx grid graph: each core has a thermal conductance to
+ambient and lateral conductances to its neighbours, so a sleeping core
+surrounded by busy ones settles tens of degrees above ambient — for free.
+
+Epoch lengths in the scheduler (minutes and up) are far above silicon
+thermal time constants (milliseconds), so a steady-state solve per epoch
+is the right fidelity.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import celsius
+
+
+class ThermalGrid:
+    """Thermal network for a rows x cols core grid.
+
+    Parameters
+    ----------
+    rows / cols:
+        Grid dimensions (the paper's Fig. 10 example is 2 x 4).
+    theta_ambient:
+        Thermal resistance core -> ambient in K/W (heatsink path).
+    theta_coupling:
+        Lateral thermal resistance between adjacent cores in K/W.
+    ambient_c:
+        Ambient (heatsink inlet) temperature in Celsius.
+    """
+
+    def __init__(
+        self,
+        rows: int = 2,
+        cols: int = 4,
+        theta_ambient: float = 4.0,
+        theta_coupling: float = 2.0,
+        ambient_c: float = 35.0,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError("grid dimensions must be positive")
+        if theta_ambient <= 0.0 or theta_coupling <= 0.0:
+            raise ConfigurationError("thermal resistances must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.theta_ambient = theta_ambient
+        self.theta_coupling = theta_coupling
+        self.ambient = celsius(ambient_c)
+        self.graph = nx.grid_2d_graph(rows, cols)
+        self._nodes = sorted(self.graph.nodes)
+        self._index = {node: i for i, node in enumerate(self._nodes)}
+        n = len(self._nodes)
+        g_amb = 1.0 / theta_ambient
+        g_cpl = 1.0 / theta_coupling
+        matrix = np.zeros((n, n))
+        for node in self._nodes:
+            i = self._index[node]
+            matrix[i, i] += g_amb
+            for neighbour in self.graph.neighbors(node):
+                j = self._index[neighbour]
+                matrix[i, i] += g_cpl
+                matrix[i, j] -= g_cpl
+        self._conductance = matrix
+
+    @property
+    def n_cores(self) -> int:
+        """Number of grid sites."""
+        return len(self._nodes)
+
+    def node_of(self, core_index: int) -> tuple[int, int]:
+        """(row, col) of a core index (row-major order)."""
+        if not 0 <= core_index < self.n_cores:
+            raise ConfigurationError(f"core index {core_index} outside the grid")
+        return self._nodes[core_index]
+
+    def neighbours(self, core_index: int) -> list[int]:
+        """Indices of the cores laterally adjacent to ``core_index``."""
+        node = self.node_of(core_index)
+        return sorted(self._index[n] for n in self.graph.neighbors(node))
+
+    def steady_state(self, powers) -> np.ndarray:
+        """Per-core temperatures (kelvin) for the given power vector (W).
+
+        Solves ``G (T - T_amb) = P``; superposition over the ambient
+        reference makes the solve a single linear system.
+        """
+        powers = np.asarray(powers, dtype=float)
+        if powers.shape != (self.n_cores,):
+            raise ConfigurationError(
+                f"powers must have shape ({self.n_cores},), got {powers.shape}"
+            )
+        if np.any(powers < 0.0):
+            raise ConfigurationError("powers must be non-negative")
+        rise = np.linalg.solve(self._conductance, powers)
+        return self.ambient + rise

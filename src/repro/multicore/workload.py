@@ -1,0 +1,76 @@
+"""Workload models: how many cores the system must keep active per epoch."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ConstantWorkload:
+    """A fixed demand: ``active_cores`` must run every epoch.
+
+    The paper's Fig. 10 snapshot — 6 of 8 cores active, 2 asleep — is
+    ``ConstantWorkload(6)`` on a 8-core system.
+    """
+
+    def __init__(self, active_cores: int) -> None:
+        if active_cores < 0:
+            raise ConfigurationError("active_cores must be non-negative")
+        self.active_cores = active_cores
+
+    def demand(self, epoch: int) -> int:
+        """Cores required during ``epoch``."""
+        return self.active_cores
+
+
+class DiurnalWorkload:
+    """Day/night demand swing — the circadian scheduling opportunity.
+
+    Demand alternates between ``peak`` cores for ``day_epochs`` and
+    ``trough`` cores for ``night_epochs``; night epochs are when deep
+    rejuvenation is cheap.
+    """
+
+    def __init__(
+        self, peak: int, trough: int, day_epochs: int = 16, night_epochs: int = 8
+    ) -> None:
+        if peak < trough:
+            raise ConfigurationError("peak demand must be >= trough demand")
+        if trough < 0:
+            raise ConfigurationError("trough must be non-negative")
+        if day_epochs <= 0 or night_epochs <= 0:
+            raise ConfigurationError("day/night epoch counts must be positive")
+        self.peak = peak
+        self.trough = trough
+        self.day_epochs = day_epochs
+        self.night_epochs = night_epochs
+
+    def demand(self, epoch: int) -> int:
+        """Cores required during ``epoch``."""
+        position = epoch % (self.day_epochs + self.night_epochs)
+        return self.peak if position < self.day_epochs else self.trough
+
+
+class RandomWorkload:
+    """Binomially fluctuating demand around a mean utilisation."""
+
+    def __init__(
+        self,
+        n_cores: int,
+        utilisation: float,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        if not 0.0 <= utilisation <= 1.0:
+            raise ConfigurationError("utilisation must be within [0, 1]")
+        if n_cores <= 0:
+            raise ConfigurationError("n_cores must be positive")
+        self.n_cores = n_cores
+        self.utilisation = utilisation
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        self._rng = rng
+
+    def demand(self, epoch: int) -> int:
+        """Cores required during ``epoch`` (binomial draw)."""
+        return int(self._rng.binomial(self.n_cores, self.utilisation))

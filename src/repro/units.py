@@ -1,0 +1,91 @@
+"""Units, conversions and physical constants.
+
+All quantities inside the library use SI base units unless a suffix says
+otherwise:
+
+* time        — seconds
+* temperature — kelvin (user-facing APIs accept Celsius via :func:`celsius`)
+* voltage     — volts
+* energy      — electron-volts for activation energies (paired with
+  :data:`BOLTZMANN_EV`)
+* delay       — seconds (helpers for nanoseconds are provided)
+
+The paper quotes hours, degrees Celsius, nanoseconds and megahertz; the
+helpers here keep that translation in one place.
+"""
+
+from __future__ import annotations
+
+# Boltzmann constant in eV/K — activation energies in this library are in eV.
+BOLTZMANN_EV = 8.617333262e-5
+
+# Absolute zero offset between Celsius and Kelvin scales.
+ZERO_CELSIUS_K = 273.15
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_YEAR = 365.25 * SECONDS_PER_DAY
+
+
+def celsius(degrees_c: float) -> float:
+    """Convert a temperature in degrees Celsius to kelvin."""
+    kelvin = degrees_c + ZERO_CELSIUS_K
+    if kelvin <= 0.0:
+        raise ValueError(f"temperature {degrees_c} degC is below absolute zero")
+    return kelvin
+
+
+def to_celsius(kelvin: float) -> float:
+    """Convert a temperature in kelvin to degrees Celsius."""
+    return kelvin - ZERO_CELSIUS_K
+
+
+def hours(value: float) -> float:
+    """Convert a duration in hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def minutes(value: float) -> float:
+    """Convert a duration in minutes to seconds."""
+    return value * SECONDS_PER_MINUTE
+
+
+def days(value: float) -> float:
+    """Convert a duration in days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+def to_hours(seconds: float) -> float:
+    """Convert a duration in seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def nanoseconds(value: float) -> float:
+    """Convert a delay in nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def to_nanoseconds(seconds: float) -> float:
+    """Convert a delay in seconds to nanoseconds."""
+    return seconds * 1e9
+
+
+def megahertz(value: float) -> float:
+    """Convert a frequency in MHz to Hz."""
+    return value * 1e6
+
+
+def to_megahertz(hertz: float) -> float:
+    """Convert a frequency in Hz to MHz."""
+    return hertz / 1e6
+
+
+def millivolts(value: float) -> float:
+    """Convert a voltage in millivolts to volts."""
+    return value * 1e-3
+
+
+def to_millivolts(volts: float) -> float:
+    """Convert a voltage in volts to millivolts."""
+    return volts * 1e3

@@ -1,0 +1,50 @@
+"""ASCII line plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import line_plot
+from repro.analysis.series import Series
+from repro.errors import ConfigurationError
+
+
+def make_series(label="s", n=20) -> Series:
+    t = np.linspace(0.0, 10.0, n)
+    return Series(label, t, np.log1p(t))
+
+
+class TestLinePlot:
+    def test_contains_markers_and_legend(self):
+        text = line_plot([make_series("wearout")], title="demo")
+        assert "demo" in text
+        assert "*" in text
+        assert "wearout" in text
+
+    def test_multiple_series_distinct_markers(self):
+        a = make_series("a")
+        b = Series("b", a.times, a.values * 2.0)
+        text = line_plot([a, b])
+        assert "*" in text and "o" in text
+        assert "a" in text and "b" in text
+
+    def test_axis_ticks_present(self):
+        text = line_plot([make_series()], y_label="dTd")
+        assert "dTd" in text
+        assert "0" in text and "10" in text
+
+    def test_dimensions(self):
+        text = line_plot([make_series()], width=30, height=8)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_rows) == 8
+
+    def test_flat_series_does_not_crash(self):
+        flat = Series("flat", np.array([0.0, 1.0]), np.array([2.0, 2.0]))
+        assert "flat" in line_plot([flat])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_plot([])
+        with pytest.raises(ConfigurationError):
+            line_plot([make_series()], width=5)
+        with pytest.raises(ConfigurationError):
+            line_plot([make_series(str(i)) for i in range(9)])

@@ -1,0 +1,49 @@
+"""CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import write_series_csv, write_table_csv
+from repro.analysis.series import Series
+from repro.analysis.tables import Table
+from repro.errors import ConfigurationError
+
+
+class TestSeriesExport:
+    def test_long_format(self, tmp_path):
+        a = Series("a", np.array([0.0, 1.0]), np.array([1.0, 2.0]), units="ns")
+        b = Series("b", np.array([0.0]), np.array([3.0]), units="ns")
+        path = tmp_path / "series.csv"
+        write_series_csv(path, [a, b])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["label", "time_s", "value", "units"]
+        assert len(rows) == 4
+        assert rows[3][0] == "b"
+
+    def test_values_roundtrip_exactly(self, tmp_path):
+        value = 1.2345678901234567e-9
+        s = Series("x", np.array([0.0]), np.array([value]))
+        path = tmp_path / "x.csv"
+        write_series_csv(path, [s])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert float(rows[1][2]) == value
+
+    def test_rejects_empty_list(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_series_csv(tmp_path / "nope.csv", [])
+
+
+class TestTableExport:
+    def test_header_and_rows(self, tmp_path):
+        table = Table("T", ["case", "value"])
+        table.add_row("AR110N6", 72.4)
+        path = tmp_path / "table.csv"
+        write_table_csv(path, table)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["case", "value"]
+        assert rows[1] == ["AR110N6", "72.4"]

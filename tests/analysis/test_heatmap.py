@@ -1,0 +1,50 @@
+"""ASCII heatmaps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import render_heatmap
+from repro.errors import ConfigurationError
+
+
+class TestHeatmap:
+    def test_extremes_use_ramp_ends(self):
+        text = render_heatmap(np.array([[0.0, 1.0]]), cell_width=1)
+        grid_line = text.splitlines()[0]
+        assert grid_line[0] == " " and grid_line[1] == "@"
+
+    def test_scale_legend(self):
+        text = render_heatmap(np.array([[35.0, 70.0]]))
+        assert "35" in text and "70" in text
+
+    def test_labels(self):
+        text = render_heatmap(
+            np.ones((2, 2)),
+            title="temps",
+            row_labels=["r0", "r1"],
+            col_labels=["c0", "c1"],
+        )
+        assert "temps" in text
+        assert "r0" in text and "r1" in text
+
+    def test_constant_matrix_does_not_crash(self):
+        text = render_heatmap(np.full((3, 3), 5.0))
+        assert "5" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.ones((2, 2)), row_labels=["only-one"])
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.ones((2, 2)), cell_width=0)
+
+    def test_thermal_field_usage(self):
+        # The intended consumer: a 2 x 4 core temperature field.
+        from repro.multicore.thermal import ThermalGrid
+
+        grid = ThermalGrid()
+        powers = np.array([10.0, 10.0, 0.4, 10.0, 10.0, 10.0, 0.4, 10.0])
+        temps = grid.steady_state(powers).reshape(2, 4) - 273.15
+        text = render_heatmap(temps, title="die temperature (degC)")
+        assert "die temperature" in text

@@ -1,0 +1,61 @@
+"""Series container."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import Series, downsample, nearest_index, resample
+from repro.errors import ConfigurationError
+
+
+def make_series() -> Series:
+    return Series("demo", np.array([0.0, 1.0, 2.0, 3.0]), np.array([0.0, 2.0, 3.0, 3.5]))
+
+
+class TestSeries:
+    def test_basic_accessors(self):
+        s = make_series()
+        assert len(s) == 4
+        assert s.final == 3.5
+        assert s.peak == 3.5
+
+    def test_interpolation(self):
+        assert make_series().at(0.5) == pytest.approx(1.0)
+
+    def test_scaled(self):
+        s = make_series().scaled(1e9, units="ns")
+        assert s.final == pytest.approx(3.5e9)
+        assert s.units == "ns"
+
+    def test_relabeled(self):
+        assert make_series().relabeled("other").label == "other"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Series("bad", np.array([0.0, 1.0]), np.array([0.0]))
+        with pytest.raises(ConfigurationError):
+            Series("bad", np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            Series("bad", np.array([]), np.array([]))
+
+
+class TestHelpers:
+    def test_nearest_index(self):
+        assert nearest_index([0.0, 10.0, 20.0], 12.0) == 1
+
+    def test_nearest_index_empty(self):
+        with pytest.raises(ConfigurationError):
+            nearest_index([], 0.0)
+
+    def test_resample(self):
+        s = resample(make_series(), [0.5, 1.5])
+        np.testing.assert_allclose(s.values, [1.0, 2.5])
+
+    def test_downsample_keeps_last(self):
+        s = Series("d", np.arange(10.0), np.arange(10.0))
+        d = downsample(s, 4)
+        assert d.times[-1] == 9.0
+        assert len(d) == 4  # indices 0, 4, 8, 9
+
+    def test_downsample_validation(self):
+        with pytest.raises(ConfigurationError):
+            downsample(make_series(), 0)

@@ -1,0 +1,46 @@
+"""Summary statistics and bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_ci, summary
+from repro.errors import ConfigurationError
+
+
+class TestSummary:
+    def test_values(self):
+        s = summary([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_single_value_zero_std(self):
+        assert summary([5.0]).std == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            summary([])
+
+
+class TestBootstrap:
+    def test_interval_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 1.0, size=200)
+        low, high = bootstrap_ci(sample, rng=1)
+        assert low < 10.0 < high
+        assert high - low < 1.0
+
+    def test_confidence_widens_interval(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(0.0, 1.0, size=50)
+        narrow = bootstrap_ci(sample, confidence=0.80, rng=1)
+        wide = bootstrap_ci(sample, confidence=0.99, rng=1)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)

@@ -1,0 +1,55 @@
+"""ASCII tables."""
+
+import pytest
+
+from repro.analysis.tables import Table, format_paper_comparison
+from repro.errors import ConfigurationError
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("alpha", 4.0)
+        table.add_row("beta", 0.5)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_float_formatting(self):
+        table = Table("T", ["x"], fmt="{:.1f}")
+        table.add_row(3.14159)
+        assert "3.1" in table.render()
+
+    def test_bool_rendering(self):
+        table = Table("T", ["ok"])
+        table.add_row(True)
+        table.add_row(False)
+        text = table.render()
+        assert "yes" in text and "no" in text
+
+    def test_row_width_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_empty_table_renders_header(self):
+        text = Table("Empty", ["col"]).render()
+        assert "Empty" in text and "col" in text
+
+    def test_print_smoke(self, capsys):
+        table = Table("T", ["x"])
+        table.add_row(1)
+        table.print()
+        assert "T" in capsys.readouterr().out
+
+
+class TestPaperComparison:
+    def test_columns(self):
+        text = format_paper_comparison(
+            "Fig. 4", [("AC/DC ratio", "~0.5", 0.55)]
+        )
+        assert "paper" in text and "measured" in text
+        assert "~0.5" in text and "0.550" in text

@@ -1,0 +1,57 @@
+"""Arrhenius and field acceleration factors."""
+
+import numpy as np
+import pytest
+
+from repro.bti.acceleration import arrhenius_factor, field_factor
+from repro.errors import ConfigurationError
+from repro.units import celsius
+
+
+class TestArrhenius:
+    def test_unity_at_reference(self):
+        t = celsius(20.0)
+        assert arrhenius_factor(0.6, t, t) == pytest.approx(1.0)
+
+    def test_speeds_up_above_reference(self):
+        assert arrhenius_factor(0.6, celsius(110.0), celsius(20.0)) > 1.0
+
+    def test_slows_down_below_reference(self):
+        assert arrhenius_factor(0.6, celsius(-20.0), celsius(20.0)) < 1.0
+
+    def test_zero_activation_energy_is_temperature_independent(self):
+        assert arrhenius_factor(0.0, celsius(110.0), celsius(20.0)) == pytest.approx(1.0)
+
+    def test_multiplicative_composition(self):
+        # AF(T1 -> T3) = AF(T1 -> T2) * AF(T2 -> T3)
+        ea = 0.45
+        t1, t2, t3 = celsius(20.0), celsius(60.0), celsius(110.0)
+        direct = arrhenius_factor(ea, t3, t1)
+        composed = arrhenius_factor(ea, t2, t1) * arrhenius_factor(ea, t3, t2)
+        assert direct == pytest.approx(composed)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ConfigurationError):
+            arrhenius_factor(0.5, -1.0, celsius(20.0))
+
+    def test_known_value(self):
+        # Ea = 0.6 eV from 293.15 K to 383.15 K: exp(0.6/k * (1/293.15 - 1/383.15))
+        expected = np.exp((0.6 / 8.617333262e-5) * (1 / 293.15 - 1 / 383.15))
+        assert arrhenius_factor(0.6, celsius(110.0), celsius(20.0)) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+
+class TestFieldFactor:
+    def test_unity_at_reference(self):
+        assert field_factor(5.0, 1.2, 1.2) == pytest.approx(1.0)
+
+    def test_exponential_in_overdrive(self):
+        assert field_factor(5.0, 1.4, 1.2) == pytest.approx(np.exp(1.0))
+
+    def test_negative_overdrive_suppresses(self):
+        assert field_factor(5.0, 0.0, 1.2) < 1e-2
+
+    def test_negative_gamma_inverts_direction(self):
+        # Emission uses a negative effective gamma: reverse bias accelerates.
+        assert field_factor(-8.2, -0.3, 0.0) == pytest.approx(np.exp(8.2 * 0.3))

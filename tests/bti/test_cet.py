@@ -1,0 +1,89 @@
+"""CET maps and recovery spectroscopy."""
+
+import numpy as np
+import pytest
+
+from repro.bti.cet import (
+    cet_map,
+    emission_spectrum,
+    occupied_emission_histogram,
+)
+from repro.bti.conditions import BiasCondition
+from repro.bti.traps import TrapParameters, TrapPopulation
+from repro.errors import ConfigurationError
+from repro.units import celsius, hours
+
+STRESS = BiasCondition.at_celsius(1.2, 110.0)
+RECOVER = BiasCondition.at_celsius(-0.3, 110.0)
+
+
+def make_population(seed=4, traps=200.0) -> TrapPopulation:
+    return TrapPopulation(TrapParameters(mean_trap_count=traps), n_owners=1, rng=seed)
+
+
+class TestCetMap:
+    def test_total_impact_matches_population(self):
+        population = make_population()
+        result = cet_map(population, STRESS)
+        assert result.total_impact == pytest.approx(float(population.impact.sum()))
+
+    def test_marginal_shapes(self):
+        result = cet_map(make_population(), STRESS, n_bins=16)
+        assert result.density.shape == (16, 16)
+        assert result.marginal_emission().shape == (16,)
+
+    def test_stress_shifts_capture_left(self):
+        # Under stress acceleration the effective capture times are far
+        # shorter than at recovery bias: the capture marginal moves left.
+        population = make_population()
+        stressed = cet_map(population, STRESS)
+        recovering = cet_map(population, RECOVER)
+        centers = 0.5 * (stressed.capture_edges[:-1] + stressed.capture_edges[1:])
+        mean_stress = np.average(centers, weights=stressed.density.sum(axis=1) + 1e-30)
+        mean_recover = np.average(centers, weights=recovering.density.sum(axis=1) + 1e-30)
+        assert mean_stress < mean_recover
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cet_map(make_population(), STRESS, n_bins=1)
+        with pytest.raises(ConfigurationError):
+            cet_map(make_population(), STRESS, bounds_decades=(5.0, 5.0))
+
+
+class TestEmissionSpectrum:
+    def test_spectrum_from_simulated_recovery(self):
+        population = make_population(traps=400.0)
+        population.evolve(hours(24.0), 1.2, celsius(110.0))
+        peak = population.delta_vth()[0]
+        times, recovered = [], []
+        t = 0.0
+        for step in np.diff(np.logspace(0, np.log10(hours(6.0)), 30), prepend=0.0):
+            population.evolve(float(step), -0.3, celsius(110.0))
+            t += float(step)
+            times.append(t)
+            recovered.append(peak - population.delta_vth()[0])
+        spectrum = emission_spectrum(np.array(times), np.array(recovered))
+        # Emission density is non-negative everywhere (recovery only).
+        assert np.all(spectrum.density >= -1e-12)
+        # Total spectral mass equals total recovery over the window.
+        total = np.sum(spectrum.density * np.diff(np.log10(np.array(times))))
+        assert total == pytest.approx(recovered[-1] - recovered[0], rel=1e-6)
+
+    def test_oracle_histogram_agrees_with_spectrum_mass(self):
+        population = make_population(traps=400.0)
+        population.evolve(hours(24.0), 1.2, celsius(110.0))
+        edges = np.array([0.0, 2.0, 4.0])
+        histogram = occupied_emission_histogram(population, RECOVER, edges)
+        # Recover long enough to drain those bins and compare.
+        peak = population.delta_vth()[0]
+        population.evolve(10.0**4.0, -0.3, celsius(110.0))
+        recovered = peak - population.delta_vth()[0]
+        assert recovered == pytest.approx(histogram.sum(), rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            emission_spectrum([1.0, 2.0], [0.0, 0.1])
+        with pytest.raises(ConfigurationError):
+            emission_spectrum([1.0, 2.0, 3.0], [0.0, 0.1])
+        with pytest.raises(ConfigurationError):
+            occupied_emission_histogram(make_population(), RECOVER, np.array([1.0]))

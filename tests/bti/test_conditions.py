@@ -1,0 +1,90 @@
+"""Bias conditions, waveforms and phases."""
+
+import pytest
+
+from repro.bti.conditions import (
+    AC_FIFTY_FIFTY,
+    DC,
+    BiasCondition,
+    BiasPhase,
+    Waveform,
+)
+from repro.errors import ConfigurationError, ScheduleError
+from repro.units import celsius
+
+
+class TestBiasCondition:
+    def test_at_celsius(self):
+        cond = BiasCondition.at_celsius(1.2, 110.0)
+        assert cond.temperature == pytest.approx(celsius(110.0))
+        assert cond.stress_voltage == 1.2
+
+    def test_negative_stress_voltage_allowed(self):
+        # The paper's accelerated recovery reverses the bias.
+        cond = BiasCondition.at_celsius(-0.3, 20.0)
+        assert cond.stress_voltage == -0.3
+
+    def test_nonpositive_temperature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BiasCondition(stress_voltage=0.0, temperature=0.0)
+
+    def test_with_voltage_preserves_temperature(self):
+        cond = BiasCondition.at_celsius(1.2, 110.0)
+        sleep = cond.with_voltage(-0.3)
+        assert sleep.temperature == cond.temperature
+        assert sleep.stress_voltage == -0.3
+
+    def test_with_temperature_preserves_voltage(self):
+        cond = BiasCondition.at_celsius(1.2, 20.0)
+        hot = cond.with_temperature(celsius(110.0))
+        assert hot.stress_voltage == 1.2
+        assert hot.temperature == pytest.approx(celsius(110.0))
+
+    def test_frozen(self):
+        cond = BiasCondition.at_celsius(1.2, 20.0)
+        with pytest.raises(AttributeError):
+            cond.stress_voltage = 0.5
+
+
+class TestWaveform:
+    def test_dc_constant(self):
+        assert DC.is_dc
+        assert DC.duty == 1.0
+
+    def test_ac_fifty_fifty(self):
+        assert AC_FIFTY_FIFTY.duty == 0.5
+        assert not AC_FIFTY_FIFTY.is_dc
+
+    @pytest.mark.parametrize("duty", [-0.1, 1.5])
+    def test_duty_out_of_range_rejected(self, duty):
+        with pytest.raises(ConfigurationError):
+            Waveform(duty=duty)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Waveform(duty=0.5, frequency=0.0)
+
+
+class TestBiasPhase:
+    def test_default_relax_bias_is_unbiased_same_temperature(self):
+        phase = BiasPhase(duration=10.0, bias=BiasCondition.at_celsius(1.2, 110.0))
+        relax = phase.effective_relax_bias
+        assert relax.stress_voltage == 0.0
+        assert relax.temperature == phase.bias.temperature
+
+    def test_explicit_relax_bias_returned(self):
+        bias = BiasCondition.at_celsius(1.2, 110.0)
+        relax = bias.with_voltage(-0.3)
+        phase = BiasPhase(duration=10.0, bias=bias, relax_bias=relax)
+        assert phase.effective_relax_bias == relax
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ScheduleError):
+            BiasPhase(duration=-1.0, bias=BiasCondition.at_celsius(1.2, 20.0))
+
+    def test_relax_bias_must_share_temperature(self):
+        # A thermal chamber cannot follow a MHz waveform.
+        bias = BiasCondition.at_celsius(1.2, 110.0)
+        relax = BiasCondition.at_celsius(0.0, 20.0)
+        with pytest.raises(ScheduleError):
+            BiasPhase(duration=10.0, bias=bias, relax_bias=relax)

@@ -1,0 +1,76 @@
+"""Single-device aging wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.bti.conditions import BiasCondition, BiasPhase, StressPolarity, Waveform
+from repro.bti.device_model import DeviceAgingModel
+from repro.bti.traps import TrapParameters
+from repro.units import celsius, hours
+
+STRESS = BiasCondition.at_celsius(1.2, 110.0)
+RECOVER = BiasCondition.at_celsius(-0.3, 110.0)
+
+
+def make_device(seed=3) -> DeviceAgingModel:
+    return DeviceAgingModel(TrapParameters(mean_trap_count=30.0), rng=seed)
+
+
+class TestDeviceAgingModel:
+    def test_fresh_device_unshifted(self):
+        assert make_device().delta_vth == 0.0
+
+    def test_stress_then_recover(self):
+        device = make_device()
+        peak = device.stress(hours(24.0), STRESS)
+        assert peak > 0.0
+        residual = device.recover(hours(6.0), RECOVER)
+        assert 0.0 <= residual < peak
+
+    def test_default_polarity_nbti(self):
+        assert make_device().polarity is StressPolarity.NBTI
+
+    def test_run_schedule_returns_per_phase_shifts(self):
+        device = make_device()
+        phases = [
+            BiasPhase(duration=hours(24.0), bias=STRESS),
+            BiasPhase(duration=hours(6.0), bias=RECOVER),
+        ]
+        shifts = device.run_schedule(phases)
+        assert shifts.shape == (2,)
+        assert shifts[0] > shifts[1]
+
+    def test_trajectory_times_and_monotonic_stress(self):
+        device = make_device()
+        phase = BiasPhase(duration=hours(10.0), bias=STRESS)
+        times, shifts = device.trajectory(phase, n_samples=10)
+        assert times[-1] == pytest.approx(hours(10.0))
+        assert np.all(np.diff(shifts) >= -1e-15)
+
+    def test_trajectory_matches_single_phase_endpoint(self):
+        direct = make_device(seed=8)
+        sampled = make_device(seed=8)
+        phase = BiasPhase(duration=hours(10.0), bias=STRESS)
+        direct.stress(hours(10.0), STRESS)
+        __, shifts = sampled.trajectory(phase, n_samples=7)
+        assert shifts[-1] == pytest.approx(direct.delta_vth, rel=1e-9)
+
+    def test_ac_waveform_ages_less(self):
+        dc = make_device(seed=5)
+        ac = make_device(seed=5)
+        dc.stress(hours(24.0), STRESS)
+        ac.stress(hours(24.0), STRESS, waveform=Waveform(duty=0.5))
+        assert ac.delta_vth < dc.delta_vth
+
+    def test_reset(self):
+        device = make_device()
+        device.stress(hours(24.0), STRESS)
+        device.reset()
+        assert device.delta_vth == 0.0
+        assert device.elapsed == 0.0
+
+    def test_elapsed_tracks_all_phases(self):
+        device = make_device()
+        device.stress(hours(2.0), STRESS)
+        device.recover(hours(1.0), RECOVER)
+        assert device.elapsed == pytest.approx(hours(3.0))

@@ -1,0 +1,161 @@
+"""The paper's first-order closed forms (Eqs. 1-4, 10-12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bti.firstorder import (
+    FirstOrderBtiModel,
+    FirstOrderDelayModel,
+    PhysicsScaling,
+    RecoveryParameters,
+    StressParameters,
+)
+from repro.errors import ConfigurationError
+from repro.units import celsius, hours
+
+
+def make_model() -> FirstOrderBtiModel:
+    return FirstOrderBtiModel(
+        stress=StressParameters(prefactor=2.4e-3, offset_a=0.05, rate_c=2.0e-4),
+        recovery=RecoveryParameters(
+            prefactor=1.5e-4, offset_a=0.05, rate_c=2.0e-4, k1=0.9, k2=1.6
+        ),
+    )
+
+
+class TestStressParameters:
+    def test_shift_grows_logarithmically(self):
+        p = StressParameters(prefactor=1.0, offset_a=0.0, rate_c=1.0)
+        # For C*t >> 1, shift(10t) - shift(t) ~ log(10).
+        gap = p.shift(1e6) - p.shift(1e5)
+        assert gap == pytest.approx(np.log(10.0), rel=1e-3)
+
+    def test_scalar_and_array_evaluation(self):
+        p = StressParameters(prefactor=1.0, offset_a=0.1, rate_c=1e-4)
+        scalar = p.shift(3600.0)
+        array = p.shift(np.array([3600.0, 7200.0]))
+        assert isinstance(scalar, float)
+        assert array.shape == (2,)
+        assert array[0] == pytest.approx(scalar)
+
+    def test_effective_stress_time_inverts_shift(self):
+        p = StressParameters(prefactor=2.0e-3, offset_a=0.05, rate_c=2e-4)
+        t = hours(7.0)
+        shift = float(np.asarray(p.shift(t)))
+        assert p.effective_stress_time(shift) == pytest.approx(t, rel=1e-9)
+
+    def test_effective_stress_time_clamps_small_shifts(self):
+        p = StressParameters(prefactor=1.0, offset_a=0.5, rate_c=1.0)
+        assert p.effective_stress_time(0.0) == 0.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            StressParameters(prefactor=1.0, offset_a=0.0, rate_c=0.0)
+
+    @given(t=st.floats(min_value=0.0, max_value=1e8))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_monotone_nonnegative_prefactor(self, t):
+        p = StressParameters(prefactor=1e-3, offset_a=0.1, rate_c=1e-4)
+        assert p.shift(t + 100.0) >= p.shift(t)
+
+
+class TestRecoveryParameters:
+    def test_residual_decreases_with_time(self):
+        model = make_model()
+        t1 = hours(24.0)
+        times = np.linspace(60.0, hours(6.0), 50)
+        residuals = np.asarray(model.recovery_shift(t1, times))
+        assert np.all(np.diff(residuals) <= 1e-12)
+
+    def test_residual_below_peak(self):
+        model = make_model()
+        t1 = hours(24.0)
+        peak = float(np.asarray(model.stress_shift(t1)))
+        residual = model.recovery_shift(t1, hours(6.0))
+        assert residual < peak
+
+    def test_cannot_fully_recover(self):
+        # The paper: "recovery is slower than degradation and dVth can't be
+        # fully recovered" — even after very long sleeps a floor remains.
+        model = make_model()
+        residual = model.recovery_shift(hours(24.0), hours(10000.0))
+        assert residual > 0.0
+
+    def test_recovered_is_peak_minus_residual(self):
+        model = make_model()
+        t1, t2 = hours(24.0), hours(6.0)
+        peak = float(np.asarray(model.stress_shift(t1)))
+        assert model.recovered(t1, t2) == pytest.approx(
+            peak - model.recovery_shift(t1, t2)
+        )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryParameters(prefactor=1.0, offset_a=0.0, rate_c=1.0, k1=-0.1, k2=1.0)
+        with pytest.raises(ConfigurationError):
+            RecoveryParameters(prefactor=1.0, offset_a=0.0, rate_c=1.0, k1=0.1, k2=0.0)
+
+    def test_recovery_starts_fast(self):
+        # More than a proportional share of 6 h recovery lands in the
+        # first 0.3 h — the paper's "recovery starts fast".
+        model = make_model()
+        t1 = hours(24.0)
+        early = model.recovered(t1, hours(0.3))
+        total = model.recovered(t1, hours(6.0))
+        assert early / total > 0.3
+
+
+class TestCycles:
+    def test_simulate_cycles_shapes(self):
+        model = make_model()
+        peaks, troughs = model.simulate_cycles(hours(24.0), hours(6.0), n_cycles=5)
+        assert peaks.shape == troughs.shape == (5,)
+
+    def test_troughs_below_peaks(self):
+        model = make_model()
+        peaks, troughs = model.simulate_cycles(hours(24.0), hours(6.0), n_cycles=5)
+        assert np.all(troughs < peaks)
+
+    def test_residue_accumulates_but_decelerates(self):
+        # Fig. 1's point: troughs rise cycle over cycle, ever more slowly.
+        model = make_model()
+        __, troughs = model.simulate_cycles(hours(24.0), hours(6.0), n_cycles=6)
+        increments = np.diff(troughs)
+        assert np.all(increments > 0.0)
+        assert increments[-1] < increments[0]
+
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(ConfigurationError):
+            make_model().simulate_cycles(1.0, 1.0, n_cycles=0)
+
+    def test_is_monotonic_recovery_check(self):
+        assert make_model().is_monotonic_recovery(hours(24.0), hours(6.0))
+
+
+class TestPhysicsScaling:
+    def test_prefactor_positive(self):
+        scaling = PhysicsScaling(k_prefactor=1.0)
+        assert scaling.prefactor(1.2, celsius(110.0)) > 0.0
+
+    def test_voltage_monotonicity(self):
+        scaling = PhysicsScaling(k_prefactor=1.0, b_field_ev_per_volt=0.05)
+        t = celsius(110.0)
+        assert scaling.prefactor(1.3, t) > scaling.prefactor(1.1, t)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ConfigurationError):
+            PhysicsScaling(k_prefactor=1.0).prefactor(1.2, -5.0)
+
+
+class TestDelayModelAlias:
+    def test_delay_model_is_bti_model(self):
+        model = FirstOrderDelayModel(
+            stress=StressParameters(prefactor=1e-9, offset_a=0.0, rate_c=1e-4),
+            recovery=RecoveryParameters(
+                prefactor=1e-10, offset_a=0.0, rate_c=1e-4, k1=0.9, k2=1.6
+            ),
+        )
+        assert isinstance(model, FirstOrderBtiModel)
+        assert model.stress_shift(hours(24.0)) > 0.0

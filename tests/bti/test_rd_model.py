@@ -1,0 +1,70 @@
+"""Reaction-diffusion baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.bti.rd_model import ReactionDiffusionModel
+from repro.errors import ConfigurationError
+from repro.units import celsius, hours
+
+
+class TestReactionDiffusion:
+    def test_power_law_exponent(self):
+        model = ReactionDiffusionModel(exponent=1.0 / 6.0)
+        v, t = 1.2, celsius(110.0)
+        ratio = model.stress_shift(64.0, v, t) / model.stress_shift(1.0, v, t)
+        assert ratio == pytest.approx(2.0)  # 64^(1/6) = 2
+
+    def test_acceleration_with_temperature_and_voltage(self):
+        model = ReactionDiffusionModel()
+        base = model.acceleration(1.2, celsius(20.0))
+        assert model.acceleration(1.2, celsius(110.0)) > base
+        assert model.acceleration(1.3, celsius(20.0)) > base
+
+    def test_recovery_square_root_form(self):
+        model = ReactionDiffusionModel(xi=0.5)
+        t1 = hours(24.0)
+        residual = model.recovery_shift(1.0, t1, t1)
+        assert residual == pytest.approx(1.0 - np.sqrt(0.25))
+
+    def test_recovery_floors_at_zero(self):
+        model = ReactionDiffusionModel(xi=1.0)
+        residual = model.recovery_shift(1.0, 1.0, 1e12)
+        assert residual >= 0.0
+
+    def test_recovery_monotone_decreasing(self):
+        model = ReactionDiffusionModel()
+        times = np.linspace(1.0, hours(6.0), 30)
+        residuals = np.asarray(model.recovery_shift(2.0, hours(24.0), times))
+        assert np.all(np.diff(residuals) <= 0.0)
+
+    def test_effective_stress_time_inverts(self):
+        model = ReactionDiffusionModel()
+        v, t = 1.2, celsius(110.0)
+        shift = model.stress_shift(hours(5.0), v, t)
+        assert model.effective_stress_time(shift, v, t) == pytest.approx(
+            hours(5.0), rel=1e-9
+        )
+
+    def test_effective_stress_time_zero_for_zero_shift(self):
+        model = ReactionDiffusionModel()
+        assert model.effective_stress_time(0.0, 1.2, celsius(20.0)) == 0.0
+
+    @pytest.mark.parametrize("kwargs", [dict(exponent=0.0), dict(exponent=1.0), dict(xi=0.0)])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ReactionDiffusionModel(**kwargs)
+
+    def test_recovery_requires_positive_stress_time(self):
+        with pytest.raises(ConfigurationError):
+            ReactionDiffusionModel().recovery_shift(1.0, 0.0, 10.0)
+
+    def test_rd_vs_td_shape_difference(self):
+        # RD's t^(1/6) keeps accelerating in log-time less than the TD log
+        # law saturates: over one decade the RD curve grows by a constant
+        # *factor* while the TD curve grows by a constant *amount*.
+        model = ReactionDiffusionModel()
+        v, t = 1.2, celsius(110.0)
+        r1 = model.stress_shift(1e4, v, t) / model.stress_shift(1e3, v, t)
+        r2 = model.stress_shift(1e5, v, t) / model.stress_shift(1e4, v, t)
+        assert r1 == pytest.approx(r2, rel=1e-9)  # scale-free power law

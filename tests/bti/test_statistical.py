@@ -1,0 +1,88 @@
+"""Statistical aging prediction."""
+
+import numpy as np
+import pytest
+
+from repro.bti.conditions import BiasCondition, BiasPhase
+from repro.bti.statistical import (
+    margin_at_quantile,
+    sample_device_shifts,
+    shift_statistics,
+    sigma_mu_relation,
+)
+from repro.bti.traps import TrapParameters
+from repro.errors import ConfigurationError
+from repro.units import hours
+
+STRESS_PHASE = BiasPhase(
+    duration=hours(24.0), bias=BiasCondition.at_celsius(1.2, 110.0)
+)
+SMALL = TrapParameters(mean_trap_count=15.0)
+
+
+class TestSampling:
+    def test_sample_shape_and_positivity(self):
+        shifts = sample_device_shifts([STRESS_PHASE], 100, params=SMALL, rng=0)
+        assert shifts.shape == (100,)
+        assert np.all(shifts >= 0.0)
+        assert shifts.mean() > 0.0
+
+    def test_reproducible(self):
+        a = sample_device_shifts([STRESS_PHASE], 50, params=SMALL, rng=3)
+        b = sample_device_shifts([STRESS_PHASE], 50, params=SMALL, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean_field_less_noisy_than_stochastic(self):
+        mean_field = sample_device_shifts(
+            [STRESS_PHASE], 200, params=SMALL, rng=1, stochastic=False
+        )
+        stochastic = sample_device_shifts(
+            [STRESS_PHASE], 200, params=SMALL, rng=1, stochastic=True
+        )
+        assert np.std(stochastic) > np.std(mean_field) * 0.9
+        # Means must agree (Bernoulli sampling is unbiased).
+        assert np.mean(stochastic) == pytest.approx(np.mean(mean_field), rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sample_device_shifts([STRESS_PHASE], 0)
+        with pytest.raises(ConfigurationError):
+            sample_device_shifts([], 10)
+
+
+class TestStatistics:
+    def test_summary_fields(self):
+        shifts = sample_device_shifts([STRESS_PHASE], 300, params=SMALL, rng=0)
+        stats = shift_statistics(shifts)
+        assert stats.n_devices == 300
+        assert stats.quantiles[0.99] >= stats.quantiles[0.9] >= stats.quantiles[0.5]
+        assert stats.relative_sigma > 0.0
+
+    def test_margin_at_quantile_exceeds_mean(self):
+        shifts = sample_device_shifts([STRESS_PHASE], 300, params=SMALL, rng=0)
+        margin = margin_at_quantile(shifts, coverage=0.99)
+        assert margin > shifts.mean()
+
+    def test_quantile_validation(self):
+        shifts = np.array([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            margin_at_quantile(shifts, coverage=1.0)
+        with pytest.raises(ConfigurationError):
+            shift_statistics(np.array([]))
+
+
+class TestSigmaMu:
+    def test_smaller_devices_less_predictable(self):
+        relation = sigma_mu_relation(
+            [STRESS_PHASE], trap_counts=(8.0, 32.0, 128.0), n_devices=300, rng=0
+        )
+        sigmas = [relation[c] for c in (8.0, 32.0, 128.0)]
+        assert sigmas[0] > sigmas[1] > sigmas[2]
+
+    def test_roughly_inverse_sqrt(self):
+        relation = sigma_mu_relation(
+            [STRESS_PHASE], trap_counts=(16.0, 256.0), n_devices=600, rng=1
+        )
+        # 16x more traps -> ~4x less relative sigma (within a loose factor).
+        ratio = relation[16.0] / relation[256.0]
+        assert 2.0 < ratio < 8.0

@@ -1,0 +1,124 @@
+"""Explicit toggled waveform vs duty-averaged rates (consistency ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.bti.traps import TrapParameters, TrapPopulation
+from repro.bti.waveform_sim import compare_toggled_vs_averaged, simulate_toggled
+from repro.errors import ConfigurationError
+from repro.units import celsius, hours
+
+
+def pure_rate_factory(seed=5):
+    """Populations with the empirical AC correction disabled."""
+    params = TrapParameters(mean_trap_count=25.0, ac_capture_suppression=1.0)
+
+    def make() -> TrapPopulation:
+        return TrapPopulation(params, n_owners=3, rng=seed)
+
+    return make
+
+
+class TestConsistency:
+    def test_fast_toggling_matches_averaging(self):
+        # Toggle period (60 s) far below the effective trap constants at
+        # this bias: the averaged model must agree closely.
+        comparison = compare_toggled_vs_averaged(
+            pure_rate_factory(),
+            duration=hours(6.0),
+            toggle_period=60.0,
+            stress_voltage=1.2,
+            relax_voltage=0.0,
+            temperature=celsius(110.0),
+        )
+        assert comparison.max_relative_error < 0.02
+
+    def test_agreement_improves_with_faster_toggling(self):
+        slow = compare_toggled_vs_averaged(
+            pure_rate_factory(),
+            duration=hours(6.0),
+            toggle_period=hours(1.0),
+            stress_voltage=1.2,
+            relax_voltage=0.0,
+            temperature=celsius(110.0),
+        )
+        fast = compare_toggled_vs_averaged(
+            pure_rate_factory(),
+            duration=hours(6.0),
+            toggle_period=60.0,
+            stress_voltage=1.2,
+            relax_voltage=0.0,
+            temperature=celsius(110.0),
+        )
+        assert fast.max_relative_error <= slow.max_relative_error
+
+    def test_asymmetric_duty(self):
+        comparison = compare_toggled_vs_averaged(
+            pure_rate_factory(),
+            duration=hours(4.0),
+            toggle_period=30.0,
+            stress_voltage=1.2,
+            relax_voltage=0.0,
+            temperature=celsius(110.0),
+            duty=0.25,
+        )
+        assert comparison.max_relative_error < 0.03
+
+    def test_default_model_suppression_is_visible(self):
+        # With the empirical correction enabled (default 0.01) the
+        # averaged model deliberately ages LESS than pure rate toggling.
+        params = TrapParameters(mean_trap_count=25.0)
+
+        def make() -> TrapPopulation:
+            return TrapPopulation(params, n_owners=3, rng=7)
+
+        comparison = compare_toggled_vs_averaged(
+            make,
+            duration=hours(6.0),
+            toggle_period=60.0,
+            stress_voltage=1.2,
+            relax_voltage=0.0,
+            temperature=celsius(110.0),
+        )
+        assert comparison.averaged_shift.sum() < comparison.explicit_shift.sum()
+
+
+class TestDutyFactorCurve:
+    def test_monotone_and_endpoints(self):
+        from repro.bti.waveform_sim import duty_factor_curve
+
+        factory = pure_rate_factory(seed=9)
+        curve = duty_factor_curve(
+            factory,
+            duration=hours(12.0),
+            stress_voltage=1.2,
+            temperature=celsius(110.0),
+            duties=(0.0, 0.5, 1.0),
+        )
+        assert curve[0.0] <= curve[0.5] <= curve[1.0]
+        assert curve[0.0] < 0.05 * curve[1.0]
+
+    def test_validation(self):
+        from repro.bti.waveform_sim import duty_factor_curve
+
+        factory = pure_rate_factory()
+        with pytest.raises(ConfigurationError):
+            duty_factor_curve(factory, 0.0, 1.2, celsius(110.0))
+        with pytest.raises(ConfigurationError):
+            duty_factor_curve(factory, 10.0, 1.2, celsius(110.0), duties=(1.5,))
+
+
+class TestSimulateToggled:
+    def test_elapsed_time_accounted(self):
+        population = pure_rate_factory()()
+        simulate_toggled(population, 600.0, 60.0, 1.2, 0.0, celsius(110.0))
+        assert population.elapsed == pytest.approx(600.0)
+
+    def test_validation(self):
+        population = pure_rate_factory()()
+        with pytest.raises(ConfigurationError):
+            simulate_toggled(population, 0.0, 1.0, 1.2, 0.0, celsius(110.0))
+        with pytest.raises(ConfigurationError):
+            simulate_toggled(population, 10.0, 60.0, 1.2, 0.0, celsius(110.0))
+        with pytest.raises(ConfigurationError):
+            simulate_toggled(population, 60.0, 10.0, 1.2, 0.0, celsius(110.0), duty=1.0)

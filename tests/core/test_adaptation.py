@@ -1,0 +1,70 @@
+"""Adaptive-clock baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import AdaptiveClockController, ClockTrace
+from repro.errors import ConfigurationError
+
+
+class TestAdaptiveClockController:
+    def test_clock_below_inverse_delay(self):
+        controller = AdaptiveClockController(safety_margin=0.03)
+        delay = 1e-9
+        assert controller.clock_frequency(delay) == pytest.approx(1.0 / (delay * 1.03))
+
+    def test_zero_margin_is_inverse_delay(self):
+        controller = AdaptiveClockController(safety_margin=0.0)
+        assert controller.clock_frequency(2e-9) == pytest.approx(5e8)
+
+    def test_trace_from_trajectory(self):
+        controller = AdaptiveClockController(safety_margin=0.0)
+        times = np.array([0.0, 10.0, 20.0])
+        shifts = np.array([0.0, 1e-10, 2e-10])
+        trace = controller.trace_from_trajectory(times, shifts, fresh_delay=1e-9)
+        assert trace.fresh_frequency == pytest.approx(1e9)
+        assert trace.final_frequency == pytest.approx(1.0 / 1.2e-9)
+        assert 0.0 < trace.performance_loss < 0.2
+
+    def test_mean_frequency_between_extremes(self):
+        trace = ClockTrace(
+            times=np.array([0.0, 1.0]), frequencies=np.array([2.0, 1.0])
+        )
+        assert 1.0 < trace.mean_frequency() < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveClockController(safety_margin=1.0)
+        controller = AdaptiveClockController()
+        with pytest.raises(ConfigurationError):
+            controller.clock_frequency(0.0)
+        with pytest.raises(ConfigurationError):
+            controller.trace_from_trajectory([0.0], [0.0, 1.0], 1e-9)
+        with pytest.raises(ConfigurationError):
+            controller.trace_from_trajectory([0.0], [0.0], 0.0)
+
+    def test_healed_chip_ships_faster_clock(self, chip_factory):
+        # The paper's argument end-to-end: adaptation-only performance
+        # decays; healing keeps the delivered clock higher.
+        from repro.core.knobs import OperatingPoint, RecoveryKnobs
+        from repro.core.policies import NoRecoveryPolicy, ProactivePolicy
+        from repro.core.rejuvenator import Rejuvenator
+        from repro.units import hours
+
+        controller = AdaptiveClockController()
+        operating = OperatingPoint(temperature_c=110.0)
+        knobs = RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+        traces = {}
+        for name, policy in (
+            ("adaptive-only", NoRecoveryPolicy(segment=hours(1.0))),
+            ("healed", ProactivePolicy(knobs, period=hours(2.5))),
+        ):
+            chip = chip_factory(seed=90)
+            trajectory = Rejuvenator(chip, operating, max_segment=hours(0.5)).run(
+                policy, hours(24.0)
+            )
+            traces[name] = controller.trace_from_trajectory(
+                trajectory.active_times, trajectory.delay_shifts, chip.fresh_path_delay
+            )
+        assert traces["healed"].mean_frequency() > traces["adaptive-only"].mean_frequency()
+        assert traces["healed"].performance_loss < traces["adaptive-only"].performance_loss

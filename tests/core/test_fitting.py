@@ -1,0 +1,113 @@
+"""Model parameter extraction (paper Table 3 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.bti.firstorder import PhysicsScaling, RecoveryParameters, StressParameters
+from repro.core.fitting import (
+    fit_physics_scaling,
+    fit_recovery_parameters,
+    fit_stress_parameters,
+)
+from repro.errors import FittingError
+from repro.units import celsius, hours
+
+
+class TestStressFit:
+    def test_recovers_known_parameters(self):
+        truth = StressParameters(prefactor=0.7e-9, offset_a=0.2, rate_c=1.5e-3)
+        times = np.linspace(0.0, hours(24.0), 73)
+        shifts = np.asarray(truth.shift(times))
+        fit = fit_stress_parameters(times, shifts)
+        predicted = np.asarray(fit.parameters.shift(times))
+        np.testing.assert_allclose(predicted, shifts, rtol=1e-3, atol=1e-14)
+        assert fit.nrmse < 1e-3
+
+    def test_robust_to_noise(self):
+        truth = StressParameters(prefactor=0.7e-9, offset_a=0.2, rate_c=1.5e-3)
+        times = np.linspace(0.0, hours(24.0), 73)
+        rng = np.random.default_rng(1)
+        shifts = np.asarray(truth.shift(times)) + rng.normal(0.0, 3e-11, times.size)
+        fit = fit_stress_parameters(times, shifts)
+        assert fit.nrmse < 0.05
+        assert fit.r_squared > 0.95
+
+    def test_rejects_flat_series(self):
+        times = np.linspace(0.0, 10.0, 10)
+        with pytest.raises(FittingError):
+            fit_stress_parameters(times, np.zeros(10))
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(FittingError):
+            fit_stress_parameters([0.0, 1.0], [0.0, 1.0])
+
+    def test_fits_campaign_data(self, campaign_result):
+        times, shifts = campaign_result.delay_change_series("AS110DC24", chip_no=2)
+        fit = fit_stress_parameters(times, shifts)
+        assert fit.nrmse < 0.1
+        assert fit.r_squared > 0.9
+
+
+class TestRecoveryFit:
+    def test_recovers_known_model(self):
+        truth = RecoveryParameters(
+            prefactor=5e-11, offset_a=0.1, rate_c=1e-3, k1=0.8, k2=1.5
+        )
+        t1 = hours(24.0)
+        peak = 3.5e-9
+        times = np.linspace(0.0, hours(6.0), 13)
+        shifts = np.asarray(truth.residual(peak, t1, times))
+        fit = fit_recovery_parameters(t1, peak, times, shifts)
+        predicted = np.asarray(fit.parameters.residual(peak, t1, times))
+        np.testing.assert_allclose(predicted, shifts, rtol=0.02, atol=1e-12)
+
+    def test_fixed_rate_c_respected(self):
+        truth = RecoveryParameters(
+            prefactor=5e-11, offset_a=0.1, rate_c=1e-3, k1=0.8, k2=1.5
+        )
+        t1, peak = hours(24.0), 3.5e-9
+        times = np.linspace(0.0, hours(6.0), 13)
+        shifts = np.asarray(truth.residual(peak, t1, times))
+        fit = fit_recovery_parameters(t1, peak, times, shifts, rate_c=1e-3)
+        assert fit.parameters.rate_c == 1e-3
+
+    def test_rejects_bad_anchor(self):
+        times = np.linspace(0.0, 10.0, 10)
+        with pytest.raises(FittingError):
+            fit_recovery_parameters(0.0, 1.0, times, np.ones(10))
+        with pytest.raises(FittingError):
+            fit_recovery_parameters(10.0, 0.0, times, np.ones(10))
+
+    def test_fits_campaign_recovery(self, campaign_result):
+        times, shifts = campaign_result.delay_change_series("AR110N6", chip_no=5)
+        fit = fit_recovery_parameters(hours(24.0), float(shifts[0]), times, shifts)
+        assert fit.nrmse < 0.1
+
+
+class TestPhysicsScalingFit:
+    def test_recovers_known_scaling(self):
+        truth = PhysicsScaling(k_prefactor=3.0, e0_ev=0.08, b_field_ev_per_volt=0.05)
+        conditions = [
+            (1.2, celsius(100.0)),
+            (1.2, celsius(110.0)),
+            (1.0, celsius(110.0)),
+            (1.1, celsius(80.0)),
+        ]
+        prefactors = [truth.prefactor(v, t) for v, t in conditions]
+        voltages = [v for v, __ in conditions]
+        temperatures = [t for __, t in conditions]
+        fit = fit_physics_scaling(voltages, temperatures, prefactors)
+        assert fit.parameters.e0_ev == pytest.approx(0.08, rel=1e-6)
+        assert fit.parameters.b_field_ev_per_volt == pytest.approx(0.05, rel=1e-6)
+
+    def test_needs_three_conditions(self):
+        with pytest.raises(FittingError):
+            fit_physics_scaling([1.2, 1.2], [300.0, 310.0], [1.0, 2.0])
+
+    def test_rejects_nonpositive_prefactors(self):
+        with pytest.raises(FittingError):
+            fit_physics_scaling([1.2, 1.2, 1.0], [300.0, 310.0, 320.0], [1.0, -2.0, 1.0])
+
+    def test_rejects_misaligned_arrays(self):
+        with pytest.raises(FittingError):
+            fit_physics_scaling([1.2], [300.0, 310.0], [1.0, 2.0])

@@ -1,0 +1,62 @@
+"""Recovery knobs and operating points."""
+
+import pytest
+
+from repro.core.knobs import (
+    ACCELERATED_KNOBS,
+    PASSIVE_KNOBS,
+    OperatingPoint,
+    RecoveryKnobs,
+)
+from repro.errors import ConfigurationError
+from repro.units import celsius
+
+
+class TestRecoveryKnobs:
+    def test_paper_defaults(self):
+        knobs = RecoveryKnobs()
+        assert knobs.alpha == 4.0
+        assert knobs.sleep_voltage == -0.3
+        assert knobs.sleep_temperature_c == 110.0
+
+    def test_fractions(self):
+        knobs = RecoveryKnobs(alpha=4.0)
+        assert knobs.sleep_fraction == pytest.approx(0.2)
+        assert knobs.active_fraction == pytest.approx(0.8)
+        assert knobs.sleep_fraction + knobs.active_fraction == pytest.approx(1.0)
+
+    def test_split_cycle(self):
+        active, sleep = RecoveryKnobs(alpha=4.0).split_cycle(30.0 * 3600.0)
+        assert active == pytest.approx(24.0 * 3600.0)
+        assert sleep == pytest.approx(6.0 * 3600.0)
+
+    def test_split_cycle_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryKnobs().split_cycle(0.0)
+
+    def test_sleep_temperature_kelvin(self):
+        assert RecoveryKnobs().sleep_temperature == pytest.approx(celsius(110.0))
+
+    def test_rejects_positive_sleep_voltage(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryKnobs(sleep_voltage=0.3)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryKnobs(alpha=0.0)
+
+    def test_presets(self):
+        assert PASSIVE_KNOBS.sleep_voltage == 0.0
+        assert PASSIVE_KNOBS.sleep_temperature_c == 20.0
+        assert ACCELERATED_KNOBS.sleep_voltage == -0.3
+
+
+class TestOperatingPoint:
+    def test_defaults(self):
+        op = OperatingPoint()
+        assert op.supply_voltage == 1.2
+        assert op.temperature == pytest.approx(celsius(110.0))
+
+    def test_rejects_nonpositive_supply(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(supply_voltage=0.0)

@@ -1,0 +1,73 @@
+"""Lifetime projection under policies."""
+
+import pytest
+
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.core.lifetime import project_lifetime
+from repro.core.policies import NoRecoveryPolicy, ProactivePolicy
+from repro.errors import ConfigurationError
+from repro.units import hours
+
+
+OPERATING = OperatingPoint(temperature_c=110.0)
+
+
+class TestLifetimeProjection:
+    def test_baseline_crosses_small_budget(self, small_chip):
+        report = project_lifetime(
+            small_chip,
+            NoRecoveryPolicy(segment=hours(1.0)),
+            budget=50e-12,
+            horizon_active_time=hours(24.0),
+            operating=OPERATING,
+            max_segment=hours(1.0),
+        )
+        assert not report.survived_horizon
+        assert 0.0 < report.active_lifetime < hours(24.0)
+
+    def test_healing_extends_lifetime(self, chip_factory):
+        budget = 46e-12
+        baseline = project_lifetime(
+            chip_factory(seed=50),
+            NoRecoveryPolicy(segment=hours(1.0)),
+            budget=budget,
+            horizon_active_time=hours(24.0),
+            operating=OPERATING,
+            max_segment=hours(1.0),
+        )
+        knobs = RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+        healed = project_lifetime(
+            chip_factory(seed=50),
+            ProactivePolicy(knobs, period=hours(2.5)),
+            budget=budget,
+            horizon_active_time=hours(24.0),
+            operating=OPERATING,
+            max_segment=hours(0.5),
+        )
+        assert healed.active_lifetime > baseline.active_lifetime
+
+    def test_generous_budget_survives(self, small_chip):
+        report = project_lifetime(
+            small_chip,
+            NoRecoveryPolicy(segment=hours(1.0)),
+            budget=1.0,  # one full second of delay budget: unreachable
+            horizon_active_time=hours(4.0),
+            operating=OPERATING,
+        )
+        assert report.survived_horizon
+
+    def test_budget_validated(self, small_chip):
+        with pytest.raises(ConfigurationError):
+            project_lifetime(
+                small_chip, NoRecoveryPolicy(), budget=0.0, horizon_active_time=1.0
+            )
+
+    def test_trajectory_attached(self, small_chip):
+        report = project_lifetime(
+            small_chip,
+            NoRecoveryPolicy(segment=hours(1.0)),
+            budget=1.0,
+            horizon_active_time=hours(2.0),
+            operating=OPERATING,
+        )
+        assert report.trajectory.times[-1] > 0.0

@@ -1,0 +1,86 @@
+"""Margin budgeting: guardbands and yield."""
+
+import numpy as np
+import pytest
+
+from repro.core.margin import (
+    build_margin_budget,
+    frequency_guardband,
+    parametric_yield,
+    relaxed_guardband,
+)
+from repro.errors import ConfigurationError
+
+
+UNHEALED = np.array([0.01, 0.02, 0.025, 0.03, 0.05])
+HEALED = UNHEALED * 0.3
+
+
+class TestGuardband:
+    def test_known_value(self):
+        # Single-device population with 4 % shift: derate 1 - 1/1.04.
+        assert frequency_guardband([0.04], coverage=0.5) == pytest.approx(
+            1.0 - 1.0 / 1.04
+        )
+
+    def test_higher_coverage_bigger_guardband(self):
+        assert frequency_guardband(UNHEALED, 0.99) >= frequency_guardband(UNHEALED, 0.5)
+
+    def test_relaxed_guardband(self):
+        before, after, reduction = relaxed_guardband(UNHEALED, HEALED)
+        assert after < before
+        assert 0.0 < reduction < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            frequency_guardband(UNHEALED, coverage=1.0)
+        with pytest.raises(ConfigurationError):
+            frequency_guardband([-0.1])
+        with pytest.raises(ConfigurationError):
+            relaxed_guardband(np.zeros(3), HEALED[:3])
+
+
+class TestYield:
+    def test_full_yield_with_generous_guardband(self):
+        assert parametric_yield(UNHEALED, guardband=0.10) == 1.0
+
+    def test_zero_guardband_fails_aged_parts(self):
+        assert parametric_yield(UNHEALED, guardband=0.0) == 0.0
+
+    def test_partial_yield(self):
+        # Guardband exactly covering shifts <= ~0.0257.
+        y = parametric_yield(UNHEALED, guardband=0.025)
+        assert y == pytest.approx(3.0 / 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            parametric_yield(UNHEALED, guardband=1.0)
+
+
+class TestBudget:
+    def test_budget_assembly(self):
+        budget = build_margin_budget(UNHEALED, HEALED, coverage=0.9)
+        assert budget.guardband_healed < budget.guardband_unhealed
+        assert budget.guardband_reduction > 0.5
+        # At the healed guardband the healed population yields better
+        # than the unhealed one (a p90 band tolerates some tail loss).
+        assert budget.yield_healed > budget.yield_unhealed
+        assert budget.yield_healed >= 0.8
+
+    def test_table_renders(self):
+        text = build_margin_budget(UNHEALED, HEALED).table().render()
+        assert "guardband" in text
+
+    def test_from_trap_population(self):
+        # End-to-end with the statistical module.
+        from repro.bti.conditions import BiasCondition, BiasPhase
+        from repro.bti.statistical import sample_device_shifts
+        from repro.units import hours
+
+        stress = BiasPhase(duration=hours(24.0), bias=BiasCondition.at_celsius(1.2, 110.0))
+        heal = BiasPhase(duration=hours(6.0), bias=BiasCondition.at_celsius(-0.3, 110.0))
+        overdrive = 0.78
+        unhealed = sample_device_shifts([stress], 300, rng=0) / overdrive
+        healed = sample_device_shifts([stress, heal], 300, rng=0) / overdrive
+        budget = build_margin_budget(unhealed, healed)
+        assert budget.guardband_reduction > 0.3

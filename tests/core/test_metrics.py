@@ -1,0 +1,110 @@
+"""Self-healing metrics (RD, margin relaxed, lifetime)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics
+from repro.errors import ConfigurationError
+
+
+TIMES = np.array([0.0, 1.0, 2.0, 4.0, 6.0])
+SHIFTS = np.array([4.0, 2.5, 2.0, 1.5, 1.2])
+
+
+class TestRecoveredDelay:
+    def test_equation_16(self):
+        rd = metrics.recovered_delay(TIMES, SHIFTS)
+        np.testing.assert_allclose(rd, [0.0, 1.5, 2.0, 2.5, 2.8])
+
+    def test_recovery_fraction(self):
+        assert metrics.recovery_fraction(TIMES, SHIFTS) == pytest.approx(2.8 / 4.0)
+
+    def test_margin_relaxed_parameter_is_percent(self):
+        assert metrics.margin_relaxed_parameter(TIMES, SHIFTS) == pytest.approx(70.0)
+
+    def test_rejects_unstressed_start(self):
+        with pytest.raises(ConfigurationError):
+            metrics.recovery_fraction(TIMES, np.zeros(5))
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ConfigurationError):
+            metrics.recovered_delay(TIMES, SHIFTS[:-1])
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ConfigurationError):
+            metrics.recovered_delay(TIMES[::-1], SHIFTS)
+
+    @given(
+        start=st.floats(min_value=0.5, max_value=10.0),
+        fractions=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=10
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fraction_bounded_for_monotone_recovery(self, start, fractions):
+        values = start * np.sort(np.array([1.0] + fractions))[::-1]
+        times = np.arange(values.size, dtype=float)
+        fraction = metrics.recovery_fraction(times, values)
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestDesignMarginRelaxed:
+    def test_envelope_definition(self):
+        assert metrics.design_margin_relaxed(1.0, 4.0) == pytest.approx(0.75)
+
+    def test_no_healing_no_relaxation(self):
+        assert metrics.design_margin_relaxed(4.0, 4.0) == pytest.approx(0.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            metrics.design_margin_relaxed(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            metrics.design_margin_relaxed(-1.0, 2.0)
+
+
+class TestTimeToBudget:
+    def test_interpolated_crossing(self):
+        times = np.array([0.0, 10.0, 20.0])
+        shifts = np.array([0.0, 1.0, 3.0])
+        assert metrics.time_to_budget(times, shifts, 2.0) == pytest.approx(15.0)
+
+    def test_never_crossing_returns_inf(self):
+        times = np.array([0.0, 10.0])
+        shifts = np.array([0.0, 0.5])
+        assert metrics.time_to_budget(times, shifts, 2.0) == float("inf")
+
+    def test_crossing_at_first_sample(self):
+        times = np.array([5.0, 10.0])
+        shifts = np.array([3.0, 4.0])
+        assert metrics.time_to_budget(times, shifts, 2.0) == 5.0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigurationError):
+            metrics.time_to_budget(TIMES, SHIFTS, 0.0)
+
+
+class TestLifetimeExtension:
+    def test_extension_ratio(self):
+        base_t = np.array([0.0, 10.0, 20.0])
+        base_s = np.array([0.0, 1.0, 2.0])
+        heal_t = np.array([0.0, 10.0, 20.0, 40.0])
+        heal_s = np.array([0.0, 0.5, 1.0, 2.0])
+        ext = metrics.lifetime_extension(base_t, base_s, heal_t, heal_s, budget=2.0)
+        assert ext == pytest.approx(2.0)
+
+    def test_infinite_when_healed_never_dies(self):
+        base_t = np.array([0.0, 10.0])
+        base_s = np.array([0.0, 4.0])
+        heal_t = np.array([0.0, 10.0])
+        heal_s = np.array([0.0, 0.5])
+        assert metrics.lifetime_extension(base_t, base_s, heal_t, heal_s, 2.0) == float(
+            "inf"
+        )
+
+    def test_baseline_must_cross(self):
+        t = np.array([0.0, 10.0])
+        s = np.array([0.0, 0.5])
+        with pytest.raises(ConfigurationError):
+            metrics.lifetime_extension(t, s, t, s, 2.0)

@@ -1,0 +1,111 @@
+"""On-chip negative-rail feasibility (paper Sec. 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.negative_rail import (
+    ChargePumpGenerator,
+    GidlModel,
+    check_feasibility,
+    recommend_voltage,
+    sweep_sleep_voltage,
+)
+from repro.errors import ConfigurationError
+from repro.fpga.ring_oscillator import StressMode
+from repro.units import celsius, hours
+
+
+@pytest.fixture(scope="module")
+def stressed_chip(chip_factory_module):
+    chip = chip_factory_module(seed=44)
+    chip.apply_stress(hours(24.0), temperature=celsius(110.0), mode=StressMode.DC)
+    return chip
+
+
+@pytest.fixture(scope="module")
+def chip_factory_module():
+    from repro.device.variation import ProcessVariation
+    from repro.fpga.chip import FpgaChip
+
+    from tests.conftest import fast_technology
+
+    def make(seed: int = 44):
+        return FpgaChip(
+            "rail", n_stages=5, tech=fast_technology(),
+            variation=ProcessVariation(0.0, 0.0, 0.0), seed=seed,
+        )
+
+    return make
+
+
+class TestGidl:
+    def test_zero_at_zero_volts(self):
+        assert GidlModel().current(0.0) == 0.0
+
+    def test_exponential_growth(self):
+        gidl = GidlModel(gamma_per_volt=9.0)
+        # Per 0.1 V the GIDL grows by roughly e^0.9 once away from onset.
+        ratio = gidl.current(-0.5) / gidl.current(-0.4)
+        assert ratio == pytest.approx(np.exp(0.9), rel=0.05)
+
+    def test_rejects_positive_voltage(self):
+        with pytest.raises(ConfigurationError):
+            GidlModel().current(0.1)
+
+
+class TestGenerator:
+    def test_input_power_includes_static_and_efficiency(self):
+        pump = ChargePumpGenerator(efficiency=0.5, static_power_watts=1e-4)
+        assert pump.input_power(1e-4) == pytest.approx(1e-4 + 2e-4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChargePumpGenerator(efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            ChargePumpGenerator().input_power(-1.0)
+
+
+class TestFeasibility:
+    def test_breakdown_limit(self):
+        assert check_feasibility(-0.3)
+        assert not check_feasibility(-0.7)  # below the 40 nm junction limit
+        assert not check_feasibility(0.1)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self, stressed_chip):
+        return sweep_sleep_voltage(
+            stressed_chip, voltages=(0.0, -0.1, -0.2, -0.3, -0.4, -0.5, -0.7)
+        )
+
+    def test_more_negative_recovers_more(self, points):
+        feasible = [p for p in points if p.feasible]
+        fractions = [p.recovery_fraction for p in feasible]
+        assert all(a < b for a, b in zip(fractions, fractions[1:]))
+
+    def test_gidl_grows_much_faster_than_benefit(self, points):
+        at_03 = next(p for p in points if p.sleep_voltage == -0.3)
+        at_05 = next(p for p in points if p.sleep_voltage == -0.5)
+        benefit_ratio = at_05.recovery_fraction / at_03.recovery_fraction
+        gidl_ratio = at_05.gidl_power_watts / at_03.gidl_power_watts
+        assert gidl_ratio > 5.0 * benefit_ratio
+
+    def test_breakdown_point_marked_infeasible(self, points):
+        beyond = next(p for p in points if p.sleep_voltage == -0.7)
+        assert not beyond.feasible
+
+    def test_chip_state_restored(self, stressed_chip, points):
+        # The sweep ends by restoring the stressed snapshot.
+        assert stressed_chip.delta_path_delay() > 0.0
+
+    def test_recommendation_is_the_papers_modest_rail(self, points):
+        assert recommend_voltage(points) == pytest.approx(-0.3)
+
+    def test_unreachable_target_raises(self, points):
+        with pytest.raises(ConfigurationError):
+            recommend_voltage(points, target_fraction=0.999)
+
+    def test_sweep_requires_stressed_chip(self, chip_factory_module):
+        with pytest.raises(ConfigurationError):
+            sweep_sleep_voltage(chip_factory_module(seed=45))

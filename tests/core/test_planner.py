@@ -1,0 +1,85 @@
+"""Circadian planner."""
+
+import pytest
+
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.core.planner import CircadianPlanner
+from repro.errors import ConfigurationError
+from repro.units import hours
+
+
+KNOBS = RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+OPERATING = OperatingPoint(temperature_c=110.0)
+
+
+@pytest.fixture
+def planner() -> CircadianPlanner:
+    return CircadianPlanner(KNOBS, OPERATING, period=hours(5.0))
+
+
+class TestPlanning:
+    def test_plan_covers_requested_work(self, planner):
+        plan = planner.plan(hours(12.0))
+        assert plan.total_active_time >= hours(12.0)
+        assert plan.n_cycles == 3  # 4 h active per 5 h cycle
+
+    def test_throughput_overhead_is_inverse_alpha(self, planner):
+        plan = planner.plan(hours(12.0))
+        assert plan.throughput_overhead == pytest.approx(1.0 / 4.0)
+
+    def test_wall_clock_time(self, planner):
+        plan = planner.plan(hours(12.0))
+        assert plan.wall_clock_time == pytest.approx(plan.n_cycles * hours(5.0))
+
+    def test_rejects_nonpositive_work(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.plan(0.0)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            CircadianPlanner(KNOBS, OPERATING, period=0.0)
+
+
+class TestSimulation:
+    def test_envelope_comparison(self, planner, small_chip):
+        comparison = planner.compare_against_baseline(
+            small_chip, hours(16.0), max_segment=hours(1.0)
+        )
+        assert 0.0 < comparison.margin_relaxed < 1.0
+        assert comparison.healed.peak_shift < comparison.baseline.final_shift
+        assert 0.0 < comparison.end_recovery_fraction <= 1.0
+
+    def test_chip_state_restored_after_comparison(self, planner, small_chip):
+        before = small_chip.delta_path_delay()
+        planner.compare_against_baseline(small_chip, hours(8.0), max_segment=hours(1.0))
+        assert small_chip.delta_path_delay() == pytest.approx(before)
+
+    def test_simulate_returns_saw_tooth(self, planner, small_chip):
+        trajectory = planner.simulate(small_chip, hours(16.0), max_segment=hours(1.0))
+        assert trajectory.cycle_peaks().size >= 3
+
+    def test_optimise_alpha_picks_laziest_schedule(self, small_chip):
+        planner = CircadianPlanner(KNOBS, OPERATING, period=hours(5.0))
+        alpha, results = planner.optimise_alpha(
+            small_chip,
+            hours(16.0),
+            margin_target=0.05,
+            alphas=(2.0, 4.0, 8.0),
+            max_segment=hours(1.0),
+        )
+        assert alpha == max(a for a, margin in results.items() if margin >= 0.05)
+
+    def test_optimise_alpha_unreachable_target(self, small_chip):
+        planner = CircadianPlanner(KNOBS, OPERATING, period=hours(5.0))
+        with pytest.raises(ConfigurationError):
+            planner.optimise_alpha(
+                small_chip,
+                hours(8.0),
+                margin_target=0.999,
+                alphas=(4.0,),
+                max_segment=hours(1.0),
+            )
+
+    def test_margin_target_validated(self, planner, small_chip):
+        with pytest.raises(ConfigurationError):
+            planner.optimise_alpha(small_chip, hours(8.0), margin_target=1.5)

@@ -1,0 +1,104 @@
+"""Recovery scheduling policies."""
+
+import pytest
+
+from repro.core.knobs import RecoveryKnobs
+from repro.core.policies import (
+    ChipStatus,
+    NoRecoveryPolicy,
+    PassiveSleepPolicy,
+    ProactivePolicy,
+    ReactivePolicy,
+    RecoveryAction,
+)
+from repro.errors import ConfigurationError
+from repro.units import hours
+
+
+def status(shift=0.0, active=0.0, total=0.0) -> ChipStatus:
+    return ChipStatus(total_elapsed=total, active_elapsed=active, delay_shift=shift)
+
+
+class TestNoRecovery:
+    def test_always_active(self):
+        policy = NoRecoveryPolicy(segment=100.0)
+        for __ in range(5):
+            action = policy.next_action(status())
+            assert not action.sleep
+            assert action.duration == 100.0
+
+
+class TestProactive:
+    def test_alternates_active_sleep(self):
+        knobs = RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+        policy = ProactivePolicy(knobs, period=hours(30.0))
+        first = policy.next_action(status())
+        second = policy.next_action(status())
+        third = policy.next_action(status())
+        assert not first.sleep and second.sleep and not third.sleep
+
+    def test_durations_follow_alpha(self):
+        knobs = RecoveryKnobs(alpha=4.0)
+        policy = ProactivePolicy(knobs, period=hours(30.0))
+        active = policy.next_action(status())
+        sleep = policy.next_action(status())
+        assert active.duration == pytest.approx(hours(24.0))
+        assert sleep.duration == pytest.approx(hours(6.0))
+
+    def test_sleep_action_carries_knobs(self):
+        knobs = RecoveryKnobs(alpha=2.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+        policy = ProactivePolicy(knobs, period=hours(3.0))
+        policy.next_action(status())
+        sleep = policy.next_action(status())
+        assert sleep.sleep_voltage == -0.3
+        assert sleep.sleep_temperature_c == 110.0
+
+    def test_needs_no_aging_sensor(self):
+        # Proactive decisions are identical regardless of the sensed shift.
+        knobs = RecoveryKnobs(alpha=4.0)
+        a = ProactivePolicy(knobs, period=hours(30.0))
+        b = ProactivePolicy(knobs, period=hours(30.0))
+        assert a.next_action(status(shift=0.0)) == b.next_action(status(shift=1e-6))
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            ProactivePolicy(RecoveryKnobs(), period=0.0)
+
+
+class TestPassiveSleep:
+    def test_sleeps_passively(self):
+        policy = PassiveSleepPolicy(alpha=4.0, period=hours(30.0))
+        policy.next_action(status())
+        sleep = policy.next_action(status())
+        assert sleep.sleep
+        assert sleep.sleep_voltage == 0.0
+        assert sleep.sleep_temperature_c == 20.0
+
+
+class TestReactive:
+    def test_runs_until_trigger(self):
+        policy = ReactivePolicy(
+            RecoveryKnobs(), trigger_shift=1.0, recovery_duration=hours(1.0)
+        )
+        assert not policy.next_action(status(shift=0.5)).sleep
+        assert policy.next_action(status(shift=1.5)).sleep
+        assert policy.triggers == 1
+
+    def test_recovery_duration_fixed(self):
+        policy = ReactivePolicy(
+            RecoveryKnobs(), trigger_shift=1.0, recovery_duration=hours(2.0)
+        )
+        action = policy.next_action(status(shift=2.0))
+        assert action.duration == pytest.approx(hours(2.0))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ReactivePolicy(RecoveryKnobs(), trigger_shift=0.0, recovery_duration=1.0)
+        with pytest.raises(ConfigurationError):
+            ReactivePolicy(RecoveryKnobs(), trigger_shift=1.0, recovery_duration=0.0)
+
+
+class TestRecoveryAction:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryAction(duration=0.0, sleep=True)

@@ -1,0 +1,90 @@
+"""Rejuvenator: policy-driven wearout/recovery runs."""
+
+import numpy as np
+import pytest
+
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.core.policies import NoRecoveryPolicy, ProactivePolicy
+from repro.core.rejuvenator import Rejuvenator, Trajectory
+from repro.errors import ConfigurationError
+from repro.units import hours
+
+
+@pytest.fixture
+def operating() -> OperatingPoint:
+    return OperatingPoint(supply_voltage=1.2, temperature_c=110.0)
+
+
+def run_proactive(chip, operating, total=hours(12.0), period=hours(3.0)):
+    rejuvenator = Rejuvenator(chip, operating, max_segment=hours(0.5))
+    knobs = RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+    return rejuvenator.run(ProactivePolicy(knobs, period), total)
+
+
+class TestRejuvenator:
+    def test_delivers_exact_active_time(self, small_chip, operating):
+        trajectory = run_proactive(small_chip, operating)
+        assert trajectory.active_times[-1] == pytest.approx(hours(12.0))
+
+    def test_no_recovery_wall_clock_equals_active(self, small_chip, operating):
+        rejuvenator = Rejuvenator(small_chip, operating, max_segment=hours(1.0))
+        trajectory = rejuvenator.run(NoRecoveryPolicy(segment=hours(1.0)), hours(6.0))
+        assert trajectory.times[-1] == pytest.approx(hours(6.0))
+        assert trajectory.sleep_fraction() == pytest.approx(0.0)
+
+    def test_proactive_sleep_fraction_matches_alpha(self, small_chip, operating):
+        # The run stops once the work target is met, so the final cycle's
+        # sleep leg never executes: with n full cycles the fraction is
+        # 0.2 * (n-1)/n, approaching 1/(1+alpha) from below.
+        trajectory = run_proactive(small_chip, operating)
+        assert 0.14 <= trajectory.sleep_fraction() <= 0.2001
+
+    def test_saw_tooth_structure(self, small_chip, operating):
+        trajectory = run_proactive(small_chip, operating)
+        peaks = trajectory.cycle_peaks()
+        troughs = trajectory.cycle_troughs()
+        assert peaks.size >= 3
+        assert np.all(troughs[: peaks.size] < peaks[: troughs.size])
+
+    def test_healing_beats_no_recovery(self, chip_factory, operating):
+        healed_chip = chip_factory(seed=33)
+        baseline_chip = chip_factory(seed=33)
+        healed = run_proactive(healed_chip, operating)
+        rejuvenator = Rejuvenator(baseline_chip, operating, max_segment=hours(0.5))
+        baseline = rejuvenator.run(NoRecoveryPolicy(segment=hours(1.0)), hours(12.0))
+        assert healed.final_shift < baseline.final_shift
+
+    def test_at_active_time_interpolation(self, small_chip, operating):
+        trajectory = run_proactive(small_chip, operating)
+        mid = trajectory.at_active_time(hours(6.0))
+        assert 0.0 < mid <= trajectory.peak_shift
+
+    def test_rejects_nonpositive_total(self, small_chip, operating):
+        rejuvenator = Rejuvenator(small_chip, operating)
+        with pytest.raises(ConfigurationError):
+            rejuvenator.run(NoRecoveryPolicy(), 0.0)
+
+    def test_rejects_nonpositive_segment(self, small_chip, operating):
+        with pytest.raises(ConfigurationError):
+            Rejuvenator(small_chip, operating, max_segment=0.0)
+
+
+class TestTrajectory:
+    def test_array_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            Trajectory(
+                times=np.array([0.0, 1.0]),
+                active_times=np.array([0.0]),
+                delay_shifts=np.array([0.0, 1.0]),
+                sleeping=np.array([False, False]),
+            )
+
+    def test_peak_and_final(self):
+        trajectory = Trajectory(
+            times=np.array([0.0, 1.0, 2.0]),
+            active_times=np.array([0.0, 1.0, 1.0]),
+            delay_shifts=np.array([0.0, 2.0, 1.0]),
+            sleeping=np.array([False, False, True]),
+        )
+        assert trajectory.peak_shift == 2.0
+        assert trajectory.final_shift == 1.0

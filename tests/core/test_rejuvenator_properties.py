@@ -1,0 +1,63 @@
+"""Property-based rejuvenator invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.core.policies import ProactivePolicy
+from repro.core.rejuvenator import Rejuvenator
+from repro.units import hours
+
+from tests.conftest import fast_technology
+
+
+def make_chip(seed: int):
+    from repro.device.variation import ProcessVariation
+    from repro.fpga.chip import FpgaChip
+
+    return FpgaChip(
+        "prop", n_stages=5, tech=fast_technology(),
+        variation=ProcessVariation(0.0, 0.0, 0.0), seed=seed,
+    )
+
+
+class TestRejuvenatorProperties:
+    @given(
+        alpha=st.floats(min_value=1.0, max_value=8.0),
+        period_h=st.floats(min_value=1.0, max_value=6.0),
+        total_h=st.floats(min_value=4.0, max_value=16.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_work_conservation(self, alpha, period_h, total_h):
+        chip = make_chip(seed=77)
+        knobs = RecoveryKnobs(alpha=alpha, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+        rejuvenator = Rejuvenator(
+            chip, OperatingPoint(temperature_c=110.0), max_segment=hours(1.0)
+        )
+        trajectory = rejuvenator.run(
+            ProactivePolicy(knobs, hours(period_h)), hours(total_h)
+        )
+        # Exactly the requested work was delivered — never more, never less.
+        assert trajectory.active_times[-1] == pytest.approx(hours(total_h))
+        # Wall clock >= active time, monotone axes, non-negative shifts.
+        assert trajectory.times[-1] >= trajectory.active_times[-1] - 1e-9
+        assert np.all(np.diff(trajectory.times) >= -1e-9)
+        assert np.all(np.diff(trajectory.active_times) >= -1e-9)
+        assert np.all(trajectory.delay_shifts >= -1e-18)
+
+    @given(alpha=st.floats(min_value=1.5, max_value=8.0))
+    @settings(max_examples=10, deadline=None)
+    def test_shift_rises_while_active_falls_while_asleep(self, alpha):
+        chip = make_chip(seed=78)
+        knobs = RecoveryKnobs(alpha=alpha, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+        rejuvenator = Rejuvenator(
+            chip, OperatingPoint(temperature_c=110.0), max_segment=hours(0.5)
+        )
+        trajectory = rejuvenator.run(ProactivePolicy(knobs, hours(3.0)), hours(6.0))
+        deltas = np.diff(trajectory.delay_shifts)
+        sleeping = trajectory.sleeping[1:]
+        # Every active step ages, every sleep step heals.
+        assert np.all(deltas[~sleeping] >= -1e-18)
+        assert np.all(deltas[sleeping] <= 1e-18)

@@ -1,0 +1,55 @@
+"""Model-vs-measurement validation reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import ValidationReport, validate_model_against_series
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_perfect_match(self):
+        data = np.array([1.0, 2.0, 3.0])
+        report = validate_model_against_series(data, data)
+        assert report.rmse == 0.0
+        assert report.passed
+        assert report.r_squared == pytest.approx(1.0)
+
+    def test_nrmse_normalised_by_range(self):
+        measured = np.array([0.0, 1.0, 2.0])
+        predicted = measured + 0.2
+        report = validate_model_against_series(measured, predicted)
+        assert report.nrmse == pytest.approx(0.1)
+
+    def test_fail_beyond_threshold(self):
+        measured = np.array([0.0, 1.0, 2.0])
+        predicted = measured + 1.0
+        report = validate_model_against_series(measured, predicted, threshold=0.15)
+        assert not report.passed
+
+    def test_max_abs_error(self):
+        measured = np.array([0.0, 1.0])
+        predicted = np.array([0.0, 1.5])
+        report = validate_model_against_series(measured, predicted)
+        assert report.max_abs_error == pytest.approx(0.5)
+
+    def test_describe_contains_verdict(self):
+        data = np.array([1.0, 2.0])
+        assert "PASS" in validate_model_against_series(data, data).describe()
+
+    def test_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            validate_model_against_series([1.0, 2.0], [1.0])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            validate_model_against_series([1.0], [1.0])
+
+    def test_threshold_positive(self):
+        with pytest.raises(ConfigurationError):
+            validate_model_against_series([1.0, 2.0], [1.0, 2.0], threshold=0.0)
+
+    def test_constant_series_infinite_nrmse(self):
+        report = validate_model_against_series([1.0, 1.0, 1.0], [1.1, 1.1, 1.1])
+        assert report.nrmse == float("inf")
+        assert not report.passed

@@ -1,0 +1,64 @@
+"""Virtual circadian rhythm: adaptive alpha control."""
+
+import numpy as np
+import pytest
+
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.core.virtual_rhythm import VirtualCircadianRhythm
+from repro.errors import ConfigurationError
+from repro.units import hours
+
+
+def make_rhythm(target=1.0e-12, period=hours(5.0), **kwargs) -> VirtualCircadianRhythm:
+    kwargs.setdefault("operating", OperatingPoint(temperature_c=110.0))
+    kwargs.setdefault(
+        "knobs", RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+    )
+    return VirtualCircadianRhythm(target_shift=target, period=period, **kwargs)
+
+
+class TestVirtualCircadianRhythm:
+    def test_cycles_recorded(self, small_chip):
+        result = make_rhythm(target=30e-12).run(small_chip, n_cycles=6)
+        assert len(result.cycles) == 6
+        assert all(c.trough_shift <= c.peak_shift for c in result.cycles)
+
+    def test_period_preserved(self, small_chip):
+        result = make_rhythm(target=30e-12, period=hours(5.0)).run(small_chip, 4)
+        for cycle in result.cycles:
+            assert cycle.active_time + cycle.sleep_time == pytest.approx(hours(5.0))
+
+    def test_tight_target_lowers_alpha(self, chip_factory):
+        # A demanding residual target forces more sleep (smaller alpha)
+        # than a lenient one.
+        tight = make_rhythm(target=10e-12).run(chip_factory(seed=80), 10)
+        loose = make_rhythm(target=60e-12).run(chip_factory(seed=80), 10)
+        assert tight.final_alpha < loose.final_alpha
+
+    def test_converges_to_achievable_target(self, chip_factory):
+        result = make_rhythm(target=30e-12).run(chip_factory(seed=81), 12)
+        assert result.converged
+        # The trough trace settles near the target.
+        tail = result.troughs()[-3:]
+        assert np.all(tail <= 30e-12 * 1.15)
+
+    def test_unachievable_target_pins_alpha_low(self, chip_factory):
+        result = make_rhythm(target=1e-15).run(chip_factory(seed=82), 8)
+        lo, __ = (1.0, 16.0)
+        assert result.final_alpha == pytest.approx(lo)
+        assert not result.converged
+
+    def test_alpha_stays_in_bounds(self, chip_factory):
+        result = make_rhythm(target=30e-12).run(chip_factory(seed=83), 12)
+        alphas = result.alphas()
+        assert np.all(alphas >= 1.0) and np.all(alphas <= 16.0)
+
+    def test_validation(self, small_chip):
+        with pytest.raises(ConfigurationError):
+            VirtualCircadianRhythm(target_shift=0.0, period=hours(5.0))
+        with pytest.raises(ConfigurationError):
+            VirtualCircadianRhythm(target_shift=1e-12, period=0.0)
+        with pytest.raises(ConfigurationError):
+            make_rhythm().run(small_chip, n_cycles=0)
+        with pytest.raises(ConfigurationError):
+            make_rhythm().run(small_chip, n_cycles=2, alpha0=100.0)

@@ -1,0 +1,71 @@
+"""Gate delay models (first-order Eq. 6 and alpha-power)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.delay import AlphaPowerDelayModel, FirstOrderDelayShift
+from repro.errors import ConfigurationError
+
+
+class TestFirstOrder:
+    def test_matches_equation_six(self):
+        model = FirstOrderDelayShift(vdd=1.2, vth0=0.4)
+        td0, dvth = 1e-9, 0.02
+        assert model.delay_shift(td0, dvth) == pytest.approx(td0 * dvth / 0.8)
+
+    def test_linear_in_dvth(self):
+        model = FirstOrderDelayShift(vdd=1.2, vth0=0.4)
+        assert model.delay_shift(1e-9, 0.04) == pytest.approx(
+            2.0 * model.delay_shift(1e-9, 0.02)
+        )
+
+    def test_array_broadcast(self):
+        model = FirstOrderDelayShift(vdd=1.2, vth0=0.4)
+        result = model.delay_shift(np.array([1e-9, 2e-9]), np.array([0.01, 0.01]))
+        assert result.shape == (2,)
+        assert result[1] == pytest.approx(2.0 * result[0])
+
+    def test_requires_positive_overdrive(self):
+        with pytest.raises(ConfigurationError):
+            FirstOrderDelayShift(vdd=0.4, vth0=0.4)
+
+
+class TestAlphaPower:
+    def test_zero_shift_zero_delay(self):
+        model = AlphaPowerDelayModel(vdd=1.2, vth0=0.4)
+        assert model.delay_shift(1e-9, 0.0) == pytest.approx(0.0)
+
+    def test_superlinear_vs_first_order(self):
+        # Alpha-power bends upward: for equal small-signal slope it must
+        # exceed the linearisation at large shifts.
+        first = FirstOrderDelayShift(vdd=1.2, vth0=0.4)
+        alpha = AlphaPowerDelayModel(vdd=1.2, vth0=0.4, alpha=1.0)
+        big = 0.2
+        assert alpha.delay_shift(1e-9, big) > first.delay_shift(1e-9, big)
+
+    def test_agrees_with_first_order_for_small_shifts(self):
+        first = FirstOrderDelayShift(vdd=1.2, vth0=0.4)
+        alpha = AlphaPowerDelayModel(vdd=1.2, vth0=0.4, alpha=1.0)
+        small = 1e-4
+        assert alpha.delay_shift(1e-9, small) == pytest.approx(
+            first.delay_shift(1e-9, small), rel=1e-3
+        )
+
+    def test_rejects_shift_beyond_overdrive(self):
+        model = AlphaPowerDelayModel(vdd=1.2, vth0=0.4)
+        with pytest.raises(ConfigurationError):
+            model.delay_shift(1e-9, 0.9)
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ConfigurationError):
+            AlphaPowerDelayModel(vdd=1.2, vth0=0.4, alpha=0.5)
+
+    @given(dvth=st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_nonnegative(self, dvth):
+        model = AlphaPowerDelayModel(vdd=1.2, vth0=0.4)
+        shift = model.delay_shift(1e-9, dvth)
+        assert shift >= 0.0
+        assert model.delay_shift(1e-9, dvth + 0.05) >= shift

@@ -1,0 +1,83 @@
+"""Electromigration model (the irreversible wear BTI healing cannot fix)."""
+
+import pytest
+
+from repro.device.electromigration import BlackModel, EmWearState
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_YEAR, celsius, hours
+
+
+class TestBlackModel:
+    def test_reference_anchor(self):
+        model = BlackModel(reference_lifetime_years=10.0)
+        mttf = model.mttf(1.0, model.reference_temperature)
+        assert mttf == pytest.approx(10.0 * SECONDS_PER_YEAR)
+
+    def test_current_acceleration(self):
+        model = BlackModel(current_exponent=2.0)
+        t = model.reference_temperature
+        assert model.mttf(2.0, t) == pytest.approx(model.mttf(1.0, t) / 4.0)
+
+    def test_temperature_acceleration(self):
+        model = BlackModel()
+        hot = model.mttf(1.0, celsius(125.0))
+        cool = model.mttf(1.0, celsius(85.0))
+        assert hot < cool
+
+    def test_zero_current_immortal(self):
+        assert BlackModel().mttf(0.0, celsius(105.0)) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlackModel(current_exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            BlackModel().mttf(-1.0, 300.0)
+
+
+class TestEmWearState:
+    def test_damage_accumulates(self):
+        wear = EmWearState()
+        wear.stress(hours(1000.0), 1.0, celsius(105.0))
+        assert wear.damage > 0.0
+
+    def test_damage_is_irreversible_by_construction(self):
+        wear = EmWearState()
+        assert not hasattr(wear, "recover")
+        wear.stress(hours(1000.0), 1.0, celsius(105.0))
+        before = wear.damage
+        # Power-gated time adds nothing, but removes nothing either.
+        wear.stress(hours(1000.0), 0.0, celsius(105.0))
+        assert wear.damage == before
+
+    def test_miner_rule_linear(self):
+        a = EmWearState()
+        a.stress(hours(2000.0), 1.0, celsius(105.0))
+        b = EmWearState()
+        b.stress(hours(1000.0), 1.0, celsius(105.0))
+        b.stress(hours(1000.0), 1.0, celsius(105.0))
+        assert a.damage == pytest.approx(b.damage)
+
+    def test_failure_threshold(self):
+        model = BlackModel(reference_lifetime_years=0.001)
+        wear = EmWearState(model)
+        wear.stress(hours(10.0), 1.0, model.reference_temperature)
+        assert wear.failed
+
+    def test_remaining_life_shrinks(self):
+        wear = EmWearState()
+        before = wear.remaining_life(1.0, celsius(105.0))
+        wear.stress(hours(5000.0), 1.0, celsius(105.0))
+        assert wear.remaining_life(1.0, celsius(105.0)) < before
+
+    def test_heat_hurts_em_even_during_healing(self):
+        # The paper's limitation, sharpened: if current still flows, the
+        # 110 degC healing temperature would *accelerate* EM.
+        cool = EmWearState()
+        hot = EmWearState()
+        cool.stress(hours(100.0), 0.5, celsius(20.0))
+        hot.stress(hours(100.0), 0.5, celsius(110.0))
+        assert hot.damage > cool.damage
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EmWearState().stress(-1.0, 1.0, 300.0)

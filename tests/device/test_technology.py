@@ -1,0 +1,50 @@
+"""40 nm technology parameters."""
+
+import pytest
+
+from repro.device.technology import TECH_40NM, TechnologyParameters
+from repro.errors import ConfigurationError
+from repro.units import celsius
+
+
+class TestTechnology:
+    def test_default_nominal_rail(self):
+        assert TECH_40NM.vdd_nominal == 1.2
+
+    def test_stage_delay_is_sum_of_components(self):
+        t = TECH_40NM
+        assert t.stage_delay == pytest.approx(
+            t.pass_tree_delay + t.buffer_delay + t.routing_delay
+        )
+
+    def test_overdrive(self):
+        assert TECH_40NM.overdrive(TECH_40NM.vth0_pmos) == pytest.approx(1.2 - 0.42)
+
+    def test_recovery_voltage_guard(self):
+        TECH_40NM.check_recovery_voltage(-0.3)  # the paper's value is fine
+        with pytest.raises(ConfigurationError):
+            TECH_40NM.check_recovery_voltage(-1.0)  # junction breakdown
+
+    def test_temperature_guard(self):
+        TECH_40NM.check_temperature(celsius(110.0))  # accelerated but allowed
+        with pytest.raises(ConfigurationError):
+            TECH_40NM.check_temperature(celsius(150.0))
+
+    def test_recommended_range_is_vendor_datasheet(self):
+        lo, hi = TECH_40NM.recommended_temperature_range
+        assert lo == pytest.approx(celsius(-40.0))
+        assert hi == pytest.approx(celsius(85.0))
+
+    def test_vdd_must_exceed_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyParameters(vdd_nominal=0.4)
+
+    def test_min_recovery_voltage_must_be_negative(self):
+        with pytest.raises(ConfigurationError):
+            TechnologyParameters(min_recovery_voltage=0.1)
+
+    def test_pbti_population_differs_from_nbti(self):
+        # High-k PBTI is real but weaker at this node (paper Sec. 1).
+        assert (
+            TECH_40NM.pbti_traps.mean_trap_count < TECH_40NM.nbti_traps.mean_trap_count
+        )

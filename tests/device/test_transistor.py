@@ -1,0 +1,39 @@
+"""Transistor descriptors."""
+
+import pytest
+
+from repro.bti.conditions import StressPolarity
+from repro.device.transistor import Transistor, TransistorRole
+from repro.errors import ConfigurationError
+
+
+class TestTransistor:
+    def test_pmos_flag(self):
+        pmos = Transistor("M7", StressPolarity.NBTI, TransistorRole.BUFFER_PULLUP)
+        nmos = Transistor("M1", StressPolarity.PBTI, TransistorRole.PASS_LEVEL1)
+        assert pmos.is_pmos and not nmos.is_pmos
+
+    def test_default_full_weights(self):
+        t = Transistor("M5", StressPolarity.PBTI, TransistorRole.PASS_LEVEL2)
+        assert t.delay_weight == 1.0
+        assert t.stress_fraction == 1.0
+
+    @pytest.mark.parametrize("weight", [-0.1, 1.1])
+    def test_delay_weight_bounds(self, weight):
+        with pytest.raises(ConfigurationError):
+            Transistor("X", StressPolarity.PBTI, TransistorRole.ROUTING, delay_weight=weight)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.5])
+    def test_stress_fraction_bounds(self, fraction):
+        with pytest.raises(ConfigurationError):
+            Transistor(
+                "X",
+                StressPolarity.PBTI,
+                TransistorRole.ROUTING,
+                stress_fraction=fraction,
+            )
+
+    def test_frozen(self):
+        t = Transistor("M1", StressPolarity.PBTI, TransistorRole.PASS_LEVEL1)
+        with pytest.raises(AttributeError):
+            t.delay_weight = 0.5

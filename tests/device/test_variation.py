@@ -1,0 +1,53 @@
+"""Process variation sampling."""
+
+import numpy as np
+import pytest
+
+from repro.device.variation import NO_VARIATION, ProcessVariation
+from repro.errors import ConfigurationError
+
+
+class TestProcessVariation:
+    def test_no_variation_is_deterministic(self):
+        sample = NO_VARIATION.sample(10, rng=0)
+        assert sample.vth_offset == 0.0
+        assert sample.delay_multiplier == 1.0
+        np.testing.assert_array_equal(sample.local_delay_multipliers, np.ones(10))
+
+    def test_sample_shape(self):
+        sample = ProcessVariation().sample(75, rng=1)
+        assert sample.local_delay_multipliers.shape == (75,)
+
+    def test_seeded_reproducibility(self):
+        a = ProcessVariation().sample(10, rng=7)
+        b = ProcessVariation().sample(10, rng=7)
+        assert a.vth_offset == b.vth_offset
+        np.testing.assert_array_equal(
+            a.local_delay_multipliers, b.local_delay_multipliers
+        )
+
+    def test_chips_differ(self):
+        a = ProcessVariation().sample(10, rng=1)
+        b = ProcessVariation().sample(10, rng=2)
+        assert a.vth_offset != b.vth_offset
+
+    def test_multipliers_floored_positive(self):
+        # Even absurd sigma cannot produce a negative stage delay.
+        variation = ProcessVariation(local_delay_sigma=5.0)
+        sample = variation.sample(1000, rng=3)
+        assert np.all(sample.local_delay_multipliers >= 0.5)
+
+    def test_spread_scales_with_sigma(self):
+        tight = ProcessVariation(chip_vth_sigma=0.001)
+        loose = ProcessVariation(chip_vth_sigma=0.05)
+        tight_offsets = [tight.sample(5, rng=i).vth_offset for i in range(50)]
+        loose_offsets = [loose.sample(5, rng=i).vth_offset for i in range(50)]
+        assert np.std(loose_offsets) > np.std(tight_offsets)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariation(chip_vth_sigma=-0.1)
+
+    def test_rejects_nonpositive_stage_count(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariation().sample(0, rng=0)

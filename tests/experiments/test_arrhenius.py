@@ -1,0 +1,64 @@
+"""Arrhenius study: Ea extraction and holdout prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import fit_arrhenius_rate
+from repro.errors import ConfigurationError, FittingError
+from repro.experiments import arrhenius
+from repro.units import celsius
+
+
+class TestFitArrheniusRate:
+    def test_recovers_known_ea(self):
+        ea = 0.7
+        temps = [celsius(t) for t in (60.0, 80.0, 100.0, 120.0)]
+        k = 8.617333262e-5
+        rates = [1e-3 * np.exp(-ea / k * (1.0 / t - 1.0 / temps[-1])) for t in temps]
+        fit = fit_arrhenius_rate(temps, rates)
+        assert fit.parameters.ea_ev == pytest.approx(ea, rel=1e-6)
+        assert fit.parameters.rate(temps[-1]) == pytest.approx(1e-3, rel=1e-6)
+
+    def test_rate_monotone_for_positive_ea(self):
+        fit_params = fit_arrhenius_rate(
+            [300.0, 330.0, 360.0], [1e-4, 1e-3, 1e-2]
+        ).parameters
+        assert fit_params.rate(360.0) > fit_params.rate(300.0)
+
+    def test_validation(self):
+        with pytest.raises(FittingError):
+            fit_arrhenius_rate([300.0, 310.0], [1.0, 2.0])
+        with pytest.raises(FittingError):
+            fit_arrhenius_rate([300.0, 310.0, 320.0], [1.0, -2.0, 3.0])
+
+
+class TestArrheniusStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Small chips keep the sweep quick; the physics is per-device.
+        return arrhenius.run(seed=0, n_stages=15)
+
+    def test_rate_constants_increase_with_temperature(self, result):
+        rates = [leg.fit.parameters.rate_c for leg in result.legs]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_extracted_ea_near_microscopic_truth(self, result):
+        assert result.effective_ea_ev == pytest.approx(0.9, abs=0.3)
+        assert result.rate_law.r_squared > 0.98
+
+    def test_holdout_prediction_validates(self, result):
+        assert result.holdout_validation.passed, result.holdout_validation.describe()
+
+    def test_projection_monotone_in_lifetime(self, result):
+        table = result.projection_table()
+        shifts = [row[1] for row in table.rows]
+        assert all(a < b for a, b in zip(shifts, shifts[1:]))
+        # Healing column is the margin-relaxed fraction of the unmitigated.
+        for row in table.rows:
+            assert row[2] == pytest.approx(row[1] * (1.0 - 0.724), rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            arrhenius.run(temperatures_c=(100.0, 110.0))
+        with pytest.raises(ConfigurationError):
+            arrhenius.run(temperatures_c=(90.0, 100.0, 110.0), holdout_c=100.0)

@@ -1,0 +1,56 @@
+"""Calibration bands and the illustrative first-order model."""
+
+import pytest
+
+from repro.experiments.calibration import (
+    Band,
+    ILLUSTRATIVE_FIRST_ORDER,
+    PAPER_TARGETS,
+    check_value,
+)
+from repro.units import hours
+
+
+class TestBand:
+    def test_contains_inclusive(self):
+        band = Band(1.0, 2.0, "x")
+        assert band.contains(1.0) and band.contains(2.0) and band.contains(1.5)
+        assert not band.contains(0.99) and not band.contains(2.01)
+
+    def test_check_value_helper(self):
+        assert check_value("ac_dc_ratio", 0.5)
+        assert not check_value("ac_dc_ratio", 0.95)
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(KeyError):
+            check_value("nonexistent", 1.0)
+
+
+class TestTargets:
+    def test_all_bands_ordered(self):
+        for name, band in PAPER_TARGETS.items():
+            assert band.low < band.high, name
+
+    def test_margin_bands_ordered_across_cases(self):
+        # The recovery-condition ordering must be encoded in the bands:
+        # passive < negative-V < hot < hot+negative (band midpoints).
+        mids = {
+            case: (PAPER_TARGETS[f"margin_relaxed_{case}"].low
+                   + PAPER_TARGETS[f"margin_relaxed_{case}"].high) / 2.0
+            for case in ("R20Z6", "AR20N6", "AR110Z6", "AR110N6")
+        }
+        assert mids["R20Z6"] < mids["AR20N6"] < mids["AR110Z6"] < mids["AR110N6"]
+
+    def test_headline_band_contains_paper_value(self):
+        assert PAPER_TARGETS["margin_relaxed_AR110N6"].contains(72.4)
+
+
+class TestIllustrativeModel:
+    def test_stress_then_partial_recovery(self):
+        model = ILLUSTRATIVE_FIRST_ORDER
+        peak = model.stress_shift(hours(24.0))
+        residual = model.recovery_shift(hours(24.0), hours(6.0))
+        assert 0.0 < residual < peak
+
+    def test_monotonic_recovery(self):
+        assert ILLUSTRATIVE_FIRST_ORDER.is_monotonic_recovery(hours(24.0), hours(6.0))

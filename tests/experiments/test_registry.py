@@ -1,0 +1,34 @@
+"""Experiment registry completeness."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "FIG1", "FIG2", "FIG3", "TAB1", "FIG4", "FIG5", "TAB2", "TAB3",
+            "FIG6", "FIG7", "FIG8", "TAB4", "TAB5", "FIG9", "FIG10",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("fig4").exp_id == "FIG4"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("FIG99")
+
+    def test_runners_are_callable(self):
+        for descriptor in EXPERIMENTS.values():
+            assert callable(descriptor.runner)
+
+    def test_bench_files_exist(self):
+        for descriptor in EXPERIMENTS.values():
+            assert (REPO_ROOT / descriptor.bench).is_file(), descriptor.bench

@@ -1,0 +1,36 @@
+"""Report builder."""
+
+import pytest
+
+from repro.experiments.report import build_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self, campaign_result):
+        # campaign_result warms the seed-0 cache the report reuses.
+        return build_report(seed=0)
+
+    def test_contains_every_artifact(self, report):
+        for artefact in ("TAB1", "FIG1", "FIG2", "FIG3", "FIG4", "FIG5",
+                         "TAB2", "TAB3", "FIG6", "FIG7", "FIG8", "TAB4",
+                         "TAB5", "FIG9", "FIG10"):
+            assert artefact in report
+
+    def test_contains_headline_values(self, report):
+        assert "AR110N6" in report
+        assert "AC/DC at 24 h" in report
+        assert "Calibration bands" in report
+
+    def test_markdown_structure(self, report):
+        assert report.startswith("# Reproduction report")
+        assert report.count("## ") >= 14
+        assert "```" in report
+
+    def test_cli_report_to_file(self, tmp_path, capsys, campaign_result):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()

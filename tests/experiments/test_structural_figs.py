@@ -1,0 +1,50 @@
+"""FIG2/FIG3 structural runners."""
+
+import pytest
+
+from repro.experiments import fig2, fig3
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2.run()
+
+    def test_paper_example(self, result):
+        assert result.paper_example_holds
+
+    def test_hypothesis2(self, result):
+        assert result.hypothesis2_off_path_has_no_delay_weight
+
+    def test_tables_render(self, result):
+        assert "M1" in result.inventory_table().render()
+        assert "conducting path" in result.stress_table().render()
+
+    def test_inventory_has_eight_rows(self, result):
+        assert len(result.inventory_table().rows) == 8
+
+    def test_stress_table_covers_all_input_vectors(self, result):
+        assert len(result.stress_table().rows) == 4
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run(seed=0)
+
+    def test_operating_point_fits_counter(self, result):
+        assert result.fits_counter
+
+    def test_chain_consistent(self, result):
+        assert result.chain_consistent
+
+    def test_resolution_spec(self, result):
+        # One LSB resolves ~0.03 %; the +/-5-count spec stays below 0.2 %.
+        assert result.quantisation_resolution < 5e-4
+        assert result.noise_floor < 2e-3
+
+    def test_frequency_in_expected_range(self, result):
+        assert 2e6 < result.fresh_frequency < 5e6
+
+    def test_table_renders(self, result):
+        assert "fosc" in result.table().render()

@@ -1,0 +1,27 @@
+"""Voltage-acceleration extraction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.arrhenius import run_voltage_sweep
+
+
+class TestVoltageSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_voltage_sweep(seed=0, n_stages=15)
+
+    def test_rates_increase_with_voltage(self, result):
+        rates = list(result.rate_constants)
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_gamma_near_microscopic_truth(self, result):
+        assert result.gamma_per_volt == pytest.approx(5.0, abs=1.2)
+        assert result.r_squared > 0.99
+
+    def test_table_renders(self, result):
+        assert "Vdd stress" in result.table().render()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_voltage_sweep(voltages=(1.2,))

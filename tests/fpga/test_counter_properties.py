@@ -1,0 +1,62 @@
+"""Property-based invariants of the readout chain (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.counter import ReadoutCounter
+
+
+class TestCounterProperties:
+    @given(fosc=st.floats(min_value=1e5, max_value=6e7))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_within_quantisation(self, fosc):
+        counter = ReadoutCounter(noise_counts=0)
+        count = counter.read(fosc, rng=0)
+        # Eq. 14 inverts the readout to within half an LSB.
+        assert abs(counter.frequency(count) - fosc) <= counter.fref + 1e-9
+
+    @given(fosc=st.floats(min_value=1e5, max_value=6e7))
+    @settings(max_examples=60, deadline=None)
+    def test_delay_frequency_consistency(self, fosc):
+        counter = ReadoutCounter(noise_counts=0)
+        count = counter.read(fosc, rng=0)
+        # Eq. 15 == 1 / (2 * Eq. 14) up to float rounding.
+        assert abs(counter.delay(count) * 2.0 * counter.frequency(count) - 1.0) < 1e-12
+
+    @given(
+        fosc=st.floats(min_value=1e6, max_value=3e7),
+        noise=st.integers(min_value=0, max_value=20),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_noise_never_exceeds_spec(self, fosc, noise, seed):
+        counter = ReadoutCounter(noise_counts=noise)
+        ideal = counter.ideal_count(fosc)
+        count = counter.read(fosc, rng=seed)
+        assert abs(count - ideal) <= noise
+
+    @given(
+        f_slow=st.floats(min_value=1e6, max_value=2e7),
+        factor=st.floats(min_value=1.001, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_frequency(self, f_slow, factor):
+        counter = ReadoutCounter(noise_counts=0)
+        assert counter.read(f_slow * factor, rng=0) >= counter.read(f_slow, rng=0)
+
+
+class TestChamberProperties:
+    @given(
+        setpoint=st.floats(min_value=-40.0, max_value=125.0),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fluctuation_bounded_everywhere(self, setpoint, seed):
+        from repro.lab.thermal_chamber import ThermalChamber
+        from repro.units import celsius
+
+        chamber = ThermalChamber(fluctuation_c=0.3)
+        chamber.set_temperature_celsius(setpoint)
+        actual = chamber.actual_temperature(rng=seed)
+        assert abs(actual - celsius(setpoint)) <= 0.3 + 1e-12

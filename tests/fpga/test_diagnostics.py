@@ -1,0 +1,56 @@
+"""Placement survey diagnostics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.diagnostics import placement_survey
+from repro.fpga.fabric import Fabric
+
+from tests.conftest import fast_technology
+
+
+class TestPlacementSurvey:
+    @pytest.fixture(scope="class")
+    def survey(self):
+        return placement_survey(
+            fabric=Fabric(rows=8, cols=8, gradient=0.03),
+            n_sites=6,
+            n_stages=9,
+            tech=fast_technology(),
+            seed=0,
+        )
+
+    def test_site_count(self, survey):
+        assert len(survey.measurements) == 6
+
+    def test_sites_distinct(self, survey):
+        locations = {(m.location.row, m.location.col) for m in survey.measurements}
+        assert len(locations) == 6
+
+    def test_spatial_spread_observable(self, survey):
+        # Gradient + local mismatch must produce a measurable spread.
+        assert 0.0 < survey.spatial_spread < 0.2
+
+    def test_best_site_is_fastest(self, survey):
+        best = survey.best_site()
+        assert best.frequency == max(m.frequency for m in survey.measurements)
+
+    def test_table_renders(self, survey):
+        text = survey.table().render()
+        assert "frequency" in text
+
+    def test_deterministic(self):
+        kwargs = dict(
+            fabric=Fabric(rows=8, cols=8),
+            n_sites=4,
+            n_stages=9,
+            tech=fast_technology(),
+            seed=3,
+        )
+        a = placement_survey(**kwargs)
+        b = placement_survey(**kwargs)
+        assert a.frequencies.tolist() == b.frequencies.tolist()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            placement_survey(n_sites=0)

@@ -1,0 +1,83 @@
+"""Enable-gated ring (Fig. 3's En NAND stage)."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.chip import FpgaChip
+from repro.fpga.netlist import InverterChainNetlist, NAND_CONFIG
+from repro.fpga.ring_oscillator import StressMode
+from repro.units import celsius, hours
+
+from tests.conftest import fast_technology
+
+
+class TestNandConfig:
+    def test_truth_table(self):
+        assert NAND_CONFIG.evaluate(0, 0) == 1
+        assert NAND_CONFIG.evaluate(1, 0) == 1
+        assert NAND_CONFIG.evaluate(0, 1) == 1
+        assert NAND_CONFIG.evaluate(1, 1) == 0
+
+    def test_acts_as_inverter_when_enabled(self):
+        for in0 in (0, 1):
+            assert NAND_CONFIG.evaluate(in0, 1) == 1 - in0
+
+
+class TestEnableGatedNetlist:
+    def test_frozen_pattern_is_consistent(self):
+        netlist = InverterChainNetlist(n_stages=5, enable_gated=True)
+        values = netlist.node_values(1)
+        # Stage 0 input is the feedback of the odd chain; with the NAND
+        # forcing its output high, the self-consistent pattern starts 1.
+        assert values[0] == 1
+        # Stage outputs alternate down the chain from the forced 1.
+        np.testing.assert_array_equal(values, [1, 1, 0, 1, 0])
+
+    def test_frozen_pattern_ignores_chain_input(self):
+        netlist = InverterChainNetlist(n_stages=5, enable_gated=True)
+        np.testing.assert_array_equal(netlist.node_values(0), netlist.node_values(1))
+
+    def test_stage0_uses_nand_stress_rules(self):
+        netlist = InverterChainNetlist(n_stages=5, enable_gated=True)
+        fractions = netlist.dc_stress_fractions()
+        # NAND with (In0=1, En=0): the selected branch passes a weak 1
+        # (buffer pulldown M8 stressed, pullup M7 not); M1 on the
+        # unselected In1=1 branch is gate-high over its 0 bit — stressed
+        # but off the conducting path.
+        assert fractions[netlist.owner_index(0, "M8")] == pytest.approx(0.67)
+        assert fractions[netlist.owner_index(0, "M7")] == 0.0
+        assert fractions[netlist.owner_index(0, "M1")] == 1.0
+        # The selected level-2 pass (M6, En side) carries a 1: unstressed.
+        assert fractions[netlist.owner_index(0, "M6")] == 0.0
+
+    def test_running_patterns_complementary(self):
+        netlist = InverterChainNetlist(n_stages=5, enable_gated=True)
+        a, b = netlist.ac_stress_fractions()
+        assert not np.any((a > 0) & (b > 0))
+
+    def test_plain_chain_unchanged(self):
+        plain = InverterChainNetlist(n_stages=5, enable_gated=False)
+        np.testing.assert_array_equal(plain.node_values(1), [1, 0, 1, 0, 1])
+
+
+class TestEnableGatedChip:
+    def test_gated_chip_ages_same_order(self):
+        # The gated chain's frozen pattern has one fewer heavily-stressed
+        # stage (the NAND passes a weak 1); at realistic stage counts the
+        # difference dilutes to a few percent, at 15 stages it is visible
+        # but same-order.
+        kwargs = dict(n_stages=15, tech=fast_technology(), seed=7)
+        gated = FpgaChip("g", enable_gated=True, **kwargs)
+        plain = FpgaChip("p", enable_gated=False, **kwargs)
+        for chip in (gated, plain):
+            chip.apply_stress(hours(24.0), temperature=celsius(110.0), mode=StressMode.DC)
+        ratio = gated.delta_path_delay() / plain.delta_path_delay()
+        assert 0.4 < ratio < 1.3
+
+    def test_gated_ac_below_dc(self):
+        kwargs = dict(n_stages=5, tech=fast_technology(), seed=8, enable_gated=True)
+        dc = FpgaChip("dc", **kwargs)
+        ac = FpgaChip("ac", **kwargs)
+        dc.apply_stress(hours(24.0), temperature=celsius(110.0), mode=StressMode.DC)
+        ac.apply_stress(hours(24.0), temperature=celsius(110.0), mode=StressMode.AC)
+        assert 0.0 < ac.delta_path_delay() < dc.delta_path_delay()

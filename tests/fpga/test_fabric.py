@@ -1,0 +1,49 @@
+"""Fabric grid with systematic variation surface."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.fabric import Fabric, Location
+
+
+class TestFabric:
+    def test_center_is_fastest(self):
+        fabric = Fabric(rows=9, cols=9, gradient=0.02)
+        center = fabric.systematic_multiplier(fabric.center)
+        corner = fabric.systematic_multiplier(Location(0, 0))
+        assert center < corner
+        assert center == pytest.approx(1.0, abs=1e-3)
+
+    def test_corner_reaches_full_gradient(self):
+        fabric = Fabric(rows=9, cols=9, gradient=0.02)
+        assert fabric.systematic_multiplier(Location(0, 0)) == pytest.approx(1.02)
+
+    def test_symmetry(self):
+        fabric = Fabric(rows=9, cols=9)
+        assert fabric.systematic_multiplier(Location(0, 0)) == pytest.approx(
+            fabric.systematic_multiplier(Location(8, 8))
+        )
+
+    def test_contains(self):
+        fabric = Fabric(rows=4, cols=4)
+        assert fabric.contains(Location(3, 3))
+        assert not fabric.contains(Location(4, 0))
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Fabric(rows=4, cols=4).systematic_multiplier(Location(9, 9))
+
+    def test_placement_sites_distinct(self):
+        fabric = Fabric(rows=8, cols=8)
+        sites = fabric.placement_sites(10, rng=0)
+        assert len(sites) == 10
+        assert len({(s.row, s.col) for s in sites}) == 10
+        assert all(fabric.contains(s) for s in sites)
+
+    def test_placement_sites_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            Fabric(rows=2, cols=2).placement_sites(5, rng=0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            Fabric(rows=0, cols=4)

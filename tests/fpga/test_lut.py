@@ -1,0 +1,109 @@
+"""Pass-transistor LUT: logic, stress mapping, POI (paper Fig. 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.lut import (
+    BUFFER_ON_IN0,
+    INVERTER_ON_IN0,
+    LutConfig,
+    PassTransistorLut,
+)
+
+
+class TestLutConfig:
+    def test_inverter_truth_table(self):
+        for in1 in (0, 1):
+            assert INVERTER_ON_IN0.evaluate(0, in1) == 1
+            assert INVERTER_ON_IN0.evaluate(1, in1) == 0
+
+    def test_buffer_truth_table(self):
+        for in1 in (0, 1):
+            assert BUFFER_ON_IN0.evaluate(0, in1) == 0
+            assert BUFFER_ON_IN0.evaluate(1, in1) == 1
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            LutConfig((1, 0, 2, 0))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            INVERTER_ON_IN0.evaluate(2, 0)
+
+
+class TestStressMapping:
+    """The paper's inverter example: In1 = 1, config = inverter on In0."""
+
+    @pytest.fixture
+    def lut(self) -> PassTransistorLut:
+        return PassTransistorLut(INVERTER_ON_IN0)
+
+    def test_input_high_stresses_selected_path_and_buffer_pullup(self, lut):
+        # In0 = 1: the selected bit is 0; the conducting level-1 (M1) and
+        # level-2 (M5) passes carry it and the buffer PMOS sees a 0 input.
+        stressed = lut.stressed_fractions(1, 1)
+        assert stressed["M1"] == 1.0
+        assert stressed["M5"] == 1.0
+        assert stressed["M7"] == 1.0
+        assert "M8" not in stressed
+
+    def test_input_low_stresses_only_buffer_pulldown(self, lut):
+        # In0 = 0: the tree passes a weak 1 — no pass-transistor stress,
+        # only the buffer NMOS at reduced overdrive (the paper's "only M7
+        # is under stress" case, in our naming M8).
+        stressed = lut.stressed_fractions(0, 1)
+        assert set(stressed) == {"M8"}
+        assert stressed["M8"] == pytest.approx(0.67)
+
+    def test_off_branch_transistor_also_stressed_physically(self, lut):
+        # M3 (the In1=0 branch pass gated by In0) is physically stressed
+        # when In0 = 1 and its bit is 0 — but it is NOT on the POI.
+        stressed = lut.stressed_fractions(1, 1)
+        assert stressed.get("M3") == 1.0
+        assert "M3" not in lut.conducting_path(1, 1)
+
+    def test_hypothesis1_constant_stressed_set_under_dc(self, lut):
+        # Once the inputs are fixed the stressed set is constant.
+        assert lut.stressed_fractions(1, 1) == lut.stressed_fractions(1, 1)
+
+    def test_conducting_path_selection(self, lut):
+        assert lut.conducting_path(1, 1) == ("M1", "M5", "M7", "M8")
+        assert lut.conducting_path(0, 1) == ("M2", "M5", "M7", "M8")
+        assert lut.conducting_path(1, 0) == ("M3", "M6", "M7", "M8")
+        assert lut.conducting_path(0, 0) == ("M4", "M6", "M7", "M8")
+
+    def test_buffer_always_on_path(self, lut):
+        for in0 in (0, 1):
+            for in1 in (0, 1):
+                path = lut.conducting_path(in0, in1)
+                assert "M7" in path and "M8" in path
+
+    def test_transistor_lookup(self, lut):
+        assert lut.transistor("M7").is_pmos
+        assert not lut.transistor("M5").is_pmos
+        with pytest.raises(ConfigurationError):
+            lut.transistor("M99")
+
+    def test_transistor_index_consistent(self, lut):
+        for i, t in enumerate(lut.transistors):
+            assert lut.transistor_index(t.name) == i
+
+    def test_eight_transistors(self, lut):
+        assert len(lut.transistors) == 8
+        names = [t.name for t in lut.transistors]
+        assert names == ["M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8"]
+
+    def test_only_buffer_pullup_is_pmos(self, lut):
+        pmos = [t.name for t in lut.transistors if t.is_pmos]
+        assert pmos == ["M7"]
+
+
+class TestBufferConfigStress:
+    def test_buffer_config_input_low_stresses_tree(self):
+        # A buffer (out = In0) passes a 0 when In0 = 0: the *other*
+        # level-1 pass (gated by ~In0) carries it.
+        lut = PassTransistorLut(BUFFER_ON_IN0)
+        stressed = lut.stressed_fractions(0, 1)
+        assert stressed.get("M2") == 1.0
+        assert stressed.get("M5") == 1.0
+        assert stressed.get("M7") == 1.0

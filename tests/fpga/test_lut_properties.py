@@ -1,0 +1,84 @@
+"""Property-based invariants of the LUT stress mapping (hypothesis).
+
+The paper's two hypotheses must hold for *any* pass-transistor LUT
+configuration, not just the inverter: these properties sweep all 16
+configurations and all four input vectors.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.lut import LutConfig, PassTransistorLut
+
+configs = st.tuples(
+    st.integers(0, 1), st.integers(0, 1), st.integers(0, 1), st.integers(0, 1)
+)
+bits = st.integers(0, 1)
+
+
+class TestLutProperties:
+    @given(cfg=configs, in0=bits, in1=bits)
+    @settings(max_examples=80, deadline=None)
+    def test_evaluate_matches_config_bits(self, cfg, in0, in1):
+        lut = PassTransistorLut(LutConfig(cfg))
+        assert lut.evaluate(in0, in1) == cfg[2 * in1 + in0]
+
+    @given(cfg=configs, in0=bits, in1=bits)
+    @settings(max_examples=80, deadline=None)
+    def test_stressed_names_and_fractions_valid(self, cfg, in0, in1):
+        lut = PassTransistorLut(LutConfig(cfg))
+        names = {t.name for t in lut.transistors}
+        for name, fraction in lut.stressed_fractions(in0, in1).items():
+            assert name in names
+            assert 0.0 < fraction <= 1.0
+
+    @given(cfg=configs, in0=bits, in1=bits)
+    @settings(max_examples=80, deadline=None)
+    def test_exactly_one_buffer_device_stressed(self, cfg, in0, in1):
+        # The buffer input is always a definite logic level, so exactly
+        # one of M7 (input 0) / M8 (input 1) is stressed.
+        stressed = PassTransistorLut(LutConfig(cfg)).stressed_fractions(in0, in1)
+        assert ("M7" in stressed) != ("M8" in stressed)
+
+    @given(cfg=configs, in0=bits, in1=bits)
+    @settings(max_examples=80, deadline=None)
+    def test_pass_transistor_stressed_only_when_carrying_zero(self, cfg, in0, in1):
+        lut = PassTransistorLut(LutConfig(cfg))
+        stressed = lut.stressed_fractions(in0, in1)
+        carried = {
+            "M1": cfg[3], "M2": cfg[2], "M3": cfg[1], "M4": cfg[0],
+            "M5": cfg[2 + in0], "M6": cfg[in0],
+        }
+        for name, value in carried.items():
+            if name in stressed:
+                assert value == 0
+
+    @given(cfg=configs, in0=bits, in1=bits)
+    @settings(max_examples=80, deadline=None)
+    def test_conducting_path_structure(self, cfg, in0, in1):
+        lut = PassTransistorLut(LutConfig(cfg))
+        path = lut.conducting_path(in0, in1)
+        assert len(path) == 4
+        level1, level2, pullup, pulldown = path
+        assert level1 in {"M1", "M2", "M3", "M4"}
+        assert level2 in {"M5", "M6"}
+        assert (pullup, pulldown) == ("M7", "M8")
+        # The selected level-2 pass matches In1.
+        assert level2 == ("M5" if in1 == 1 else "M6")
+
+    @given(cfg=configs, in0=bits, in1=bits)
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis1_stressed_set_deterministic(self, cfg, in0, in1):
+        lut = PassTransistorLut(LutConfig(cfg))
+        assert lut.stressed_fractions(in0, in1) == lut.stressed_fractions(in0, in1)
+
+    @given(cfg=configs)
+    @settings(max_examples=16, deadline=None)
+    def test_complementary_inputs_share_no_pass_stress(self, cfg):
+        # Flipping In0 (with In1 fixed high) moves the conducting branch:
+        # a level-1 pass transistor cannot be gate-high in both states.
+        lut = PassTransistorLut(LutConfig(cfg))
+        stressed_a = lut.stressed_fractions(0, 1)
+        stressed_b = lut.stressed_fractions(1, 1)
+        level1 = {"M1", "M2", "M3", "M4"}
+        assert not (set(stressed_a) & set(stressed_b) & level1)

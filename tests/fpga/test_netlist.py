@@ -1,0 +1,98 @@
+"""Inverter-chain netlist: owner indexing, weights, stress patterns."""
+
+import numpy as np
+import pytest
+
+from repro.device.technology import TECH_40NM
+from repro.errors import ConfigurationError
+from repro.fpga.netlist import InverterChainNetlist
+
+
+@pytest.fixture
+def netlist() -> InverterChainNetlist:
+    return InverterChainNetlist(n_stages=5)
+
+
+class TestStructure:
+    def test_owner_count(self, netlist):
+        # 8 LUT transistors + 2 routing switches per stage.
+        assert netlist.owners_per_stage == 10
+        assert netlist.n_owners == 50
+
+    def test_default_is_paper_configuration(self):
+        assert InverterChainNetlist().n_stages == 75
+
+    def test_rejects_even_or_short_chains(self):
+        with pytest.raises(ConfigurationError):
+            InverterChainNetlist(n_stages=4)
+        with pytest.raises(ConfigurationError):
+            InverterChainNetlist(n_stages=1)
+
+    def test_owner_index_roundtrip(self, netlist):
+        idx = netlist.owner_index(2, "M5")
+        assert netlist.owner_names[idx] == "S2.M5"
+        assert netlist.owner_stage[idx] == 2
+
+    def test_owner_index_bounds(self, netlist):
+        with pytest.raises(ConfigurationError):
+            netlist.owner_index(99, "M1")
+        with pytest.raises(ConfigurationError):
+            netlist.owner_index(0, "M99")
+
+    def test_exactly_one_pmos_per_stage(self, netlist):
+        assert netlist.owner_is_pmos.sum() == netlist.n_stages
+
+
+class TestDelayWeights:
+    def test_off_poi_devices_have_zero_weight(self, netlist):
+        weights = netlist.delay_weights(TECH_40NM)
+        for stage in range(netlist.n_stages):
+            for name in ("M3", "M4", "M6"):
+                assert weights[netlist.owner_index(stage, name)] == 0.0
+
+    def test_weights_sum_to_stage_delay(self, netlist):
+        # Averaged POI membership covers each delay component exactly once
+        # per stage: level-1 splits over M1/M2, level-2 is M5, the buffer
+        # splits over M7/M8, routing over its switches.
+        weights = netlist.delay_weights(TECH_40NM)
+        per_stage = weights.reshape(netlist.n_stages, netlist.owners_per_stage).sum(axis=1)
+        np.testing.assert_allclose(per_stage, TECH_40NM.stage_delay, rtol=1e-12)
+
+    def test_m5_carries_full_level2_share(self, netlist):
+        weights = netlist.delay_weights(TECH_40NM)
+        m5 = weights[netlist.owner_index(0, "M5")]
+        m1 = weights[netlist.owner_index(0, "M1")]
+        assert m5 == pytest.approx(2.0 * m1)  # M1 is on the POI half the time
+
+
+class TestStressPatterns:
+    def test_node_values_alternate(self, netlist):
+        np.testing.assert_array_equal(netlist.node_values(1), [1, 0, 1, 0, 1])
+        np.testing.assert_array_equal(netlist.node_values(0), [0, 1, 0, 1, 0])
+
+    def test_node_values_reject_bad_input(self, netlist):
+        with pytest.raises(ConfigurationError):
+            netlist.node_values(2)
+
+    def test_dc_pattern_alternates_stage_stress(self, netlist):
+        fractions = netlist.dc_stress_fractions(1)
+        # Stage 0 has input 1: M1/M5/M7 stressed plus routing (output 0).
+        assert fractions[netlist.owner_index(0, "M1")] == 1.0
+        assert fractions[netlist.owner_index(0, "M5")] == 1.0
+        assert fractions[netlist.owner_index(0, "M7")] == 1.0
+        assert fractions[netlist.owner_index(0, "R1")] == 1.0
+        # Stage 1 has input 0: only the weak buffer pulldown.
+        assert fractions[netlist.owner_index(1, "M1")] == 0.0
+        assert fractions[netlist.owner_index(1, "M8")] == pytest.approx(0.67)
+        assert fractions[netlist.owner_index(1, "R1")] == 0.0
+
+    def test_ac_patterns_are_complementary(self, netlist):
+        a, b = netlist.ac_stress_fractions()
+        # Every owner stressed in exactly one of the two half patterns.
+        np.testing.assert_array_equal(a > 0, ~(b > 0) & (a > 0) | (a > 0))
+        assert not np.any((a > 0) & (b > 0))
+
+    def test_dc_stressed_set_is_deterministic(self, netlist):
+        np.testing.assert_array_equal(
+            netlist.dc_stress_fractions(1), netlist.dc_stress_fractions(1)
+        )

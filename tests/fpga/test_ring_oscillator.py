@@ -1,0 +1,52 @@
+"""Ring-oscillator measurement facade (paper Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.counter import ReadoutCounter
+from repro.fpga.ring_oscillator import RingOscillator, StressMode
+from repro.units import celsius, hours
+
+
+class TestRingOscillator:
+    def test_frequency_from_chip_delay(self, small_chip):
+        ro = RingOscillator(small_chip)
+        assert ro.frequency() == pytest.approx(1.0 / (2.0 * small_chip.path_delay()))
+
+    def test_measurement_reflects_aging(self, small_chip):
+        ro = RingOscillator(small_chip, ReadoutCounter(noise_counts=0))
+        fresh = ro.measure(rng=0)
+        small_chip.apply_stress(
+            hours(24.0), temperature=celsius(110.0), mode=StressMode.DC
+        )
+        aged = ro.measure(rng=0)
+        assert aged.frequency < fresh.frequency
+        assert aged.delay > fresh.delay
+
+    def test_measurement_timestamp_is_chip_elapsed(self, small_chip):
+        small_chip.apply_stress(hours(1.0), temperature=celsius(20.0))
+        ro = RingOscillator(small_chip)
+        assert ro.measure(rng=0).timestamp == pytest.approx(hours(1.0))
+
+    def test_averaged_measurement_tighter_than_single(self, small_chip):
+        ro = RingOscillator(small_chip, ReadoutCounter(noise_counts=5))
+        rng = np.random.default_rng(0)
+        singles = [ro.measure(rng=rng).frequency for _ in range(100)]
+        averaged = [ro.measure_averaged(8, rng=rng).frequency for _ in range(100)]
+        assert np.std(averaged) < np.std(singles)
+
+    def test_averaged_count_rounding(self, small_chip):
+        ro = RingOscillator(small_chip, ReadoutCounter(noise_counts=0))
+        m = ro.measure_averaged(3, rng=0)
+        assert m.count == ro.counter.ideal_count(ro.frequency())
+
+    def test_delay_consistent_with_frequency(self, small_chip):
+        ro = RingOscillator(small_chip)
+        m = ro.measure(rng=0)
+        assert m.delay == pytest.approx(1.0 / (2.0 * m.frequency), rel=1e-9)
+
+
+class TestStressMode:
+    def test_modes(self):
+        assert StressMode.AC.value == "ac"
+        assert StressMode.DC.value == "dc"

@@ -1,0 +1,39 @@
+"""Routing-block stress model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.routing import RoutingBlock
+
+
+class TestRoutingBlock:
+    def test_default_two_switches(self):
+        block = RoutingBlock()
+        assert block.n_switches == 2
+        assert [t.name for t in block.transistors] == ["R1", "R2"]
+
+    def test_delay_share_splits_evenly(self):
+        block = RoutingBlock(4)
+        for t in block.transistors:
+            assert t.delay_weight == pytest.approx(0.25)
+
+    def test_stressed_when_carrying_zero(self):
+        block = RoutingBlock()
+        stressed = block.stressed_fractions(0)
+        assert stressed == {"R1": 1.0, "R2": 1.0}
+
+    def test_unstressed_when_carrying_one(self):
+        # Gate high over a weak 1 leaves Vgs ~ Vth: no PBTI stress.
+        assert RoutingBlock().stressed_fractions(1) == {}
+
+    def test_all_switches_on_poi(self):
+        block = RoutingBlock(3)
+        assert block.conducting_path() == ("R1", "R2", "R3")
+
+    def test_rejects_bad_net_value(self):
+        with pytest.raises(ConfigurationError):
+            RoutingBlock().stressed_fractions(2)
+
+    def test_rejects_zero_switches(self):
+        with pytest.raises(ConfigurationError):
+            RoutingBlock(0)

@@ -1,0 +1,73 @@
+"""Silicon odometer aging sensor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.sensors import SiliconOdometer
+from repro.fpga.ring_oscillator import StressMode
+from repro.units import celsius, hours
+
+from tests.conftest import fast_technology
+
+
+def make_sensor(seed=0) -> SiliconOdometer:
+    return SiliconOdometer(n_stages=9, tech=fast_technology(), seed=seed)
+
+
+class TestSiliconOdometer:
+    def test_fresh_sensor_reads_near_zero(self):
+        sensor = make_sensor()
+        reading = sensor.measure(celsius(20.0), rng=0)
+        # Fresh mismatch offset only: well below any real degradation.
+        assert abs(reading.degradation) < 0.01
+
+    def test_tracks_stress(self):
+        sensor = make_sensor()
+        offset = sensor.calibrate(rng=0)
+        sensor.experience(
+            hours(24.0), celsius(110.0), supply_voltage=1.2, mode=StressMode.DC
+        )
+        reading = sensor.measure(celsius(110.0), rng=1)
+        estimate = reading.degradation - offset
+        truth = sensor.true_degradation()
+        assert truth > 0.005
+        assert estimate == pytest.approx(truth, rel=0.35)
+
+    def test_tracks_recovery(self):
+        sensor = make_sensor()
+        offset = sensor.calibrate(rng=0)
+        sensor.experience(hours(24.0), celsius(110.0), supply_voltage=1.2)
+        aged = sensor.measure(celsius(110.0), rng=1).degradation - offset
+        sensor.experience(hours(6.0), celsius(110.0), supply_voltage=-0.3)
+        healed = sensor.measure(celsius(110.0), rng=2).degradation - offset
+        assert healed < aged
+
+    def test_reference_barely_ages(self):
+        sensor = make_sensor()
+        sensor.experience(hours(24.0), celsius(110.0), supply_voltage=1.2)
+        # The reference chip only saw readout bursts and passive recovery.
+        assert sensor._reference.delta_path_delay() < 0.1 * (
+            sensor._stressed.delta_path_delay() + 1e-15
+        )
+
+    def test_calibrate_only_when_fresh(self):
+        sensor = make_sensor()
+        sensor.experience(hours(1.0), celsius(110.0), supply_voltage=1.2)
+        with pytest.raises(ConfigurationError):
+            sensor.calibrate(rng=0)
+
+    def test_elapsed_tracks_experience(self):
+        sensor = make_sensor()
+        sensor.experience(hours(2.0), celsius(20.0), supply_voltage=1.2)
+        assert sensor.elapsed >= hours(2.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SiliconOdometer(readout_overhead=-1.0)
+
+    def test_reading_fields_consistent(self):
+        sensor = make_sensor()
+        sensor.experience(hours(12.0), celsius(110.0), supply_voltage=1.2)
+        reading = sensor.measure(celsius(110.0), rng=0)
+        expected = 1.0 - reading.stressed_frequency / reading.reference_frequency
+        assert reading.degradation == pytest.approx(expected)

@@ -1,0 +1,145 @@
+"""End-to-end paper-shape assertions across the whole stack.
+
+These tests combine the substrates the way a downstream user would and
+check the paper's headline claims as one connected story.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FpgaChip, StressMode
+from repro.core.knobs import OperatingPoint, RecoveryKnobs
+from repro.core.metrics import lifetime_extension
+from repro.core.planner import CircadianPlanner
+from repro.core.policies import NoRecoveryPolicy, ProactivePolicy
+from repro.core.rejuvenator import Rejuvenator
+from repro.units import celsius, hours
+
+
+class TestHeadlineClaim:
+    """Abstract: 'bring stressed chips back to within 90 % of their
+    original margin by actively rejuvenating for only 1/4 of the stress
+    time' — on the periodic alpha = 4 schedule, the end-of-cycle residual
+    stays a small fraction of the unmitigated aging budget."""
+
+    def test_periodic_schedule_keeps_chip_near_original_margin(self):
+        chip = FpgaChip("headline", seed=5)
+        knobs = RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+        planner = CircadianPlanner(
+            knobs, OperatingPoint(temperature_c=110.0), period=hours(7.5)
+        )
+        comparison = planner.compare_against_baseline(
+            chip, total_active_time=hours(48.0), max_segment=hours(1.5)
+        )
+        troughs = comparison.healed.cycle_troughs()
+        budget = comparison.baseline.final_shift
+        # After every rejuvenation the chip is back within ~75 % of the
+        # margin the unmitigated design would have had to budget.
+        assert troughs[-1] < 0.3 * budget
+        # And each individual cycle recovers the majority of its own wear.
+        assert comparison.end_recovery_fraction > 0.6
+
+    def test_one_quarter_sleep_single_shot(self):
+        # The single-shot version: 24 h stress, 6 h combined-knob recovery
+        # undoes most (the paper's 72.4 %) of the shift.
+        chip = FpgaChip("single", seed=6)
+        chip.apply_stress(hours(24.0), temperature=celsius(110.0), mode=StressMode.DC)
+        peak = chip.delta_path_delay()
+        chip.apply_recovery(hours(6.0), temperature=celsius(110.0), supply_voltage=-0.3)
+        fraction = 1.0 - chip.delta_path_delay() / peak
+        assert 0.6 < fraction < 0.95
+
+
+class TestKnobMonotonicity:
+    """Both knobs must help, independently, from any stressed state."""
+
+    @pytest.fixture
+    def stressed_chip(self):
+        chip = FpgaChip("knobs", seed=8)
+        chip.apply_stress(hours(24.0), temperature=celsius(110.0), mode=StressMode.DC)
+        return chip
+
+    def test_voltage_knob(self, stressed_chip):
+        state = stressed_chip.snapshot()
+        residuals = {}
+        for voltage in (0.0, -0.15, -0.3):
+            stressed_chip.restore(state)
+            stressed_chip.apply_recovery(
+                hours(6.0), temperature=celsius(110.0), supply_voltage=voltage
+            )
+            residuals[voltage] = stressed_chip.delta_path_delay()
+        assert residuals[-0.3] < residuals[-0.15] < residuals[0.0]
+
+    def test_temperature_knob(self, stressed_chip):
+        state = stressed_chip.snapshot()
+        residuals = {}
+        for temp in (20.0, 60.0, 110.0):
+            stressed_chip.restore(state)
+            stressed_chip.apply_recovery(
+                hours(6.0), temperature=celsius(temp), supply_voltage=-0.3
+            )
+            residuals[temp] = stressed_chip.delta_path_delay()
+        assert residuals[110.0] < residuals[60.0] < residuals[20.0]
+
+
+class TestLifetimeStory:
+    def test_circadian_schedule_extends_lifetime(self):
+        operating = OperatingPoint(temperature_c=110.0)
+        budget = None
+        trajectories = {}
+        for name, policy_factory in (
+            ("baseline", lambda: NoRecoveryPolicy(segment=hours(1.5))),
+            (
+                "healed",
+                lambda: ProactivePolicy(
+                    RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3,
+                                  sleep_temperature_c=110.0),
+                    period=hours(7.5),
+                ),
+            ),
+        ):
+            chip = FpgaChip("life", seed=9)
+            rejuvenator = Rejuvenator(chip, operating, max_segment=hours(1.5))
+            trajectories[name] = rejuvenator.run(policy_factory(), hours(60.0))
+        baseline = trajectories["baseline"]
+        healed = trajectories["healed"]
+        budget = 0.8 * baseline.final_shift
+        extension = lifetime_extension(
+            baseline.active_times,
+            baseline.delay_shifts,
+            healed.active_times,
+            healed.delay_shifts,
+            budget,
+        )
+        assert extension > 1.5
+
+
+class TestMeasurementChainConsistency:
+    def test_counter_delay_tracks_chip_delay(self):
+        # The whole measurement chain (chip -> RO -> counter -> Eq. 15)
+        # must agree with the chip's internal delay to counter resolution.
+        from repro.fpga.counter import ReadoutCounter
+        from repro.fpga.ring_oscillator import RingOscillator
+
+        chip = FpgaChip("chain", seed=10)
+        chip.apply_stress(hours(12.0), temperature=celsius(110.0))
+        ro = RingOscillator(chip, ReadoutCounter(noise_counts=0))
+        measured = ro.measure(rng=0)
+        assert measured.delay == pytest.approx(chip.path_delay(), rel=1e-3)
+
+
+class TestStatisticalAging:
+    def test_chip_population_spread(self):
+        # Chip-to-chip variation: five virtual chips differ in fresh
+        # frequency and in aged shift — the reason the paper normalises
+        # with recovered delay.
+        shifts = []
+        fresh = []
+        for seed in range(5):
+            chip = FpgaChip(f"pop-{seed}", seed=seed)
+            fresh.append(chip.fresh_path_delay)
+            chip.apply_stress(hours(24.0), temperature=celsius(110.0))
+            shifts.append(chip.delta_path_delay())
+        assert len(set(fresh)) == 5
+        spread = (max(shifts) - min(shifts)) / np.mean(shifts)
+        assert spread > 0.02

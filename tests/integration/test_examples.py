@@ -1,0 +1,75 @@
+"""Every example script must run unmodified (smoke integration)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    path = EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_has_quickstart_plus_domain_scenarios():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "design margin relaxed" in out
+
+
+def test_model_fitting_runs(capsys):
+    run_example("model_fitting.py")
+    out = capsys.readouterr().out
+    assert "cross-condition scaling fit" in out
+    assert "FAIL" not in out
+
+
+def test_recovery_knob_sweep_runs(capsys):
+    run_example("recovery_knob_sweep.py")
+    out = capsys.readouterr().out
+    assert "best setting" in out
+
+
+def test_multicore_circadian_runs(capsys):
+    run_example("multicore_circadian.py")
+    out = capsys.readouterr().out
+    assert "heater-aware" in out
+
+
+def test_sensor_guided_healing_runs(capsys):
+    run_example("sensor_guided_healing.py")
+    out = capsys.readouterr().out
+    assert "HEAL" in out
+    assert "converged: True" in out
+
+
+def test_statistical_margins_runs(capsys):
+    run_example("statistical_margins.py")
+    out = capsys.readouterr().out
+    assert "p99" in out
+    assert "sigma/mu" in out
+
+
+def test_aging_campaign_runs_and_exports(tmp_path, capsys):
+    csv_path = tmp_path / "campaign.csv"
+    run_example("aging_campaign.py", [str(csv_path)])
+    out = capsys.readouterr().out
+    assert "Table 4" in out
+    assert csv_path.exists()
+    from repro.lab.datalog import DataLog
+
+    assert len(DataLog.read_csv(csv_path)) > 500

@@ -1,0 +1,80 @@
+"""Campaign runner — integration against the full Table-1 schedule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.lab.campaign import Campaign
+from repro.lab.schedule import standard_case
+
+
+class TestCampaignUnit:
+    def test_chip_numbering(self):
+        campaign = Campaign(n_chips=3, seed=0)
+        assert campaign.chip_id(1) == "chip-1"
+        with pytest.raises(ScheduleError):
+            campaign.chip_id(4)
+
+    def test_chips_have_distinct_fresh_delays(self):
+        campaign = Campaign(n_chips=5, seed=0)
+        delays = set(campaign.fresh_delays.values())
+        assert len(delays) == 5
+
+    def test_run_case_logs_measurements(self):
+        campaign = Campaign(n_chips=2, seed=0)
+        campaign.run_case(standard_case("AS110DC24", chip_no=1))
+        assert len(campaign.log) > 50
+        assert campaign.log.cases() == ["AS110DC24"]
+
+    def test_rejects_nonpositive_chip_count(self):
+        with pytest.raises(ScheduleError):
+            Campaign(n_chips=0)
+
+
+class TestTable1Integration:
+    """Assertions against the session-scoped full campaign run."""
+
+    def test_all_cases_present(self, campaign_result):
+        cases = set(campaign_result.log.cases())
+        for expected in (
+            "AS110AC24", "AS110DC24", "AS100DC24", "AS110DC48",
+            "R20Z6", "AR20N6", "AR110Z6", "AR110N6", "AR110N12",
+        ):
+            assert expected in cases
+
+    def test_baseline_ran_on_every_chip(self, campaign_result):
+        cases = campaign_result.log.cases()
+        assert sum(1 for c in cases if c.startswith("BASELINE")) == 5
+
+    def test_stress_cases_degrade(self, campaign_result):
+        for case, chip in (("AS110AC24", 1), ("AS110DC24", 2), ("AS100DC24", 4)):
+            __, p = campaign_result.degradation_percent_series(case, chip)
+            assert p[-1] > 0.5  # all accelerated cases show > 0.5 %
+
+    def test_recovery_cases_recover(self, campaign_result):
+        for case, chip in (("R20Z6", 2), ("AR20N6", 3), ("AR110N6", 5)):
+            __, d = campaign_result.delay_change_series(case, chip)
+            assert d[-1] < d[0]
+
+    def test_shared_case_requires_chip_number(self, campaign_result):
+        with pytest.raises(ScheduleError):
+            campaign_result.delay_change_series("AS110DC24")
+
+    def test_unknown_case_rejected(self, campaign_result):
+        with pytest.raises(ScheduleError):
+            campaign_result.delay_change_series("AS200DC24", chip_no=1)
+
+    def test_sampling_cadence_matches_paper(self, campaign_result):
+        # DC stress sampled every 20 minutes: 24 h -> 73 samples.
+        times, __ = campaign_result.delay_change_series("AS110DC24", chip_no=2)
+        assert len(times) == 73
+        assert np.diff(times)[0] == pytest.approx(1200.0)
+        # Recovery sampled every 30 minutes: 6 h -> 13 samples.
+        times, __ = campaign_result.delay_change_series("AR110N6", chip_no=5)
+        assert len(times) == 13
+        assert np.diff(times)[0] == pytest.approx(1800.0)
+
+    def test_chip5_restress_deeper_than_first(self, campaign_result):
+        __, first = campaign_result.delay_change_series("AS110DC24", chip_no=5)
+        __, second = campaign_result.delay_change_series("AS110DC48", chip_no=5)
+        assert second[-1] > first[-1]

@@ -1,0 +1,83 @@
+"""Measurement records and the campaign data log."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.lab.datalog import DataLog, MeasurementRecord
+
+
+def record(i: int, chip="chip-1", case="AS110DC24", phase="AS110DC24") -> MeasurementRecord:
+    return MeasurementRecord(
+        chip_id=chip,
+        case=case,
+        phase=phase,
+        timestamp=float(i * 1200),
+        phase_elapsed=float(i * 1200),
+        count=3200 + i,
+        frequency=2.0 * (3200 + i) * 500.0,
+        delay=1.0 / (4.0 * (3200 + i) * 500.0),
+        temperature_c=110.0,
+        supply_voltage=1.2,
+    )
+
+
+class TestDataLog:
+    def test_append_len_iter(self):
+        log = DataLog()
+        log.append(record(0))
+        log.extend([record(1), record(2)])
+        assert len(log) == 3
+        assert [r.count for r in log] == [3200, 3201, 3202]
+
+    def test_filter_by_chip_case_phase(self):
+        log = DataLog()
+        log.append(record(0, chip="chip-1", case="A"))
+        log.append(record(1, chip="chip-2", case="A"))
+        log.append(record(2, chip="chip-1", case="B"))
+        assert len(log.filter(chip_id="chip-1")) == 2
+        assert len(log.filter(case="A")) == 2
+        assert len(log.filter(chip_id="chip-1", case="A")) == 1
+
+    def test_cases_in_insertion_order(self):
+        log = DataLog()
+        log.append(record(0, case="B"))
+        log.append(record(1, case="A"))
+        log.append(record(2, case="B"))
+        assert log.cases() == ["B", "A"]
+
+    def test_series_extraction(self):
+        log = DataLog()
+        log.extend([record(i) for i in range(3)])
+        times, values = log.series("frequency")
+        assert times.shape == values.shape == (3,)
+        assert np.all(np.diff(values) > 0)
+
+    def test_series_unknown_field(self):
+        log = DataLog()
+        log.append(record(0))
+        with pytest.raises(MeasurementError):
+            log.series("nonexistent")
+
+    def test_empty_log_raises(self):
+        with pytest.raises(MeasurementError):
+            DataLog().series()
+        with pytest.raises(MeasurementError):
+            DataLog().first()
+        with pytest.raises(MeasurementError):
+            DataLog().last()
+
+    def test_first_last(self):
+        log = DataLog()
+        log.extend([record(i) for i in range(5)])
+        assert log.first().count == 3200
+        assert log.last().count == 3204
+
+    def test_csv_roundtrip(self, tmp_path):
+        log = DataLog()
+        log.extend([record(i) for i in range(4)])
+        path = tmp_path / "log.csv"
+        log.write_csv(path)
+        loaded = DataLog.read_csv(path)
+        assert len(loaded) == 4
+        assert loaded.last() == log.last()

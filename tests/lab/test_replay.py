@@ -1,0 +1,44 @@
+"""Replay analysis from archived logs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.lab.datalog import DataLog
+from repro.lab.replay import fresh_delays_from_log, result_from_csv, result_from_log
+
+
+class TestReplay:
+    def test_fresh_delays_match_live_result(self, campaign_result):
+        fresh = fresh_delays_from_log(campaign_result.log)
+        for chip_id, live in campaign_result.fresh_delays.items():
+            # The replayed anchor is a counter *measurement* of the fresh
+            # chip: equal to the live value within readout resolution.
+            assert fresh[chip_id] == pytest.approx(live, rel=2e-3)
+
+    def test_series_match_live_result(self, campaign_result):
+        replayed = result_from_log(campaign_result.log)
+        t_live, d_live = campaign_result.delay_change_series("AR110N6", chip_no=5)
+        t_rep, d_rep = replayed.delay_change_series("AR110N6", chip_no=5)
+        np.testing.assert_array_equal(t_live, t_rep)
+        # Delay *changes* differ only by the fresh-anchor quantisation.
+        np.testing.assert_allclose(d_live, d_rep, atol=5e-10)
+
+    def test_csv_round_trip(self, campaign_result, tmp_path):
+        path = tmp_path / "campaign.csv"
+        campaign_result.log.write_csv(path)
+        replayed = result_from_csv(path)
+        t, p = replayed.degradation_percent_series("AS110DC24", chip_no=2)
+        assert p[-1] > 1.5  # the headline degradation survives archival
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(MeasurementError):
+            fresh_delays_from_log(DataLog())
+
+    def test_mid_phase_log_rejected(self, campaign_result):
+        truncated = DataLog()
+        for record in campaign_result.log:
+            if record.phase_elapsed > 0.0:
+                truncated.append(record)
+        with pytest.raises(MeasurementError):
+            fresh_delays_from_log(truncated)

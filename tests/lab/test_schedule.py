@@ -1,0 +1,103 @@
+"""Test schedules and the case-name grammar."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.fpga.ring_oscillator import StressMode
+from repro.lab.schedule import (
+    CHIP_SEQUENCES,
+    TABLE1_CASES,
+    PhaseKind,
+    TestCase,
+    TestPhase,
+    baseline_phase,
+    parse_case_name,
+    standard_case,
+)
+from repro.units import hours
+
+
+class TestCaseNameGrammar:
+    def test_accelerated_stress_dc(self):
+        phase = parse_case_name("AS110DC24")
+        assert phase.kind is PhaseKind.STRESS
+        assert phase.temperature_c == 110.0
+        assert phase.mode is StressMode.DC
+        assert phase.duration == hours(24.0)
+        assert phase.supply_voltage == 1.2
+
+    def test_accelerated_stress_ac(self):
+        phase = parse_case_name("AS110AC24")
+        assert phase.mode is StressMode.AC
+
+    def test_passive_recovery(self):
+        phase = parse_case_name("R20Z6")
+        assert phase.kind is PhaseKind.RECOVERY
+        assert phase.supply_voltage == 0.0
+        assert phase.temperature_c == 20.0
+        assert phase.duration == hours(6.0)
+
+    def test_accelerated_recovery_negative(self):
+        phase = parse_case_name("AR110N12")
+        assert phase.supply_voltage == -0.3
+        assert phase.temperature_c == 110.0
+        assert phase.duration == hours(12.0)
+
+    @pytest.mark.parametrize("name", ["XX110DC24", "AS110XY24", "R110N6", "R110Z6", ""])
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises(ScheduleError):
+            parse_case_name(name)
+
+    @pytest.mark.parametrize("__, name, chip", TABLE1_CASES)
+    def test_all_table1_names_parse(self, __, name, chip):
+        assert parse_case_name(name).duration > 0
+
+
+class TestPhaseValidation:
+    def test_stress_needs_positive_supply(self):
+        with pytest.raises(ScheduleError):
+            TestPhase("x", PhaseKind.STRESS, hours(1.0), 110.0, 0.0)
+
+    def test_recovery_needs_nonpositive_supply(self):
+        with pytest.raises(ScheduleError):
+            TestPhase("x", PhaseKind.RECOVERY, hours(1.0), 110.0, 1.2)
+
+    def test_duration_positive(self):
+        with pytest.raises(ScheduleError):
+            TestPhase("x", PhaseKind.STRESS, 0.0, 110.0, 1.2)
+
+
+class TestTable1Schedule:
+    def test_eleven_rows(self):
+        assert len(TABLE1_CASES) == 11
+
+    def test_five_chips(self):
+        assert {chip for __, __, chip in TABLE1_CASES} == {1, 2, 3, 4, 5}
+
+    def test_recovery_cases_have_alpha_four(self):
+        # Every recovery case sleeps for a quarter of its stress time.
+        stress_hours = {2: 24.0, 3: 24.0, 4: 24.0, 5: 24.0}
+        for group, name, chip in TABLE1_CASES:
+            if group.startswith("Sleep") and name.endswith("6"):
+                phase = parse_case_name(name)
+                assert phase.duration == hours(stress_hours[chip] / 4.0)
+
+    def test_chip5_sequence_restresses_before_second_recovery(self):
+        assert CHIP_SEQUENCES[5] == ("AS110DC24", "AR110N6", "AS110DC48", "AR110N12")
+
+    def test_standard_case(self):
+        case = standard_case("AS110DC24", chip_no=2)
+        assert case.total_duration == hours(24.0)
+        assert case.phases[0].label == "AS110DC24"
+
+    def test_test_case_validation(self):
+        with pytest.raises(ScheduleError):
+            TestCase(name="empty", chip_no=1, phases=())
+        with pytest.raises(ScheduleError):
+            standard_case("AS110DC24", chip_no=0)
+
+    def test_baseline_phase_matches_paper(self):
+        phase = baseline_phase()
+        assert phase.duration == hours(2.0)
+        assert phase.temperature_c == 20.0
+        assert phase.supply_voltage == 1.2

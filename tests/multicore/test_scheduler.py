@@ -1,0 +1,107 @@
+"""Core schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multicore.scheduler import (
+    BaselineScheduler,
+    CircadianScheduler,
+    HeaterAwareScheduler,
+    RoundRobinScheduler,
+)
+from repro.multicore.thermal import ThermalGrid
+
+
+@pytest.fixture
+def grid() -> ThermalGrid:
+    return ThermalGrid()
+
+
+NO_AGING = np.zeros(8)
+
+
+class TestBaseline:
+    def test_fixed_active_set(self, grid):
+        scheduler = BaselineScheduler()
+        for epoch in range(5):
+            decision = scheduler.decide(epoch, 6, NO_AGING, grid)
+            assert decision.active == tuple(range(6))
+            assert decision.sleep_voltage == 0.0
+
+    def test_demand_clamped(self, grid):
+        decision = BaselineScheduler().decide(0, 99, NO_AGING, grid)
+        assert len(decision.active) == 8
+
+
+class TestRoundRobin:
+    def test_rotation(self, grid):
+        scheduler = RoundRobinScheduler()
+        first = scheduler.decide(0, 6, NO_AGING, grid).active
+        second = scheduler.decide(1, 6, NO_AGING, grid).active
+        assert first != second
+
+    def test_every_core_gets_sleep(self, grid):
+        scheduler = RoundRobinScheduler()
+        slept = set()
+        for epoch in range(8):
+            active = set(scheduler.decide(epoch, 6, NO_AGING, grid).active)
+            slept |= set(range(8)) - active
+        assert slept == set(range(8))
+
+    def test_passive_sleep_voltage(self, grid):
+        assert RoundRobinScheduler().decide(0, 6, NO_AGING, grid).sleep_voltage == 0.0
+
+    def test_rejects_positive_sleep_voltage(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinScheduler(sleep_voltage=0.3)
+
+
+class TestCircadian:
+    def test_negative_rail_by_default(self, grid):
+        decision = CircadianScheduler().decide(0, 6, NO_AGING, grid)
+        assert decision.sleep_voltage == -0.3
+
+
+class TestHeaterAware:
+    def test_most_aged_cores_sleep(self, grid):
+        aging = np.array([1.0, 0.1, 0.1, 0.1, 0.9, 0.1, 0.1, 0.1])
+        decision = HeaterAwareScheduler().decide(0, 6, aging, grid)
+        sleeping = set(range(8)) - set(decision.active)
+        assert sleeping == {0, 4}
+
+    def test_heat_breaks_ties(self, grid):
+        # With uniform aging the scheduler prefers well-surrounded slots:
+        # inner cores (1, 2, 5, 6) have three neighbours, corners two.
+        decision = HeaterAwareScheduler().decide(0, 6, NO_AGING, grid)
+        sleeping = set(range(8)) - set(decision.active)
+        assert sleeping <= {1, 2, 5, 6}
+
+    def test_iterative_selection_avoids_adjacent_sleepers(self, grid):
+        # When two cores sleep, the second choice accounts for the first
+        # being asleep: sleepers should not rely on each other's heat.
+        decision = HeaterAwareScheduler(heat_weight=1.0, aging_weight=0.0).decide(
+            0, 6, NO_AGING, grid
+        )
+        sleeping = sorted(set(range(8)) - set(decision.active))
+        a, b = sleeping
+        assert b not in grid.neighbours(a)
+
+    def test_negative_rail(self, grid):
+        assert HeaterAwareScheduler().decide(0, 6, NO_AGING, grid).sleep_voltage == -0.3
+
+    def test_zero_demand_sleeps_everyone(self, grid):
+        decision = HeaterAwareScheduler().decide(0, 0, NO_AGING, grid)
+        assert decision.active == ()
+
+    def test_full_demand_sleeps_no_one(self, grid):
+        decision = HeaterAwareScheduler().decide(0, 8, NO_AGING, grid)
+        assert len(decision.active) == 8
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            HeaterAwareScheduler(aging_weight=-1.0)
+
+    def test_negative_demand_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            HeaterAwareScheduler().decide(0, -1, NO_AGING, grid)

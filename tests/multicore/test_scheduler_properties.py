@@ -1,0 +1,68 @@
+"""Property-based scheduler invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multicore.scheduler import (
+    BaselineScheduler,
+    CircadianScheduler,
+    HeaterAwareScheduler,
+    RoundRobinScheduler,
+)
+from repro.multicore.thermal import ThermalGrid
+
+GRID = ThermalGrid()
+
+schedulers = st.sampled_from(
+    [
+        BaselineScheduler(),
+        RoundRobinScheduler(),
+        CircadianScheduler(),
+        HeaterAwareScheduler(),
+    ]
+)
+
+
+class TestSchedulerInvariants:
+    @given(
+        scheduler=schedulers,
+        epoch=st.integers(0, 1000),
+        demand=st.integers(0, 16),
+        aging=st.lists(st.floats(0.0, 1e-9), min_size=8, max_size=8),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_decision_well_formed(self, scheduler, epoch, demand, aging):
+        decision = scheduler.decide(epoch, demand, np.array(aging), GRID)
+        active = decision.active
+        # Valid distinct core indices.
+        assert len(set(active)) == len(active)
+        assert all(0 <= core < 8 for core in active)
+        # Never more than the grid holds; demand honoured up to capacity.
+        assert len(active) == min(demand, 8)
+        # Sleep bias is never a stress bias.
+        assert decision.sleep_voltage <= 0.0
+
+    @given(
+        epoch=st.integers(0, 1000),
+        aging=st.lists(st.floats(0.0, 1e-9), min_size=8, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_heater_aware_sleeps_most_aged_core(self, epoch, aging):
+        aging_arr = np.array(aging)
+        if aging_arr.max() == 0.0:
+            return  # pure tie-break case, covered elsewhere
+        decision = HeaterAwareScheduler(heat_weight=0.0).decide(
+            epoch, 7, aging_arr, GRID
+        )
+        sleeping = set(range(8)) - set(decision.active)
+        assert int(np.argmax(aging_arr)) in sleeping
+
+    @given(demand=st.integers(1, 7), offset=st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_round_robin_period_is_core_count(self, demand, offset):
+        scheduler = RoundRobinScheduler()
+        zero = np.zeros(8)
+        a = scheduler.decide(offset, demand, zero, GRID).active
+        b = scheduler.decide(offset + 8, demand, zero, GRID).active
+        assert a == b

@@ -1,0 +1,79 @@
+"""Dark silicon: TDP-constrained scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multicore.scheduler import CircadianScheduler
+from repro.multicore.tdp import TdpConstrainedScheduler, TdpConstraint
+from repro.multicore.thermal import ThermalGrid
+
+
+class TestTdpConstraint:
+    def test_max_active_cores(self):
+        # 8 cores, floor 8*0.4 = 3.2 W; 60 W budget -> 56.8/9.6 = 5 actives.
+        constraint = TdpConstraint(budget_watts=60.0)
+        assert constraint.max_active_cores(8) == 5
+
+    def test_generous_budget_allows_all(self):
+        assert TdpConstraint(budget_watts=1000.0).max_active_cores(8) == 8
+
+    def test_starved_budget_darkens_everything(self):
+        assert TdpConstraint(budget_watts=1.0).max_active_cores(8) == 0
+
+    def test_dark_fraction(self):
+        constraint = TdpConstraint(budget_watts=60.0)
+        assert constraint.dark_fraction(8) == pytest.approx(3.0 / 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TdpConstraint(budget_watts=0.0)
+        with pytest.raises(ConfigurationError):
+            TdpConstraint(budget_watts=10.0, active_power=0.3, sleep_power=0.4)
+        with pytest.raises(ConfigurationError):
+            TdpConstraint(budget_watts=10.0).max_active_cores(0)
+
+
+class TestTdpConstrainedScheduler:
+    def test_clamps_demand(self):
+        grid = ThermalGrid()
+        scheduler = TdpConstrainedScheduler(
+            CircadianScheduler(), TdpConstraint(budget_watts=60.0)
+        )
+        decision = scheduler.decide(0, 8, np.zeros(8), grid)
+        assert len(decision.active) == 5
+        assert scheduler.clamped_epochs == 1
+
+    def test_passes_through_within_budget(self):
+        grid = ThermalGrid()
+        scheduler = TdpConstrainedScheduler(
+            CircadianScheduler(), TdpConstraint(budget_watts=60.0)
+        )
+        decision = scheduler.decide(0, 3, np.zeros(8), grid)
+        assert len(decision.active) == 3
+        assert scheduler.clamped_epochs == 0
+
+    def test_dark_cores_heal_actively(self):
+        grid = ThermalGrid()
+        scheduler = TdpConstrainedScheduler(
+            CircadianScheduler(), TdpConstraint(budget_watts=60.0)
+        )
+        decision = scheduler.decide(0, 8, np.zeros(8), grid)
+        assert decision.sleep_voltage == -0.3
+
+    def test_budget_respected_in_system_run(self):
+        from repro.multicore.system import MulticoreSystem
+        from repro.multicore.workload import ConstantWorkload
+        from tests.multicore.test_system import fast_params
+        from repro.units import hours
+
+        constraint = TdpConstraint(budget_watts=60.0)
+        system = MulticoreSystem(core_params=fast_params(), seed=5)
+        scheduler = TdpConstrainedScheduler(CircadianScheduler(), constraint)
+        history = system.run(
+            scheduler, ConstantWorkload(8), n_epochs=6, epoch_duration=hours(1.0)
+        )
+        # Never more than 5 active cores -> power never above budget.
+        assert history.active_mask.sum(axis=1).max() == 5
+        worst_power = history.active_mask.sum(axis=1).max() * 10.0 + 3 * 0.4
+        assert worst_power <= 60.0

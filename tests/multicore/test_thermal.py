@@ -1,0 +1,76 @@
+"""Thermal RC grid: neighbour heating physics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multicore.thermal import ThermalGrid
+from repro.units import celsius
+
+
+class TestThermalGrid:
+    def test_default_paper_grid(self):
+        grid = ThermalGrid()
+        assert grid.n_cores == 8
+
+    def test_idle_chip_sits_at_ambient(self):
+        grid = ThermalGrid(ambient_c=35.0)
+        temps = grid.steady_state(np.zeros(8))
+        np.testing.assert_allclose(temps, celsius(35.0))
+
+    def test_uniform_power_uniform_temperature(self):
+        grid = ThermalGrid()
+        temps = grid.steady_state(np.full(8, 10.0))
+        np.testing.assert_allclose(temps, temps[0])
+        # With no lateral flow each core rises by P * theta_ambient.
+        assert temps[0] - grid.ambient == pytest.approx(10.0 * 4.0)
+
+    def test_sleeping_core_heated_by_neighbours(self):
+        grid = ThermalGrid()
+        powers = np.full(8, 10.0)
+        powers[2] = 0.4  # core 3 in the paper's figure
+        temps = grid.steady_state(powers)
+        # The sleeping core sits well above ambient thanks to its
+        # neighbours, though cooler than the active ones.
+        assert temps[2] - grid.ambient > 15.0
+        assert temps[2] < temps.max()
+
+    def test_isolated_sleeper_cooler_than_surrounded_sleeper(self):
+        grid = ThermalGrid(rows=1, cols=5)
+        surrounded = np.array([10.0, 10.0, 0.4, 10.0, 10.0])
+        edge = np.array([0.4, 10.0, 10.0, 10.0, 10.0])
+        t_surrounded = grid.steady_state(surrounded)[2]
+        t_edge = grid.steady_state(edge)[0]
+        assert t_surrounded > t_edge
+
+    def test_energy_conservation(self):
+        # Total heat flowing to ambient equals total power injected.
+        grid = ThermalGrid()
+        powers = np.array([10.0, 0.4, 10.0, 0.4, 10.0, 10.0, 0.4, 10.0])
+        temps = grid.steady_state(powers)
+        to_ambient = np.sum((temps - grid.ambient) / grid.theta_ambient)
+        assert to_ambient == pytest.approx(powers.sum())
+
+    def test_neighbours_of_grid(self):
+        grid = ThermalGrid(rows=2, cols=4)
+        # Corner core 0 at (0, 0) touches (0, 1) = index 1 and (1, 0) = 4.
+        assert grid.neighbours(0) == [1, 4]
+        # Inner core 1 at (0, 1) touches 0, 2 and 5.
+        assert grid.neighbours(1) == [0, 2, 5]
+
+    def test_node_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            ThermalGrid().node_of(99)
+
+    def test_power_vector_validated(self):
+        grid = ThermalGrid()
+        with pytest.raises(ConfigurationError):
+            grid.steady_state(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            grid.steady_state(np.full(8, -1.0))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ThermalGrid(rows=0)
+        with pytest.raises(ConfigurationError):
+            ThermalGrid(theta_ambient=0.0)

@@ -1,0 +1,47 @@
+"""Workload models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multicore.workload import ConstantWorkload, DiurnalWorkload, RandomWorkload
+
+
+class TestConstantWorkload:
+    def test_constant(self):
+        workload = ConstantWorkload(6)
+        assert [workload.demand(e) for e in range(5)] == [6] * 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantWorkload(-1)
+
+
+class TestDiurnalWorkload:
+    def test_day_night_cycle(self):
+        workload = DiurnalWorkload(peak=6, trough=2, day_epochs=3, night_epochs=2)
+        demands = [workload.demand(e) for e in range(10)]
+        assert demands == [6, 6, 6, 2, 2, 6, 6, 6, 2, 2]
+
+    def test_peak_must_dominate(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalWorkload(peak=2, trough=6)
+
+    def test_epoch_counts_positive(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalWorkload(peak=6, trough=2, day_epochs=0)
+
+
+class TestRandomWorkload:
+    def test_demand_bounded(self):
+        workload = RandomWorkload(n_cores=8, utilisation=0.75, rng=0)
+        demands = [workload.demand(e) for e in range(200)]
+        assert all(0 <= d <= 8 for d in demands)
+
+    def test_mean_near_utilisation(self):
+        workload = RandomWorkload(n_cores=8, utilisation=0.75, rng=0)
+        demands = [workload.demand(e) for e in range(2000)]
+        assert sum(demands) / len(demands) == pytest.approx(6.0, abs=0.2)
+
+    def test_utilisation_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RandomWorkload(n_cores=8, utilisation=1.5)

@@ -1,0 +1,46 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG4" in out and "TAB4" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "FIG4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "bench_fig4" in out
+
+    def test_info_case_insensitive(self, capsys):
+        assert main(["info", "tab5"]) == 0
+        assert "Table 5" in capsys.readouterr().out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["info", "FIG99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_calibration(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "ac_dc_ratio" in out
+
+    def test_run_fig1(self, capsys):
+        # FIG1 is model-only (no campaign) — fast enough for a unit test.
+        assert main(["run", "FIG1"]) == 0
+
+    def test_run_table4(self, capsys, campaign_result):
+        # Reuses the session campaign cache (seed 0).
+        assert main(["run", "TAB4", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "AR110N6" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,35 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.ScheduleError,
+        errors.InstrumentError,
+        errors.MeasurementError,
+        errors.CounterOverflowError,
+        errors.FittingError,
+        errors.SimulationError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_schedule_error_is_configuration_error():
+    # Schedules are configuration; a single except clause should catch both.
+    assert issubclass(errors.ScheduleError, errors.ConfigurationError)
+
+
+def test_counter_overflow_is_measurement_error():
+    assert issubclass(errors.CounterOverflowError, errors.MeasurementError)
+
+
+def test_catchable_as_repro_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.FittingError("did not converge")

@@ -1,0 +1,49 @@
+"""Units and conversions."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_celsius_to_kelvin():
+    assert units.celsius(0.0) == pytest.approx(273.15)
+    assert units.celsius(110.0) == pytest.approx(383.15)
+
+
+def test_celsius_roundtrip():
+    assert units.to_celsius(units.celsius(37.5)) == pytest.approx(37.5)
+
+
+def test_celsius_below_absolute_zero_rejected():
+    with pytest.raises(ValueError):
+        units.celsius(-300.0)
+
+
+def test_hours_minutes_days():
+    assert units.hours(1.0) == 3600.0
+    assert units.minutes(20.0) == 1200.0
+    assert units.days(2.0) == 172800.0
+    assert units.to_hours(units.hours(7.25)) == pytest.approx(7.25)
+
+
+def test_nanoseconds_roundtrip():
+    assert units.to_nanoseconds(units.nanoseconds(0.7)) == pytest.approx(0.7)
+
+
+def test_megahertz_roundtrip():
+    assert units.to_megahertz(units.megahertz(3.2)) == pytest.approx(3.2)
+
+
+def test_millivolts_roundtrip():
+    assert units.to_millivolts(units.millivolts(-300.0)) == pytest.approx(-300.0)
+
+
+def test_boltzmann_constant_ev():
+    # kT at room temperature is the textbook ~25.9 meV.
+    assert units.BOLTZMANN_EV * units.celsius(27.0) == pytest.approx(0.02585, rel=1e-3)
+
+
+def test_seconds_per_year():
+    assert units.SECONDS_PER_YEAR == pytest.approx(365.25 * 86400)
