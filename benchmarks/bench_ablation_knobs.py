@@ -6,7 +6,6 @@ design space the paper's Sec. 7 calls "a good opportunity for cross-layer
 optimisation".
 """
 
-import pytest
 
 from repro.analysis.tables import Table
 from repro.core.knobs import OperatingPoint, RecoveryKnobs

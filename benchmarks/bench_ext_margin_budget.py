@@ -6,7 +6,6 @@ margin policy demands with and without accelerated self-healing, and the
 parametric yield consequence of shipping the tighter (healed) bin.
 """
 
-from repro.analysis.tables import Table
 from repro.bti.conditions import BiasCondition, BiasPhase
 from repro.bti.statistical import sample_device_shifts
 from repro.core.margin import build_margin_budget

@@ -1,0 +1,90 @@
+"""OBS — instrumentation overhead budget and the campaign perf baseline.
+
+Two guarantees back the observability layer:
+
+* the instrumentation must be close to free: a campaign run under a full
+  in-memory tracer may cost at most 5 % more wall clock than the same
+  run under the no-op default (``OVERHEAD_BUDGET``);
+* every run refreshes ``BENCH_campaign.json`` at the repo root — the
+  five-chip campaign wall time, measurements/sec and simulated-seconds
+  per wall-second — so future perf PRs have a trajectory to beat.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.lab.campaign import run_table1_campaign
+from repro.obs import NULL_TRACER, Tracer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_campaign.json"
+
+#: Maximum tolerated wall-clock overhead of tracing vs the no-op default.
+OVERHEAD_BUDGET = 0.05
+
+#: Chips used for the overhead A/B (smaller than the full bench, repeated).
+OVERHEAD_CHIPS = 2
+OVERHEAD_REPEATS = 4
+
+
+def _timed_run(tracer) -> float:
+    start = time.perf_counter()
+    run_table1_campaign(seed=0, n_chips=OVERHEAD_CHIPS, tracer=tracer)
+    return time.perf_counter() - start
+
+
+def test_bench_obs_overhead(once):
+    """Tracing a campaign must cost < 5 % over the disabled default.
+
+    The A/B runs are interleaved (disabled, enabled, disabled, ...) and
+    the fastest of each side compared, so CPU warm-up and frequency
+    scaling bias neither side.
+    """
+
+    def measure() -> tuple[float, float]:
+        _timed_run(NULL_TRACER)  # warm-up, discarded
+        disabled = float("inf")
+        enabled = float("inf")
+        for _ in range(OVERHEAD_REPEATS):
+            disabled = min(disabled, _timed_run(NULL_TRACER))
+            enabled = min(enabled, _timed_run(Tracer()))
+        return disabled, enabled
+
+    disabled, enabled = once(measure)
+    overhead = enabled / disabled - 1.0
+    print(f"disabled tracer: {disabled:.3f} s   enabled tracer: {enabled:.3f} s")
+    print(f"instrumentation overhead: {100.0 * overhead:+.2f} % "
+          f"(budget {100.0 * OVERHEAD_BUDGET:.0f} %)")
+    assert overhead < OVERHEAD_BUDGET
+
+
+def test_bench_campaign_baseline(once):
+    """Time the full five-chip campaign and refresh BENCH_campaign.json."""
+
+    def timed_campaign():
+        tracer = Tracer()
+        start = time.perf_counter()
+        result = run_table1_campaign(seed=0, tracer=tracer)
+        return time.perf_counter() - start, result, tracer
+
+    wall_s, result, tracer = once(timed_campaign)
+    sim_seconds = tracer.spans("campaign")[0].sim_advanced
+    baseline = {
+        "bench": "bench_obs_overhead.test_bench_campaign_baseline",
+        "seed": 0,
+        "n_chips": len(result.chips),
+        "measurements": len(result.log),
+        "campaign_wall_s": round(wall_s, 3),
+        "measurements_per_sec": round(len(result.log) / wall_s, 1),
+        "sim_seconds": round(sim_seconds, 1),
+        "sim_seconds_per_wall_second": round(sim_seconds / wall_s, 1),
+        "ro_evaluations": int(tracer.metrics.value("ro.evaluations")),
+        "trap_updates": int(tracer.metrics.value("bti.trap_updates")),
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"campaign: {wall_s:.3f} s wall, {baseline['measurements_per_sec']} "
+          f"measurements/s, {baseline['sim_seconds_per_wall_second']:,} sim s/s")
+    print(f"baseline written to {BASELINE_PATH}")
+    assert baseline["measurements"] > 500
+    assert baseline["sim_seconds_per_wall_second"] > 1.0

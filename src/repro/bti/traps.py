@@ -22,7 +22,7 @@ oscillator over a 24 h phase is a handful of numpy operations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

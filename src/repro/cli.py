@@ -5,7 +5,8 @@ Usage::
     python -m repro list                    # all experiments
     python -m repro info FIG4               # one experiment's description
     python -m repro run FIG4 [--seed N]     # regenerate an artefact
-    python -m repro campaign [--csv out.csv] [--seed N]
+    python -m repro campaign [--csv out.csv] [--trace out.jsonl] [--quiet]
+    python -m repro stats [--seed N]        # campaign timing + metric summary
     python -m repro calibration             # print the acceptance bands
 """
 
@@ -53,14 +54,11 @@ def _print_result(result) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    import inspect
+    from repro.experiments.registry import run_experiment
 
     descriptor = get_experiment(args.experiment)
     print(f"running {descriptor.exp_id} ({descriptor.paper_artifact})...\n")
-    if "seed" in inspect.signature(descriptor.runner).parameters:
-        result = descriptor.runner(seed=args.seed)
-    else:
-        result = descriptor.runner()
+    result = run_experiment(descriptor.exp_id, seed=args.seed)
     if descriptor.exp_id == "TAB1":
         from repro.experiments.table1 import schedule_table
 
@@ -76,13 +74,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.lab.campaign import run_table1_campaign
+    from repro.obs import JsonlExporter, ProgressReporter, Tracer
 
-    print("running the full Table 1 campaign...")
-    result = run_table1_campaign(seed=args.seed)
+    tracer = None
+    if args.trace:
+        tracer = Tracer(exporter=JsonlExporter(args.trace))
+    progress = ProgressReporter(enabled=args.progress)
+    print(f"running the Table 1 campaign on {args.chips} chips...")
+    result = run_table1_campaign(seed=args.seed, n_chips=args.chips,
+                                 tracer=tracer, progress=progress)
     print(f"done: {len(result.log)} measurements over {len(result.chips)} chips")
     if args.csv:
         result.log.write_csv(args.csv)
         print(f"log written to {args.csv}")
+    if tracer is not None:
+        n_spans = len(tracer.finished)
+        tracer.close()
+        print(f"trace written to {args.trace} ({n_spans} spans)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.lab.campaign import run_table1_campaign
+    from repro.obs import JsonlExporter, ProgressReporter, Tracer
+
+    exporter = JsonlExporter(args.trace) if args.trace else None
+    tracer = Tracer(exporter=exporter)
+    progress = ProgressReporter(enabled=args.progress)
+    print(f"running the Table 1 campaign on {args.chips} chips (instrumented)...")
+    result = run_table1_campaign(seed=args.seed, n_chips=args.chips,
+                                 tracer=tracer, progress=progress)
+    print(f"done: {len(result.log)} measurements over {len(result.chips)} chips\n")
+    tracer.summary_table(
+        "Per-span timing (campaign -> case -> phase -> measurement)"
+    ).print()
+    tracer.metrics_table("Campaign run metrics").print()
+    tracer.close()
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -133,10 +162,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0, help="campaign seed")
     run.set_defaults(func=_cmd_run)
 
+    def add_campaign_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+        parser.add_argument(
+            "--chips", type=int, default=5, help="number of chips on the bench"
+        )
+        parser.add_argument("--trace", help="write a JSONL span trace to this file")
+        verbosity = parser.add_mutually_exclusive_group()
+        verbosity.add_argument(
+            "--progress",
+            dest="progress",
+            action="store_true",
+            default=True,
+            help="print per-case progress lines (default)",
+        )
+        verbosity.add_argument(
+            "--quiet",
+            dest="progress",
+            action="store_false",
+            help="suppress progress lines",
+        )
+
     campaign = sub.add_parser("campaign", help="run the full Table 1 campaign")
     campaign.add_argument("--csv", help="write the measurement log to CSV")
-    campaign.add_argument("--seed", type=int, default=0, help="campaign seed")
+    add_campaign_options(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    stats = sub.add_parser(
+        "stats", help="run an instrumented campaign and print its telemetry"
+    )
+    add_campaign_options(stats)
+    stats.set_defaults(func=_cmd_stats)
 
     sub.add_parser(
         "calibration", help="print the paper-shape acceptance bands"

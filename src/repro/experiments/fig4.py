@@ -13,7 +13,7 @@ from repro.analysis.series import Series
 from repro.analysis.tables import Table
 from repro.experiments import table1
 from repro.experiments.calibration import PAPER_TARGETS
-from repro.units import hours, to_hours
+from repro.units import hours
 
 
 @dataclass(frozen=True)

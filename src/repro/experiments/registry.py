@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ConfigurationError
+from repro.obs import get_tracer
 from repro.experiments import (
     fig1,
     fig2,
@@ -160,3 +162,23 @@ def get_experiment(exp_id: str) -> ExperimentDescriptor:
         raise ConfigurationError(
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
+
+
+def run_experiment(exp_id: str, seed: int | None = None, tracer=None):
+    """Run one experiment inside an ``experiment`` span.
+
+    ``seed`` is forwarded only to runners that accept one (structural
+    figures take no seed).  The span records the experiment id and the
+    ``experiments.runs`` counter ticks once per invocation, so a traced
+    ``repro report`` shows where its wall-clock went.
+    """
+    descriptor = get_experiment(exp_id)
+    tracer = tracer if tracer is not None else get_tracer()
+    takes_seed = "seed" in inspect.signature(descriptor.runner).parameters
+    with tracer.span(
+        "experiment", exp_id=descriptor.exp_id, artifact=descriptor.paper_artifact
+    ):
+        tracer.counter("experiments.runs", "experiment runners invoked").inc()
+        if takes_seed and seed is not None:
+            return descriptor.runner(seed=seed)
+        return descriptor.runner()

@@ -19,6 +19,7 @@ from repro.errors import ConfigurationError
 from repro.fpga.fabric import Fabric, Location
 from repro.fpga.netlist import InverterChainNetlist
 from repro.fpga.ring_oscillator import StressMode
+from repro.obs import get_tracer
 
 
 class FpgaChip:
@@ -44,6 +45,9 @@ class FpgaChip:
     seed:
         Seeds both the variation draw and the trap populations, making a
         chip fully reproducible.
+    tracer:
+        Telemetry sink counting trap-state updates; defaults to the
+        process tracer (a no-op unless one was installed).
     """
 
     def __init__(
@@ -57,6 +61,7 @@ class FpgaChip:
         delay_model: str = "first-order",
         enable_gated: bool = False,
         seed: int | None = None,
+        tracer=None,
     ) -> None:
         self.chip_id = chip_id
         self.tech = tech
@@ -112,6 +117,10 @@ class FpgaChip:
             tech.pbti_traps, n_owners=self._nmos_owners.size, rng=pop_rng_n
         )
         self._elapsed = 0.0
+        tracer = tracer if tracer is not None else get_tracer()
+        self._trap_updates = tracer.counter(
+            "bti.trap_updates", "per-transistor trap-population evolutions"
+        )
 
     # ------------------------------------------------------------------ #
     # observables
@@ -184,6 +193,7 @@ class FpgaChip:
             duty=duty,
             relax_voltage=relax[self._nmos_owners],
         )
+        self._trap_updates.inc(self.n_owners)
         self._elapsed += duration
 
     def apply_stress(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.device.technology import TechnologyParameters, TECH_40NM
+from repro.device.technology import TechnologyParameters
 from repro.device.transistor import TransistorRole
 from repro.errors import ConfigurationError
 from repro.fpga.lut import INVERTER_ON_IN0, LutConfig, PassTransistorLut

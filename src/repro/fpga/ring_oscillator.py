@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fpga.counter import ReadoutCounter
+from repro.obs import get_tracer
 
 
 class StressMode(enum.Enum):
@@ -51,11 +52,18 @@ class RingOscillator:
         in practice :class:`repro.fpga.chip.FpgaChip`.
     counter:
         Readout counter; defaults to the paper's 16-bit / 500 Hz design.
+    tracer:
+        Telemetry sink; defaults to the process tracer (a no-op unless
+        one was installed), and only counters are touched here.
     """
 
-    def __init__(self, chip, counter: ReadoutCounter | None = None) -> None:
+    def __init__(self, chip, counter: ReadoutCounter | None = None, tracer=None) -> None:
         self.chip = chip
         self.counter = counter or ReadoutCounter()
+        tracer = tracer if tracer is not None else get_tracer()
+        self._evaluations = tracer.counter(
+            "ro.evaluations", "counter readouts taken from ring oscillators"
+        )
 
     def frequency(self) -> float:
         """Noise-free oscillation frequency of the CUT."""
@@ -63,6 +71,7 @@ class RingOscillator:
 
     def measure(self, rng: np.random.Generator | int | None = None) -> RoMeasurement:
         """Take one counter readout (quantised, with repeatability noise)."""
+        self._evaluations.inc()
         count = self.counter.read(self.frequency(), rng=rng)
         return RoMeasurement(
             count=count,
@@ -82,6 +91,7 @@ class RingOscillator:
         """
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
+        self._evaluations.inc(n_reads)
         counts = [self.counter.read(self.frequency(), rng=rng) for _ in range(n_reads)]
         mean_count = float(np.mean(counts))
         return RoMeasurement(

@@ -18,6 +18,7 @@ from repro.lab.schedule import (
     baseline_phase,
     standard_case,
 )
+from repro.obs import NULL_PROGRESS, ProgressReporter, get_tracer
 
 
 @dataclass
@@ -89,6 +90,9 @@ class Campaign:
         frequencies differ, as the paper observes.
     seed:
         Master seed; chips and bench noise get independent child streams.
+    tracer:
+        Telemetry sink shared by the chips and benches; defaults to the
+        process tracer (a no-op unless one was installed).
     """
 
     def __init__(
@@ -97,22 +101,33 @@ class Campaign:
         tech: TechnologyParameters = TECH_40NM,
         variation: ProcessVariation | None = None,
         seed: int | None = 0,
+        tracer=None,
     ) -> None:
         if n_chips <= 0:
             raise ScheduleError(f"n_chips must be positive, got {n_chips}")
         master = np.random.default_rng(seed)
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.log = DataLog()
         self.chips: dict[str, FpgaChip] = {}
         self.benches: dict[str, VirtualTestbench] = {}
+        self._cases_run = self.tracer.counter(
+            "campaign.cases", "test cases executed across campaigns"
+        )
         variation = variation if variation is not None else ProcessVariation()
         for index in range(n_chips):
             chip_seed, bench_seed = master.spawn(2)
             chip_id = f"chip-{index + 1}"
             chip = FpgaChip(
-                chip_id, tech=tech, variation=variation, seed=int(chip_seed.integers(2**31))
+                chip_id,
+                tech=tech,
+                variation=variation,
+                seed=int(chip_seed.integers(2**31)),
+                tracer=self.tracer,
             )
             self.chips[chip_id] = chip
-            self.benches[chip_id] = VirtualTestbench(chip, rng=bench_seed)
+            self.benches[chip_id] = VirtualTestbench(
+                chip, rng=bench_seed, tracer=self.tracer
+            )
         self.fresh_delays = {cid: chip.fresh_path_delay for cid, chip in self.chips.items()}
 
     def chip_id(self, chip_no: int) -> str:
@@ -124,15 +139,25 @@ class Campaign:
 
     def run_case(self, case: TestCase) -> None:
         """Execute a case's phases on its chip, appending to the shared log."""
-        bench = self.benches[self.chip_id(case.chip_no)]
-        for phase in case.phases:
-            bench.run_phase(phase, case.name, self.log)
+        chip_id = self.chip_id(case.chip_no)
+        bench = self.benches[chip_id]
+        with self.tracer.span("case", case=case.name, chip_id=chip_id) as span:
+            sim_start = bench.chip.elapsed
+            for phase in case.phases:
+                bench.run_phase(phase, case.name, self.log)
+            span.set("sim_advanced", bench.chip.elapsed - sim_start)
+        self._cases_run.inc()
 
     def run_baseline(self) -> None:
         """Burn every chip in (2 h at 20 degC, 1.2 V) — the paper's baseline."""
         phase = baseline_phase()
         for chip_id, bench in self.benches.items():
-            bench.run_phase(phase, f"BASELINE-{chip_id}", self.log)
+            case_name = f"BASELINE-{chip_id}"
+            with self.tracer.span("case", case=case_name, chip_id=chip_id) as span:
+                sim_start = bench.chip.elapsed
+                bench.run_phase(phase, case_name, self.log)
+                span.set("sim_advanced", bench.chip.elapsed - sim_start)
+            self._cases_run.inc()
 
     def result(self) -> CampaignResult:
         """Bundle the current state into a :class:`CampaignResult`."""
@@ -145,19 +170,50 @@ def run_table1_campaign(
     seed: int | None = 0,
     n_chips: int = 5,
     include_baseline: bool = True,
+    tracer=None,
+    progress: ProgressReporter | None = None,
 ) -> CampaignResult:
     """Run the full Table 1 schedule and return the result.
 
     Chip execution order follows the paper: each chip runs its stress case
     then its recovery case; chip 5 additionally re-stresses for 48 h and
     runs the 12 h recovery (``AR110N12``).
+
+    ``tracer`` wraps the run in a ``campaign`` span (cases and phases nest
+    under it) and records the simulated-seconds-per-wall-second
+    throughput; ``progress`` gets one line per completed case.
     """
-    campaign = Campaign(n_chips=n_chips, seed=seed)
-    if include_baseline:
-        campaign.run_baseline()
-    for chip_no, case_names in CHIP_SEQUENCES.items():
-        if chip_no > n_chips:
-            continue
-        for name in case_names:
-            campaign.run_case(standard_case(name, chip_no))
+    tracer = tracer if tracer is not None else get_tracer()
+    progress = progress if progress is not None else NULL_PROGRESS
+    campaign = Campaign(n_chips=n_chips, seed=seed, tracer=tracer)
+    sequences = {
+        chip_no: names for chip_no, names in CHIP_SEQUENCES.items() if chip_no <= n_chips
+    }
+    total_cases = sum(len(names) for names in sequences.values())
+    with tracer.span("campaign", seed=seed, n_chips=n_chips) as span:
+        if include_baseline:
+            campaign.run_baseline()
+            progress.line(f"baseline burn-in done on {n_chips} chips")
+        cases_done = 0
+        chips_done = 0
+        for chip_no, case_names in sequences.items():
+            for name in case_names:
+                campaign.run_case(standard_case(name, chip_no))
+                cases_done += 1
+                progress.case_done(
+                    campaign.chip_id(chip_no),
+                    name,
+                    cases_done,
+                    total_cases,
+                    chips_done,
+                    len(sequences),
+                )
+            chips_done += 1
+        sim_total = float(sum(chip.elapsed for chip in campaign.chips.values()))
+        span.set("sim_advanced", sim_total)
+    if span.duration > 0.0:
+        tracer.gauge(
+            "campaign.sim_seconds_per_wall_second",
+            "simulated time advanced per wall-clock second",
+        ).set(sim_total / span.duration)
     return campaign.result()

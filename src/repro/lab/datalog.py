@@ -115,13 +115,20 @@ class DataLog:
 
     @classmethod
     def read_csv(cls, path: str | Path) -> "DataLog":
-        """Load a log previously written by :meth:`write_csv`."""
+        """Load a log previously written by :meth:`write_csv`.
+
+        Malformed files raise :class:`~repro.errors.MeasurementError`
+        naming the file and the 1-based line number of the bad row, so a
+        truncated or hand-edited log points at itself rather than dying
+        with a bare ``KeyError``.
+        """
         log = cls()
         with open(path, newline="") as handle:
             reader = csv.DictReader(handle)
-            for row in reader:
-                log.append(
-                    MeasurementRecord(
+            # Header is line 1; DictReader rows start on line 2.
+            for line_no, row in enumerate(reader, start=2):
+                try:
+                    record = MeasurementRecord(
                         chip_id=row["chip_id"],
                         case=row["case"],
                         phase=row["phase"],
@@ -133,5 +140,10 @@ class DataLog:
                         temperature_c=float(row["temperature_c"]),
                         supply_voltage=float(row["supply_voltage"]),
                     )
-                )
+                except (KeyError, TypeError, ValueError) as error:
+                    raise MeasurementError(
+                        f"{path}:{line_no}: malformed measurement row "
+                        f"({type(error).__name__}: {error})"
+                    ) from error
+                log.append(record)
         return log

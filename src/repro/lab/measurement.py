@@ -24,6 +24,7 @@ from repro.lab.datalog import DataLog, MeasurementRecord
 from repro.lab.power_supply import DcPowerSupply
 from repro.lab.schedule import NOMINAL_RAIL, PhaseKind, TestPhase
 from repro.lab.thermal_chamber import ThermalChamber
+from repro.obs import get_tracer
 
 
 class VirtualTestbench:
@@ -41,6 +42,10 @@ class VirtualTestbench:
         Seconds the RO runs (AC, nominal rail) per readout burst.
     rng:
         Seed or generator for every noise source on the bench.
+    tracer:
+        Telemetry sink for phase/measurement spans and sample counters;
+        defaults to the process tracer (a no-op unless one was
+        installed).
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class VirtualTestbench:
         reads_per_sample: int = 3,
         sampling_overhead: float = 3.0,
         rng: np.random.Generator | int | None = None,
+        tracer=None,
     ) -> None:
         if reads_per_sample <= 0:
             raise ConfigurationError("reads_per_sample must be positive")
@@ -61,12 +67,21 @@ class VirtualTestbench:
         self.chamber = chamber or ThermalChamber()
         self.supply = supply or DcPowerSupply()
         self.clock = clock or ClockGenerator()
-        self.ro = RingOscillator(chip, ReadoutCounter(fref=self.clock.frequency))
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.ro = RingOscillator(
+            chip, ReadoutCounter(fref=self.clock.frequency), tracer=self.tracer
+        )
         self.reads_per_sample = reads_per_sample
         self.sampling_overhead = sampling_overhead
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         self._rng = rng
+        self._samples = self.tracer.counter(
+            "lab.samples", "RO readout samples taken by testbenches"
+        )
+        self._records = self.tracer.counter(
+            "datalog.records", "measurement records appended to campaign logs"
+        )
 
     def take_sample(
         self, case: str, phase_label: str, phase_elapsed: float
@@ -77,26 +92,34 @@ class VirtualTestbench:
         activity at nominal rail and chamber temperature — negligible
         aging, but modelled because hardware cannot measure for free.
         """
-        if self.sampling_overhead > 0.0:
-            self.chip.apply_stress(
-                self.sampling_overhead,
-                temperature=self.chamber.actual_temperature(self._rng),
-                supply_voltage=NOMINAL_RAIL,
-                mode=StressMode.AC,
-            )
-        measurement = self.ro.measure_averaged(self.reads_per_sample, rng=self._rng)
-        return MeasurementRecord(
+        with self.tracer.span(
+            "measurement",
             chip_id=self.chip.chip_id,
             case=case,
             phase=phase_label,
-            timestamp=self.chip.elapsed,
-            phase_elapsed=phase_elapsed,
-            count=measurement.count,
-            frequency=measurement.frequency,
-            delay=measurement.delay,
-            temperature_c=self.chamber.setpoint_celsius,
-            supply_voltage=self.supply.setpoint,
-        )
+        ) as span:
+            if self.sampling_overhead > 0.0:
+                self.chip.apply_stress(
+                    self.sampling_overhead,
+                    temperature=self.chamber.actual_temperature(self._rng),
+                    supply_voltage=NOMINAL_RAIL,
+                    mode=StressMode.AC,
+                )
+            measurement = self.ro.measure_averaged(self.reads_per_sample, rng=self._rng)
+            self._samples.inc()
+            span.set("sim_advanced", self.sampling_overhead)
+            return MeasurementRecord(
+                chip_id=self.chip.chip_id,
+                case=case,
+                phase=phase_label,
+                timestamp=self.chip.elapsed,
+                phase_elapsed=phase_elapsed,
+                count=measurement.count,
+                frequency=measurement.frequency,
+                delay=measurement.delay,
+                temperature_c=self.chamber.setpoint_celsius,
+                supply_voltage=self.supply.setpoint,
+            )
 
     def run_phase(self, phase: TestPhase, case: str, log: DataLog) -> None:
         """Execute one phase, recording samples into ``log``.
@@ -104,31 +127,44 @@ class VirtualTestbench:
         A sample is taken at the start of the phase (time 0 — the paper's
         recovery figures anchor there) and after every sampling interval.
         """
-        self.chamber.set_temperature_celsius(phase.temperature_c)
-        if phase.kind is PhaseKind.RECOVERY and phase.supply_voltage == 0.0:
-            # Passive recovery power-gates the rail: the relay opens and
-            # the chip sees exactly 0 V, not a noisy millivolt setpoint.
-            self.supply.set_voltage(0.0)
-            self.supply.disable_output()
-        else:
-            self.supply.enable_output()
-            self.supply.set_voltage(phase.supply_voltage)
-        log.append(self.take_sample(case, phase.label, 0.0))
-        elapsed = 0.0
-        while elapsed < phase.duration:
-            chunk = min(phase.sampling_interval, phase.duration - elapsed)
-            temperature = self.chamber.actual_temperature(self._rng)
-            voltage = self.supply.actual_voltage(self._rng)
-            if phase.kind is PhaseKind.STRESS:
-                self.chip.apply_stress(
-                    chunk,
-                    temperature=temperature,
-                    supply_voltage=voltage,
-                    mode=phase.mode,
-                )
+        with self.tracer.span(
+            "phase",
+            chip_id=self.chip.chip_id,
+            case=case,
+            phase=phase.label,
+            kind=phase.kind.value,
+            temperature_c=phase.temperature_c,
+            supply_voltage=phase.supply_voltage,
+        ) as span:
+            sim_start = self.chip.elapsed
+            self.chamber.set_temperature_celsius(phase.temperature_c)
+            if phase.kind is PhaseKind.RECOVERY and phase.supply_voltage == 0.0:
+                # Passive recovery power-gates the rail: the relay opens and
+                # the chip sees exactly 0 V, not a noisy millivolt setpoint.
+                self.supply.set_voltage(0.0)
+                self.supply.disable_output()
             else:
-                self.chip.apply_recovery(
-                    chunk, temperature=temperature, supply_voltage=voltage
-                )
-            elapsed += chunk
-            log.append(self.take_sample(case, phase.label, elapsed))
+                self.supply.enable_output()
+                self.supply.set_voltage(phase.supply_voltage)
+            log.append(self.take_sample(case, phase.label, 0.0))
+            self._records.inc()
+            elapsed = 0.0
+            while elapsed < phase.duration:
+                chunk = min(phase.sampling_interval, phase.duration - elapsed)
+                temperature = self.chamber.actual_temperature(self._rng)
+                voltage = self.supply.actual_voltage(self._rng)
+                if phase.kind is PhaseKind.STRESS:
+                    self.chip.apply_stress(
+                        chunk,
+                        temperature=temperature,
+                        supply_voltage=voltage,
+                        mode=phase.mode,
+                    )
+                else:
+                    self.chip.apply_recovery(
+                        chunk, temperature=temperature, supply_voltage=voltage
+                    )
+                elapsed += chunk
+                log.append(self.take_sample(case, phase.label, elapsed))
+                self._records.inc()
+            span.set("sim_advanced", self.chip.elapsed - sim_start)

@@ -15,6 +15,7 @@ from repro.multicore.scheduler import (
     BaselineScheduler,
     CircadianScheduler,
     HeaterAwareScheduler,
+    InstrumentedScheduler,
     RoundRobinScheduler,
 )
 from repro.multicore.system import MulticoreSystem, SystemHistory
@@ -30,6 +31,7 @@ __all__ = [
     "CoreParameters",
     "DiurnalWorkload",
     "HeaterAwareScheduler",
+    "InstrumentedScheduler",
     "MulticoreSystem",
     "MulticoreLifetime",
     "RoundRobinScheduler",

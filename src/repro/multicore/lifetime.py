@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.device.electromigration import BlackModel, EmWearState
 from repro.errors import ConfigurationError

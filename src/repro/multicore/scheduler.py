@@ -18,13 +18,15 @@ proposal:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import Protocol
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.multicore.thermal import ThermalGrid
+from repro.obs import get_tracer
 
 
 @dataclass(frozen=True)
@@ -154,3 +156,33 @@ class HeaterAwareScheduler:
                     best_core = core
             active.remove(best_core)
         return ScheduleDecision(active=tuple(sorted(active)), sleep_voltage=self.sleep_voltage)
+
+
+class InstrumentedScheduler:
+    """Wraps any scheduler, metering its decisions.
+
+    Counts every :meth:`decide` call and accumulates the wall-clock time
+    spent deciding (``multicore.decisions`` / ``multicore.decide_seconds``),
+    so scheduler cost shows up in ``repro stats`` next to the simulation
+    cost it steers.  The decision itself is passed through untouched.
+    """
+
+    def __init__(self, inner: Scheduler, tracer=None) -> None:
+        self.inner = inner
+        tracer = tracer if tracer is not None else get_tracer()
+        self._decisions = tracer.counter(
+            "multicore.decisions", "scheduler decide() calls"
+        )
+        self._decide_seconds = tracer.counter(
+            "multicore.decide_seconds", "wall-clock seconds spent in decide()"
+        )
+
+    def decide(
+        self, epoch: int, demand: int, aging: np.ndarray, grid: ThermalGrid
+    ) -> ScheduleDecision:
+        """Delegate to the wrapped scheduler, recording count and time."""
+        start = time.perf_counter()
+        decision = self.inner.decide(epoch, demand, aging, grid)
+        self._decide_seconds.inc(time.perf_counter() - start)
+        self._decisions.inc()
+        return decision

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -10,6 +10,7 @@ from repro.errors import ConfigurationError
 from repro.multicore.core_model import CoreAgingModel, CoreParameters
 from repro.multicore.scheduler import Scheduler
 from repro.multicore.thermal import ThermalGrid
+from repro.obs import get_tracer
 from repro.units import hours
 
 
@@ -64,6 +65,9 @@ class MulticoreSystem:
     seed:
         Seeds the per-core trap populations (each core gets a child
         stream, so cores differ the way real dies do).
+    tracer:
+        Telemetry sink for run spans and epoch counters; defaults to the
+        process tracer (a no-op unless one was installed).
     """
 
     def __init__(
@@ -71,6 +75,7 @@ class MulticoreSystem:
         grid: ThermalGrid | None = None,
         core_params: CoreParameters | None = None,
         seed: int | None = 0,
+        tracer=None,
     ) -> None:
         self.grid = grid or ThermalGrid()
         params = core_params or CoreParameters()
@@ -79,6 +84,13 @@ class MulticoreSystem:
             CoreAgingModel(f"core-{i + 1}", params=params, rng=child)
             for i, child in enumerate(master.spawn(self.grid.n_cores))
         ]
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._epochs = self.tracer.counter(
+            "multicore.epochs", "scheduler epochs simulated"
+        )
+        self._core_steps = self.tracer.counter(
+            "multicore.core_steps", "per-core aging steps (active or sleeping)"
+        )
 
     @property
     def n_cores(self) -> int:
@@ -121,32 +133,53 @@ class MulticoreSystem:
         active_mask = np.zeros((n_epochs, n), dtype=bool)
         shifts[0] = self.delay_shifts()
         energy_start = self.total_energy()
-        for epoch in range(n_epochs):
-            logical_epoch = epoch_offset + epoch
-            demand = workload.demand(logical_epoch)
-            decision = scheduler.decide(logical_epoch, demand, shifts[epoch], self.grid)
-            active = set(decision.active)
-            if len(active) > n:
-                raise ConfigurationError("scheduler activated more cores than exist")
-            powers = np.array(
-                [
-                    self.cores[i].params.active_power
-                    if i in active
-                    else self.cores[i].params.sleep_power
-                    for i in range(n)
-                ]
-            )
-            temperatures = self.grid.steady_state(powers)
-            for i, core in enumerate(self.cores):
-                if i in active:
-                    core.run_active(epoch_duration, temperatures[i])
-                else:
-                    core.sleep(
-                        epoch_duration, temperatures[i], voltage=decision.sleep_voltage
+        with self.tracer.span(
+            "multicore.run",
+            scheduler=type(scheduler).__name__,
+            n_cores=n,
+            n_epochs=n_epochs,
+            epoch_duration=epoch_duration,
+        ) as span:
+            for epoch in range(n_epochs):
+                logical_epoch = epoch_offset + epoch
+                demand = workload.demand(logical_epoch)
+                decision = scheduler.decide(
+                    logical_epoch, demand, shifts[epoch], self.grid
+                )
+                active = set(decision.active)
+                if len(active) > n:
+                    raise ConfigurationError(
+                        "scheduler activated more cores than exist"
                     )
-            temps[epoch] = temperatures
-            active_mask[epoch] = [i in active for i in range(n)]
-            shifts[epoch + 1] = self.delay_shifts()
+                powers = np.array(
+                    [
+                        self.cores[i].params.active_power
+                        if i in active
+                        else self.cores[i].params.sleep_power
+                        for i in range(n)
+                    ]
+                )
+                temperatures = self.grid.steady_state(powers)
+                for i, core in enumerate(self.cores):
+                    if i in active:
+                        core.run_active(epoch_duration, temperatures[i])
+                    else:
+                        core.sleep(
+                            epoch_duration,
+                            temperatures[i],
+                            voltage=decision.sleep_voltage,
+                        )
+                temps[epoch] = temperatures
+                active_mask[epoch] = [i in active for i in range(n)]
+                shifts[epoch + 1] = self.delay_shifts()
+            self._epochs.inc(n_epochs)
+            self._core_steps.inc(n_epochs * n)
+            span.set("sim_advanced", n_epochs * epoch_duration)
+        if span.duration > 0.0:
+            self.tracer.gauge(
+                "multicore.sim_seconds_per_wall_second",
+                "simulated time advanced per wall-clock second",
+            ).set(n_epochs * epoch_duration / span.duration)
         return SystemHistory(
             epoch_duration=epoch_duration,
             delay_shifts=shifts,

@@ -6,7 +6,7 @@ import pytest
 from repro.bti.conditions import BiasCondition, BiasPhase, StressPolarity, Waveform
 from repro.bti.device_model import DeviceAgingModel
 from repro.bti.traps import TrapParameters
-from repro.units import celsius, hours
+from repro.units import hours
 
 STRESS = BiasCondition.at_celsius(1.2, 110.0)
 RECOVER = BiasCondition.at_celsius(-0.3, 110.0)

@@ -1,6 +1,5 @@
 """Explicit toggled waveform vs duty-averaged rates (consistency ablation)."""
 
-import numpy as np
 import pytest
 
 from repro.bti.traps import TrapParameters, TrapPopulation

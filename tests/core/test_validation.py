@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.validation import ValidationReport, validate_model_against_series
+from repro.core.validation import validate_model_against_series
 from repro.errors import ConfigurationError
 
 

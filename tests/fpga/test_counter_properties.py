@@ -1,6 +1,5 @@
 """Property-based invariants of the readout chain (hypothesis)."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

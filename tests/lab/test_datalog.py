@@ -81,3 +81,44 @@ class TestDataLog:
         loaded = DataLog.read_csv(path)
         assert len(loaded) == 4
         assert loaded.last() == log.last()
+
+    def test_csv_roundtrip_every_record_equal(self, tmp_path):
+        log = DataLog()
+        log.extend([record(i, chip=f"chip-{1 + i % 2}", case=c)
+                    for i, c in enumerate(["A", "B", "A", "C", "B"])])
+        path = tmp_path / "log.csv"
+        log.write_csv(path)
+        loaded = DataLog.read_csv(path)
+        assert list(loaded) == list(log)
+
+    def test_read_csv_malformed_value_names_file_and_row(self, tmp_path):
+        log = DataLog()
+        log.extend([record(i) for i in range(2)])
+        path = tmp_path / "log.csv"
+        log.write_csv(path)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2].replace("110.0", "not-a-number")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(MeasurementError) as excinfo:
+            DataLog.read_csv(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert ":3:" in message  # header is line 1, bad row is line 3
+
+    def test_read_csv_missing_column_raises_measurement_error(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("chip_id,case\nchip-1,A\n")
+        with pytest.raises(MeasurementError) as excinfo:
+            DataLog.read_csv(path)
+        assert ":2:" in str(excinfo.value)
+
+    def test_read_csv_truncated_row_raises_measurement_error(self, tmp_path):
+        log = DataLog()
+        log.append(record(0))
+        path = tmp_path / "log.csv"
+        log.write_csv(path)
+        with open(path, "a") as handle:
+            handle.write("chip-1,A\n")  # row with most columns missing
+        with pytest.raises(MeasurementError) as excinfo:
+            DataLog.read_csv(path)
+        assert ":3:" in str(excinfo.value)

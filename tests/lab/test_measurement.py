@@ -1,6 +1,5 @@
 """Virtual testbench: phase execution and sampling discipline."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

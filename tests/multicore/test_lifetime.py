@@ -11,7 +11,6 @@ from repro.multicore.lifetime import (
 from repro.multicore.scheduler import BaselineScheduler, CircadianScheduler
 from repro.multicore.system import MulticoreSystem
 from repro.multicore.workload import ConstantWorkload
-from repro.units import hours
 
 from tests.multicore.test_system import fast_params
 

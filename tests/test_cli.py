@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import main
+from repro.lab.datalog import DataLog
+from repro.obs import load_trace, span_tree
 
 
 class TestCli:
@@ -44,3 +46,57 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+    def test_report_to_stdout(self, capsys, campaign_result):
+        # campaign_result warms the seed-0 cache the report reuses.
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "TAB1" in out
+
+
+class TestCampaignCli:
+    """The campaign/stats subcommands with a one-chip bench (fast)."""
+
+    def test_campaign_csv_roundtrip(self, tmp_path, capsys):
+        from repro.lab.campaign import run_table1_campaign
+
+        path = tmp_path / "log.csv"
+        assert main(["campaign", "--chips", "1", "--quiet", "--csv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "log written to" in out
+        loaded = DataLog.read_csv(path)
+        direct = run_table1_campaign(seed=0, n_chips=1)
+        assert list(loaded) == list(direct.log)
+
+    def test_campaign_trace_writes_nested_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["campaign", "--chips", "1", "--quiet", "--trace", str(path)]) == 0
+        assert "trace written to" in capsys.readouterr().out
+        records = load_trace(path)
+        tree = span_tree(records)
+        campaign = tree[None][0]
+        assert campaign["name"] == "campaign"
+        cases = tree[campaign["span_id"]]
+        assert {c["name"] for c in cases} == {"case"}
+        phases = tree[cases[-1]["span_id"]]
+        assert {p["name"] for p in phases} == {"phase"}
+        assert any(r["type"] == "metric" for r in records)
+
+    def test_campaign_progress_lines_on_stderr(self, capsys):
+        assert main(["campaign", "--chips", "1", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "AS110AC24" in captured.err
+        assert "cases" in captured.err
+
+    def test_campaign_quiet_suppresses_progress(self, capsys):
+        assert main(["campaign", "--chips", "1", "--quiet"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_stats_prints_timing_and_metrics(self, capsys):
+        assert main(["stats", "--chips", "1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-span timing" in out
+        assert "measurement" in out
+        assert "ro.evaluations" in out
+        assert "campaign.sim_seconds_per_wall_second" in out

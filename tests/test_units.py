@@ -1,6 +1,5 @@
 """Units and conversions."""
 
-import math
 
 import pytest
 
