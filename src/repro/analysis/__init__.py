@@ -1,4 +1,9 @@
-"""Analysis helpers: time series, summary statistics, tables, CSV export."""
+"""Analysis helpers: time series, summary statistics, tables, CSV export.
+
+The domain linter and static experiment validator live in the
+:mod:`repro.analysis.lint` subpackage (imported lazily by ``repro
+lint`` so the data helpers stay dependency-light).
+"""
 
 from repro.analysis.ascii_plot import line_plot
 from repro.analysis.export import write_series_csv, write_table_csv

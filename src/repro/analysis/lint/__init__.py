@@ -1,0 +1,52 @@
+"""Domain lint: AST rules and the static experiment validator.
+
+The reproduction's correctness rests on invariants the test suite can
+only sample — SI-unit discipline, seeded randomness, physically sane
+schedules.  This package checks them *statically*:
+
+* :mod:`repro.analysis.lint.engine` walks Python sources once per file
+  and dispatches registered :class:`Rule` subclasses over the AST;
+* :mod:`repro.analysis.lint.builtin` holds the RPR0xx rules grounded in
+  this repo's conventions (unit literals, nondeterminism, float
+  equality, Celsius-into-Kelvin slips, span hygiene);
+* :mod:`repro.analysis.lint.validator` imports the experiment registry
+  and validates every descriptor and schedule without running a single
+  simulation step (the RPR1xx findings);
+* :mod:`repro.analysis.lint.baseline` lets pre-existing findings ride in
+  a committed baseline file while new ones fail CI.
+
+Entry point: ``repro lint`` (see :mod:`repro.cli`).
+"""
+
+from repro.analysis.lint.baseline import (
+    Baseline,
+    BaselineDiff,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lint.builtin import BUILTIN_RULES
+from repro.analysis.lint.engine import LintResult, lint_paths, lint_source
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.reporting import render_json, render_text
+from repro.analysis.lint.rules import Rule, RuleContext
+from repro.analysis.lint.validator import validate_experiments
+
+__all__ = [
+    "BUILTIN_RULES",
+    "Baseline",
+    "BaselineDiff",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "apply_baseline",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "validate_experiments",
+    "write_baseline",
+]

@@ -1,0 +1,108 @@
+"""Baseline: let pre-existing findings ride while new ones gate.
+
+The baseline file (committed at the repo root as
+``.repro-lint-baseline.json``) records the fingerprint of every
+accepted finding.  ``repro lint`` subtracts baselined findings from the
+gate, reports entries that no longer match anything (stale — prune
+them), and ``--write-baseline`` regenerates the file from the current
+tree.
+
+Matching is by :attr:`Finding.fingerprint` (rule + path + message), a
+multiset so two identical findings need two entries.  Line numbers in
+the file are informational only — a finding that merely moves stays
+baselined.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.analysis.lint.findings import Finding
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, keyed by fingerprint (multiset)."""
+
+    counts: Counter = field(default_factory=Counter)
+    #: fingerprint -> one representative entry dict, for stale reporting.
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+
+@dataclass
+class BaselineDiff:
+    """Findings split against a baseline.
+
+    ``new`` gate CI; ``baselined`` matched an entry; ``stale`` are
+    baseline entries whose finding no longer exists (prune them with
+    ``--write-baseline``).
+    """
+
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[dict]
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; raises :class:`ConfigurationError` if malformed."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"cannot read baseline {path}: {error}") from None
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"baseline {path} is not a version-{_VERSION} repro-lint baseline"
+        )
+    baseline = Baseline()
+    for entry in payload.get("entries", []):
+        fingerprint = entry.get("fingerprint")
+        if not fingerprint:
+            raise ConfigurationError(f"baseline {path} has an entry without fingerprint")
+        baseline.counts[fingerprint] += 1
+        baseline.entries.setdefault(fingerprint, entry)
+    return baseline
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, human-reviewable)."""
+    entries = [
+        {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule_id,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule_id))
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: list[Finding], baseline: Baseline) -> BaselineDiff:
+    """Split ``findings`` into new vs baselined and spot stale entries."""
+    remaining = Counter(baseline.counts)
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = [
+        baseline.entries[fingerprint]
+        for fingerprint, count in sorted(remaining.items())
+        if count > 0
+    ]
+    return BaselineDiff(new=new, baselined=matched, stale=stale)

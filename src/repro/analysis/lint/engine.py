@@ -1,0 +1,148 @@
+"""The lint engine: file walking, AST dispatch, noqa suppression.
+
+One parse per file; every node is offered to the rules registered for
+its type.  Suppression is per line: ``# repro: noqa[RPR003]`` silences
+the listed rule(s) on that line, bare ``# repro: noqa`` silences them
+all.  Suppressed findings are kept (marked ``suppressed``) so reporters
+can count them, but they never gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.analysis.lint.builtin import BUILTIN_RULES
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.rules import Rule, RuleContext, validate_rules
+
+#: ``# repro: noqa`` or ``# repro: noqa[RPR001]`` / ``[RPR001, RPR003]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9,\s]+)\])?")
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    ``findings`` are the active (non-suppressed) violations;
+    ``suppressed`` the ones silenced by an in-line noqa; ``files``
+    counts how many files were parsed.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        """Fold another result into this one."""
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.files += other.files
+
+
+def noqa_rules_for_line(line: str) -> frozenset[str] | None:
+    """Rule ids suppressed by ``line``'s noqa comment.
+
+    Returns ``None`` when the line carries no repro-noqa, an empty set
+    for the bare form (suppress everything), else the listed ids.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    listed = match.group(1)
+    if listed is None:
+        return frozenset()
+    return frozenset(part.strip().upper() for part in listed.split(",") if part.strip())
+
+
+def _is_suppressed(finding: Finding, source_lines: Sequence[str]) -> bool:
+    if not 1 <= finding.line <= len(source_lines):
+        return False
+    rules = noqa_rules_for_line(source_lines[finding.line - 1])
+    if rules is None:
+        return False
+    return not rules or finding.rule_id in rules
+
+
+def lint_source(
+    source: str, path: str, rules: Iterable[Rule] | None = None
+) -> LintResult:
+    """Lint one Python source string as if it lived at ``path``.
+
+    A file that does not parse yields a single ``RPR000`` finding at the
+    syntax error's location rather than crashing the run.
+    """
+    active = validate_rules(BUILTIN_RULES if rules is None else rules)
+    result = LintResult(files=1)
+    source_lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        result.findings.append(
+            Finding(
+                rule_id="RPR000",
+                severity=Severity.ERROR,
+                path=path,
+                line=error.lineno or 0,
+                message=f"file does not parse: {error.msg}",
+                suggestion="fix the syntax error",
+            )
+        )
+        return result
+    ctx = RuleContext(path, tree, source_lines)
+    dispatch: dict[type[ast.AST], list[Rule]] = {}
+    for rule in active:
+        if not rule.applies_to(path):
+            continue
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    if not dispatch:
+        return result
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            for finding in rule.check(node, ctx):
+                if _is_suppressed(finding, source_lines):
+                    result.suppressed.append(replace(finding, suppressed=True))
+                else:
+                    result.findings.append(finding)
+    # ast.walk order is breadth-first; sort so same-line findings come
+    # out in rule-id order regardless of nesting depth.
+    result.findings.sort(key=lambda f: (f.line, f.rule_id))
+    result.suppressed.sort(key=lambda f: (f.line, f.rule_id))
+    return result
+
+
+def _python_files(target: Path) -> list[Path]:
+    if target.is_file():
+        return [target]
+    if target.is_dir():
+        return sorted(p for p in target.rglob("*.py") if "__pycache__" not in p.parts)
+    raise ConfigurationError(f"lint target {target} does not exist")
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Iterable[Rule] | None = None,
+    root: str | Path | None = None,
+) -> LintResult:
+    """Lint files/directories, reporting paths relative to ``root``.
+
+    ``root`` (default: the current directory) anchors the repo-relative
+    finding paths that the baseline keys on.
+    """
+    root = Path(root if root is not None else ".").resolve()
+    result = LintResult()
+    for raw in paths:
+        for file_path in _python_files(Path(raw)):
+            resolved = file_path.resolve()
+            try:
+                relative = resolved.relative_to(root).as_posix()
+            except ValueError:
+                relative = resolved.as_posix()
+            source = file_path.read_text(encoding="utf-8")
+            result.extend(lint_source(source, relative, rules=rules))
+    return result

@@ -1,0 +1,57 @@
+"""The unit of lint output: one finding at one location."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``ERROR`` findings gate CI."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repo-relative with forward slashes so findings (and the
+    baseline entries derived from them) are stable across checkouts.
+    ``suggestion`` tells the author how to fix or suppress; ``line`` is
+    1-based (0 for whole-file or semantic findings).
+    """
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    suggestion: str = ""
+    suppressed: bool = field(default=False, compare=False)
+
+    @property
+    def location(self) -> str:
+        """``file:line`` — clickable in most terminals."""
+        return f"{self.path}:{self.line}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line number: a baselined finding that
+        merely moves (code added above it) stays baselined; one whose
+        message changes is new.
+        """
+        digest = hashlib.sha256(
+            f"{self.rule_id}|{self.path}|{self.message}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def __str__(self) -> str:
+        text = f"{self.location}: {self.rule_id} [{self.severity.value}] {self.message}"
+        if self.suggestion:
+            text += f" ({self.suggestion})"
+        return text

@@ -1,0 +1,69 @@
+"""Reporters: findings as human text or machine JSON.
+
+Text goes to developers' terminals (one ``file:line`` per finding, a
+summary footer); JSON goes to CI and tooling (stable keys, includes
+fingerprints so a failing run can be turned into baseline entries).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.baseline import BaselineDiff
+from repro.analysis.lint.findings import Finding
+
+
+def _summary(new: list[Finding], baselined: int, suppressed: int, stale: int) -> str:
+    parts = [f"{len(new)} finding{'s' if len(new) != 1 else ''}"]
+    if baselined:
+        parts.append(f"{baselined} baselined")
+    if suppressed:
+        parts.append(f"{suppressed} suppressed")
+    if stale:
+        parts.append(f"{stale} stale baseline entr{'ies' if stale != 1 else 'y'}")
+    return ", ".join(parts)
+
+
+def render_text(
+    diff: BaselineDiff, suppressed: list[Finding] | None = None
+) -> str:
+    """Human-readable report: one line per new finding plus a summary."""
+    suppressed = suppressed or []
+    lines = [str(finding) for finding in diff.new]
+    for entry in diff.stale:
+        lines.append(
+            f"{entry.get('path')}:{entry.get('line')}: stale baseline entry "
+            f"{entry.get('rule')} ({entry.get('message')}) — rerun with "
+            "--write-baseline to prune"
+        )
+    lines.append(
+        _summary(diff.new, len(diff.baselined), len(suppressed), len(diff.stale))
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    diff: BaselineDiff, suppressed: list[Finding] | None = None
+) -> str:
+    """Machine-readable report with stable keys."""
+    suppressed = suppressed or []
+
+    def encode(finding: Finding) -> dict:
+        return {
+            "rule": finding.rule_id,
+            "severity": finding.severity.value,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+            "suggestion": finding.suggestion,
+            "fingerprint": finding.fingerprint,
+        }
+
+    payload = {
+        "findings": [encode(f) for f in diff.new],
+        "baselined": len(diff.baselined),
+        "suppressed": len(suppressed),
+        "stale": diff.stale,
+        "ok": not diff.new,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,97 @@
+"""Rule base class, per-file context, and the rule registry.
+
+A rule declares which AST node types it wants via ``node_types``; the
+engine walks each file's tree exactly once and dispatches every visited
+node to the rules registered for its type.  Rules are stateless between
+files — anything per-file lives on the :class:`RuleContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.analysis.lint.findings import Finding, Severity
+
+
+class RuleContext:
+    """What a rule may look at while checking one file.
+
+    Provides the repo-relative path, the raw source lines, and a
+    child -> parent map over the AST (built lazily, once per file) for
+    rules that need structural context such as "is this call the context
+    expression of a ``with``?".
+    """
+
+    def __init__(self, path: str, tree: ast.AST, source_lines: list[str]) -> None:
+        self.path = path
+        self.tree = tree
+        self.source_lines = source_lines
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (None for the module root)."""
+        if self._parents is None:
+            self._parents = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    self._parents[child] = outer
+        return self._parents.get(node)
+
+    def line_text(self, lineno: int) -> str:
+        """The 1-based physical source line (empty if out of range)."""
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Finding` objects for each violation of ``node``.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    #: AST node types the engine should dispatch to this rule.
+    node_types: tuple[type[ast.AST], ...] = ()
+
+    def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield findings for ``node`` (called once per matching node)."""
+        raise NotImplementedError
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` at all (repo-relative)."""
+        return True
+
+    def finding(
+        self, node: ast.AST, ctx: RuleContext, message: str, suggestion: str = ""
+    ) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            message=message,
+            suggestion=suggestion,
+        )
+
+
+def validate_rules(rules: Iterable[Rule]) -> list[Rule]:
+    """Check a rule set is well-formed (unique non-empty ids, node types)."""
+    checked: list[Rule] = []
+    seen: set[str] = set()
+    for rule in rules:
+        if not rule.rule_id:
+            raise ConfigurationError(f"rule {type(rule).__name__} has no rule_id")
+        if rule.rule_id in seen:
+            raise ConfigurationError(f"duplicate rule id {rule.rule_id}")
+        if not rule.node_types:
+            raise ConfigurationError(f"rule {rule.rule_id} declares no node_types")
+        seen.add(rule.rule_id)
+        checked.append(rule)
+    return checked

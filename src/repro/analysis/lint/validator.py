@@ -1,0 +1,312 @@
+"""Static experiment validation: check every registered experiment
+descriptor and schedule without running a simulation step.
+
+``repro lint --experiments`` imports the registry (cheap — runners are
+only referenced, never called) and emits RPR1xx findings:
+
+==========  =========================================================
+RPR101      experiment-descriptor (ids, artefacts, runners, benches)
+RPR102      schedule-case (grammar, uniqueness, sequence consistency)
+RPR103      phase-sanity (durations, supplies, chamber-reachable temps)
+RPR104      knob/waveform ranges (alpha > 0, duty in (0, 1], Vdda <= 0)
+==========  =========================================================
+
+Everything is injectable so tests can validate deliberately broken
+fixtures; the defaults validate the real registry and Table 1 schedule.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.analysis.lint.findings import Finding, Severity
+
+_REGISTRY_PATH = "src/repro/experiments/registry.py"
+_SCHEDULE_PATH = "src/repro/lab/schedule.py"
+_KNOBS_PATH = "src/repro/core/knobs.py"
+_CONDITIONS_PATH = "src/repro/bti/conditions.py"
+
+
+def _finding(rule_id: str, path: str, message: str, suggestion: str = "") -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        path=path,
+        line=0,
+        message=message,
+        suggestion=suggestion,
+    )
+
+
+def _validate_descriptors(
+    registry: Mapping[str, object], repo_root: Path | None
+) -> list[Finding]:
+    findings: list[Finding] = []
+    benches_dir = (repo_root / "benchmarks") if repo_root is not None else None
+    check_benches = benches_dir is not None and benches_dir.is_dir()
+    for key, descriptor in registry.items():
+        label = f"experiment {key!r}"
+        exp_id = getattr(descriptor, "exp_id", "")
+        if not exp_id or exp_id != exp_id.upper():
+            findings.append(
+                _finding(
+                    "RPR101",
+                    _REGISTRY_PATH,
+                    f"{label}: exp_id {exp_id!r} must be non-empty uppercase",
+                )
+            )
+        if exp_id and exp_id != key:
+            findings.append(
+                _finding(
+                    "RPR101",
+                    _REGISTRY_PATH,
+                    f"{label}: registered under {key!r} but exp_id is {exp_id!r}",
+                )
+            )
+        for field_name in ("paper_artifact", "description", "bench"):
+            if not getattr(descriptor, field_name, ""):
+                findings.append(
+                    _finding(
+                        "RPR101", _REGISTRY_PATH, f"{label}: empty {field_name}"
+                    )
+                )
+        runner = getattr(descriptor, "runner", None)
+        if not callable(runner):
+            findings.append(
+                _finding("RPR101", _REGISTRY_PATH, f"{label}: runner is not callable")
+            )
+        bench = getattr(descriptor, "bench", "")
+        if check_benches and bench and not (repo_root / bench).is_file():
+            findings.append(
+                _finding(
+                    "RPR101",
+                    _REGISTRY_PATH,
+                    f"{label}: bench file {bench!r} does not exist",
+                )
+            )
+    return findings
+
+
+def _validate_phase(label: str, phase, chamber) -> list[Finding]:
+    findings: list[Finding] = []
+    duration = float(getattr(phase, "duration", 0.0))
+    if duration <= 0.0:
+        findings.append(
+            _finding(
+                "RPR103",
+                _SCHEDULE_PATH,
+                f"{label}: non-positive duration {duration:g} s",
+            )
+        )
+    sampling = float(getattr(phase, "sampling_interval", 0.0))
+    if sampling <= 0.0:
+        findings.append(
+            _finding(
+                "RPR103",
+                _SCHEDULE_PATH,
+                f"{label}: non-positive sampling interval {sampling:g} s",
+            )
+        )
+    elif duration > 0.0 and sampling > duration:
+        findings.append(
+            _finding(
+                "RPR103",
+                _SCHEDULE_PATH,
+                f"{label}: sampling interval {sampling:g} s exceeds the phase "
+                f"duration {duration:g} s (zero readouts)",
+            )
+        )
+    supply = float(getattr(phase, "supply_voltage", 0.0))
+    kind = getattr(getattr(phase, "kind", None), "value", "")
+    if kind == "stress" and supply <= 0.0:
+        findings.append(
+            _finding(
+                "RPR103",
+                _SCHEDULE_PATH,
+                f"{label}: stress phase at non-positive supply {supply:g} V",
+            )
+        )
+    if kind == "recovery" and supply > 0.0:
+        findings.append(
+            _finding(
+                "RPR103",
+                _SCHEDULE_PATH,
+                f"{label}: recovery phase at positive supply {supply:g} V "
+                "(accelerated recovery needs Vdda <= 0)",
+            )
+        )
+    temperature_c = float(getattr(phase, "temperature_c", 0.0))
+    if not chamber.min_c <= temperature_c <= chamber.max_c:
+        findings.append(
+            _finding(
+                "RPR103",
+                _SCHEDULE_PATH,
+                f"{label}: temperature {temperature_c:g} degC outside the "
+                f"thermal chamber range [{chamber.min_c:g}, {chamber.max_c:g}]",
+            )
+        )
+    return findings
+
+
+def _validate_schedule(
+    cases: Sequence[tuple[str, str, int]],
+    sequences: Mapping[int, tuple[str, ...]],
+    chamber,
+    parse,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    table_pairs: list[tuple[str, int]] = []
+    for group, name, chip_no in cases:
+        label = f"Table 1 case {name!r} (chip {chip_no})"
+        if chip_no <= 0:
+            findings.append(
+                _finding("RPR102", _SCHEDULE_PATH, f"{label}: chip_no must be positive")
+            )
+        table_pairs.append((name, chip_no))
+        try:
+            phase = parse(name)
+        except ReproError as error:
+            findings.append(
+                _finding("RPR102", _SCHEDULE_PATH, f"{label}: {error}")
+            )
+            continue
+        findings.extend(_validate_phase(label, phase, chamber))
+    seen: set[tuple[str, int]] = set()
+    for pair in table_pairs:
+        if pair in seen:
+            findings.append(
+                _finding(
+                    "RPR102",
+                    _SCHEDULE_PATH,
+                    f"duplicate Table 1 case id {pair[0]!r} on chip {pair[1]}",
+                )
+            )
+        seen.add(pair)
+    sequence_pairs = {
+        (name, chip_no)
+        for chip_no, names in sequences.items()
+        for name in names
+    }
+    for name, chip_no in sorted(sequence_pairs - set(table_pairs)):
+        findings.append(
+            _finding(
+                "RPR102",
+                _SCHEDULE_PATH,
+                f"chip {chip_no} sequence runs {name!r} which is not a "
+                "Table 1 row",
+            )
+        )
+    for name, chip_no in sorted(set(table_pairs) - sequence_pairs):
+        findings.append(
+            _finding(
+                "RPR102",
+                _SCHEDULE_PATH,
+                f"Table 1 row {name!r} (chip {chip_no}) is missing from the "
+                "chip execution sequences",
+            )
+        )
+    return findings
+
+
+def _validate_knobs(knobs_set: Mapping[str, object], chamber) -> list[Finding]:
+    findings: list[Finding] = []
+    for name, knobs in knobs_set.items():
+        alpha = float(getattr(knobs, "alpha", 0.0))
+        if alpha <= 0.0:
+            findings.append(
+                _finding(
+                    "RPR104", _KNOBS_PATH, f"{name}: alpha must be positive, got {alpha:g}"
+                )
+            )
+        sleep_voltage = float(getattr(knobs, "sleep_voltage", 0.0))
+        if sleep_voltage > 0.0:
+            findings.append(
+                _finding(
+                    "RPR104",
+                    _KNOBS_PATH,
+                    f"{name}: sleep (recovery) voltage must be <= 0 V, got "
+                    f"{sleep_voltage:g}",
+                )
+            )
+        sleep_temp = float(getattr(knobs, "sleep_temperature_c", 0.0))
+        if not chamber.min_c <= sleep_temp <= chamber.max_c:
+            findings.append(
+                _finding(
+                    "RPR104",
+                    _KNOBS_PATH,
+                    f"{name}: sleep temperature {sleep_temp:g} degC outside the "
+                    f"thermal chamber range [{chamber.min_c:g}, {chamber.max_c:g}]",
+                )
+            )
+    return findings
+
+
+def _validate_waveforms(waveforms: Mapping[str, object]) -> list[Finding]:
+    findings: list[Finding] = []
+    for name, waveform in waveforms.items():
+        duty = float(getattr(waveform, "duty", 0.0))
+        if not 0.0 < duty <= 1.0:
+            findings.append(
+                _finding(
+                    "RPR104",
+                    _CONDITIONS_PATH,
+                    f"waveform {name}: duty factor alpha must be in (0, 1], "
+                    f"got {duty:g}",
+                )
+            )
+    return findings
+
+
+def validate_experiments(
+    registry: Mapping[str, object] | None = None,
+    cases: Sequence[tuple[str, str, int]] | None = None,
+    sequences: Mapping[int, tuple[str, ...]] | None = None,
+    chamber=None,
+    knobs: Mapping[str, object] | None = None,
+    waveforms: Mapping[str, object] | None = None,
+    extra_phases: Iterable[tuple[str, object]] | None = None,
+    repo_root: str | Path | None = ".",
+) -> list[Finding]:
+    """Statically validate the experiment registry and lab schedules.
+
+    With no arguments this checks the real registry, Table 1 schedule,
+    recovery knobs and stress waveforms; every parameter is injectable
+    for testing.  Returns findings (empty when everything is sane); no
+    simulation is executed.
+    """
+    from repro.bti.conditions import AC_FIFTY_FIFTY, DC
+    from repro.core.knobs import ACCELERATED_KNOBS, PASSIVE_KNOBS
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.lab.schedule import (
+        CHIP_SEQUENCES,
+        TABLE1_CASES,
+        baseline_phase,
+        parse_case_name,
+    )
+    from repro.lab.thermal_chamber import ThermalChamber
+
+    registry = EXPERIMENTS if registry is None else registry
+    cases = TABLE1_CASES if cases is None else cases
+    sequences = CHIP_SEQUENCES if sequences is None else sequences
+    chamber = ThermalChamber() if chamber is None else chamber
+    knobs = (
+        {"PASSIVE_KNOBS": PASSIVE_KNOBS, "ACCELERATED_KNOBS": ACCELERATED_KNOBS}
+        if knobs is None
+        else knobs
+    )
+    waveforms = (
+        {"DC": DC, "AC_FIFTY_FIFTY": AC_FIFTY_FIFTY} if waveforms is None else waveforms
+    )
+    if extra_phases is None:
+        extra_phases = (("baseline burn-in", baseline_phase()),)
+    root = Path(repo_root).resolve() if repo_root is not None else None
+
+    findings = _validate_descriptors(registry, root)
+    findings += _validate_schedule(cases, sequences, chamber, parse_case_name)
+    for label, phase in extra_phases:
+        findings += _validate_phase(label, phase, chamber)
+    findings += _validate_knobs(knobs, chamber)
+    findings += _validate_waveforms(waveforms)
+    return findings

@@ -97,7 +97,7 @@ class Waveform:
     @property
     def is_dc(self) -> bool:
         """True when the waveform never leaves the stress bias."""
-        return self.duty == 1.0
+        return self.duty >= 1.0  # duty is validated within [0, 1]
 
 
 DC = Waveform(duty=1.0)

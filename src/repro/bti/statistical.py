@@ -39,7 +39,10 @@ class ShiftStatistics:
     @property
     def relative_sigma(self) -> float:
         """sigma/mu — the relative variability of the population."""
-        if self.mean == 0.0:
+        # Exact sentinel: a literally unstressed population reduces to
+        # mean 0.0 with no rounding; near-zero means legitimately blow
+        # up sigma/mu and must not be masked.
+        if self.mean == 0.0:  # repro: noqa[RPR003]
             return float("nan")
         return self.std / self.mean
 

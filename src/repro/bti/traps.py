@@ -217,10 +217,10 @@ class TrapPopulation:
             raise ConfigurationError(f"duration must be non-negative, got {duration}")
         if not 0.0 <= duty <= 1.0:
             raise ConfigurationError(f"duty must be within [0, 1], got {duty}")
-        if duration == 0.0:
+        if duration <= 0.0:  # zero-length phase is a no-op (negatives raise above)
             return
         v_stress = self._expand(stress_voltage)
-        if duty == 1.0:
+        if duty >= 1.0:  # validated <= 1.0 above, so this is the pure-DC branch
             capture, emission = self._rates(v_stress, temperature)
         else:
             v_relax = self._expand(relax_voltage)

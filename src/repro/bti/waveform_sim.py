@@ -33,7 +33,9 @@ class ToggleComparison:
     def max_relative_error(self) -> float:
         """Worst per-owner relative disagreement (against the averaged run)."""
         scale = float(np.max(np.abs(self.averaged_shift)))
-        if scale == 0.0:
+        # Exact sentinel: max|shift| of an untouched population is 0.0
+        # bit-for-bit; anything else must divide to a relative error.
+        if scale == 0.0:  # repro: noqa[RPR003]
             return float(np.max(np.abs(self.explicit_shift)))
         return float(np.max(np.abs(self.explicit_shift - self.averaged_shift)) / scale)
 

@@ -8,6 +8,8 @@ Usage::
     python -m repro campaign [--csv out.csv] [--trace out.jsonl] [--quiet]
     python -m repro stats [--seed N]        # campaign timing + metric summary
     python -m repro calibration             # print the acceptance bands
+    python -m repro lint [paths...]         # domain lint (RPR rules + baseline)
+    python -m repro lint --experiments      # static experiment validation
 """
 
 from __future__ import annotations
@@ -127,6 +129,49 @@ def _cmd_calibration(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default committed baseline location (repo root).
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis.lint import (
+        Baseline,
+        apply_baseline,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+        validate_experiments,
+        write_baseline,
+    )
+
+    if args.experiments:
+        findings = validate_experiments()
+        suppressed: list = []
+    else:
+        result = lint_paths(args.paths or ["src"])
+        findings = result.findings
+        suppressed = result.suppressed
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"baseline with {len(findings)} entries written to {args.baseline}")
+        return 0
+    if args.experiments or args.no_baseline or (
+        args.baseline == DEFAULT_BASELINE and not os.path.exists(args.baseline)
+    ):
+        # Semantic experiment findings always gate; the baseline only
+        # covers AST findings.
+        baseline = Baseline()
+    else:
+        baseline = load_baseline(args.baseline)
+    diff = apply_baseline(findings, baseline)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(diff, suppressed))
+    return 1 if diff.new else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report
 
@@ -197,6 +242,38 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "calibration", help="print the paper-shape acceptance bands"
     ).set_defaults(func=_cmd_calibration)
+
+    lint = sub.add_parser(
+        "lint", help="run the domain linter (AST rules or --experiments validation)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files/directories to lint (default: src)"
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    lint.add_argument(
+        "--experiments",
+        action="store_true",
+        help="statically validate the experiment registry and schedules "
+        "instead of linting files",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="gate on every finding, ignoring the baseline",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.fpga.chip import FpgaChip
 from repro.fpga.ring_oscillator import StressMode
-from repro.units import celsius
+from repro.units import SECONDS_PER_HOUR, celsius
 
 
 @dataclass(frozen=True)
@@ -58,7 +58,7 @@ def run_gnomo(
     boosted_voltage: float,
     temperature_c: float = 110.0,
     mode: StressMode = StressMode.DC,
-    cycle: float = 3600.0,
+    cycle: float = SECONDS_PER_HOUR,
 ) -> GnomoResult:
     """Deliver ``work_time_nominal`` seconds of nominal-speed work via GNOMO.
 

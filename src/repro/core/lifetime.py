@@ -17,6 +17,7 @@ from repro.core.policies import RecoveryPolicy
 from repro.core.rejuvenator import Rejuvenator, Trajectory
 from repro.errors import ConfigurationError
 from repro.fpga.ring_oscillator import StressMode
+from repro.units import SECONDS_PER_HOUR
 
 
 @dataclass(frozen=True)
@@ -46,7 +47,7 @@ def project_lifetime(
     horizon_active_time: float,
     operating: OperatingPoint | None = None,
     stress_mode: StressMode = StressMode.DC,
-    max_segment: float = 3600.0,
+    max_segment: float = SECONDS_PER_HOUR,
 ) -> LifetimeReport:
     """Run ``chip`` under ``policy`` and find when the shift budget dies.
 

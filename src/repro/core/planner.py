@@ -21,6 +21,7 @@ from repro.core.policies import NoRecoveryPolicy, ProactivePolicy
 from repro.core.rejuvenator import Rejuvenator, Trajectory
 from repro.errors import ConfigurationError
 from repro.fpga.ring_oscillator import StressMode
+from repro.units import SECONDS_PER_HOUR, hours
 
 
 @dataclass(frozen=True)
@@ -84,7 +85,7 @@ class CircadianPlanner:
         self,
         knobs: RecoveryKnobs,
         operating: OperatingPoint | None = None,
-        period: float = 30.0 * 3600.0,
+        period: float = hours(30.0),
         stress_mode: StressMode = StressMode.DC,
     ) -> None:
         if period <= 0.0:
@@ -157,7 +158,7 @@ class CircadianPlanner:
         total_active_time: float,
         margin_target: float,
         alphas=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0),
-        max_segment: float = 3600.0,
+        max_segment: float = SECONDS_PER_HOUR,
     ) -> tuple[float, dict[float, float]]:
         """Largest alpha (least sleep) whose margin relaxed meets the target.
 

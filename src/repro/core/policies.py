@@ -17,6 +17,7 @@ from typing import Protocol
 
 from repro.core.knobs import RecoveryKnobs
 from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_HOUR
 
 
 @dataclass(frozen=True)
@@ -58,7 +59,7 @@ class RecoveryPolicy(Protocol):
 class NoRecoveryPolicy:
     """Baseline: the chip runs continuously and never sleeps."""
 
-    def __init__(self, segment: float = 3600.0) -> None:
+    def __init__(self, segment: float = SECONDS_PER_HOUR) -> None:
         if segment <= 0.0:
             raise ConfigurationError("segment must be positive")
         self.segment = segment
@@ -126,7 +127,7 @@ class ReactivePolicy:
         knobs: RecoveryKnobs,
         trigger_shift: float,
         recovery_duration: float,
-        segment: float = 3600.0,
+        segment: float = SECONDS_PER_HOUR,
     ) -> None:
         if trigger_shift <= 0.0:
             raise ConfigurationError("trigger_shift must be positive")

@@ -51,7 +51,7 @@ class BlackModel:
             raise ConfigurationError("current_density must be non-negative")
         if temperature <= 0.0:
             raise ConfigurationError("temperature must be positive kelvin")
-        if current_density == 0.0:
+        if current_density <= 0.0:  # negatives raise above; zero current never fails
             return float("inf")
         reference = self.reference_lifetime_years * SECONDS_PER_YEAR
         j_factor = (current_density / self.reference_current_density) ** (

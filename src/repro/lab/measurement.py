@@ -138,7 +138,9 @@ class VirtualTestbench:
         ) as span:
             sim_start = self.chip.elapsed
             self.chamber.set_temperature_celsius(phase.temperature_c)
-            if phase.kind is PhaseKind.RECOVERY and phase.supply_voltage == 0.0:
+            # Exact sentinel: 0.0 V comes straight from the schedule
+            # grammar (case suffix "Z"), never from arithmetic.
+            if phase.kind is PhaseKind.RECOVERY and phase.supply_voltage == 0.0:  # repro: noqa[RPR003]
                 # Passive recovery power-gates the rail: the relay opens and
                 # the chip sees exactly 0 V, not a noisy millivolt setpoint.
                 self.supply.set_voltage(0.0)

@@ -30,7 +30,9 @@ def fresh_delays_from_log(log: DataLog) -> dict[str, float]:
         raise MeasurementError("the log holds no records")
     fresh: dict[str, float] = {}
     for chip_id, record in earliest.items():
-        if record.phase_elapsed != 0.0:
+        # Exact sentinel: time-zero samples are written as literal 0.0
+        # and survive the CSV round trip bit-for-bit.
+        if record.phase_elapsed != 0.0:  # repro: noqa[RPR003]
             raise MeasurementError(
                 f"{chip_id}'s earliest record is mid-phase "
                 f"(phase_elapsed={record.phase_elapsed}); cannot anchor a "

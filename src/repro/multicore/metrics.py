@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.multicore.system import SystemHistory
+from repro.units import to_celsius
 
 
 @dataclass(frozen=True)
@@ -33,7 +34,7 @@ def compute_metrics(history: SystemHistory) -> SystemMetrics:
     final = history.final_shifts()
     sleeping = ~history.active_mask
     if sleeping.any():
-        sleep_temp = float(history.temperatures[sleeping].mean()) - 273.15
+        sleep_temp = to_celsius(float(history.temperatures[sleeping].mean()))
     else:
         sleep_temp = float("nan")
     return SystemMetrics(

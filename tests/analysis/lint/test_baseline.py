@@ -1,0 +1,99 @@
+"""Baseline round trip, drift tolerance, and stale detection."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    apply_baseline,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lint.baseline import Baseline
+from repro.errors import ConfigurationError
+
+
+def _findings(source: str, path: str = "src/repro/fake.py"):
+    return lint_source(source, path).findings
+
+
+class TestBaselineRoundTrip:
+    def test_written_baseline_absorbs_the_findings(self, tmp_path):
+        findings = _findings("d = 3600.0\n")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        diff = apply_baseline(findings, load_baseline(path))
+        assert diff.new == []
+        assert len(diff.baselined) == 1
+        assert diff.stale == []
+
+    def test_line_drift_stays_baselined(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, _findings("d = 3600.0\n"))
+        # Same finding, pushed two lines down by unrelated edits.
+        moved = _findings("# comment\nx = 1\nd = 3600.0\n")
+        diff = apply_baseline(moved, load_baseline(path))
+        assert diff.new == [] and len(diff.baselined) == 1
+
+    def test_new_finding_gates(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, _findings("d = 3600.0\n"))
+        grown = _findings("d = 3600.0\nt = 273.15\n")
+        diff = apply_baseline(grown, load_baseline(path))
+        assert [f.rule_id for f in diff.new] == ["RPR001"]
+        assert "273.15" in diff.new[0].message
+
+    def test_fixed_finding_reports_stale_entry(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, _findings("d = 3600.0\n"))
+        diff = apply_baseline([], load_baseline(path))
+        assert diff.new == [] and diff.baselined == []
+        assert len(diff.stale) == 1
+        assert diff.stale[0]["rule"] == "RPR001"
+
+    def test_duplicate_findings_need_matching_multiplicity(self, tmp_path):
+        two = _findings("a = 3600.0\nb = 3600.0\n")
+        # Identical fingerprints (same rule, path, message) — multiset.
+        assert two[0].fingerprint == two[1].fingerprint
+        path = tmp_path / "baseline.json"
+        write_baseline(path, two[:1])
+        diff = apply_baseline(two, load_baseline(path))
+        assert len(diff.baselined) == 1 and len(diff.new) == 1
+
+    def test_empty_baseline_gates_everything(self):
+        diff = apply_baseline(_findings("d = 3600.0\n"), Baseline())
+        assert len(diff.new) == 1
+
+
+class TestBaselineFile:
+    def test_file_is_sorted_and_versioned(self, tmp_path):
+        findings = _findings("t = 273.15\nd = 3600.0\n")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        lines = [entry["line"] for entry in payload["entries"]]
+        assert lines == sorted(lines)
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json")
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_baseline(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ConfigurationError, match="version"):
+            load_baseline(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_entry_without_fingerprint_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": [{"rule": "RPR001"}]}))
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            load_baseline(path)

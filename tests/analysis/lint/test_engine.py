@@ -1,0 +1,88 @@
+"""Engine behaviour: suppression, parse errors, path walking."""
+
+import pytest
+
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.lint.engine import noqa_rules_for_line
+from repro.errors import ConfigurationError
+
+
+class TestNoqaSuppression:
+    def test_bracketed_noqa_suppresses_that_rule(self):
+        result = lint_source("if x == 0.0:  # repro: noqa[RPR003]\n    pass\n", "f.py")
+        assert result.findings == []
+        assert [f.rule_id for f in result.suppressed] == ["RPR003"]
+        assert result.suppressed[0].suppressed
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        result = lint_source("if x == 0.0:  # repro: noqa[RPR001]\n    pass\n", "f.py")
+        assert [f.rule_id for f in result.findings] == ["RPR003"]
+
+    def test_bare_noqa_suppresses_everything_on_the_line(self):
+        source = "d = 3600.0 if x == 0.0 else 0.0  # repro: noqa\n"
+        result = lint_source(source, "f.py")
+        assert result.findings == []
+        assert {f.rule_id for f in result.suppressed} == {"RPR001", "RPR003"}
+
+    def test_comma_separated_rule_list(self):
+        source = "d = 3600.0 if x == 0.0 else 0.0  # repro: noqa[RPR001, RPR003]\n"
+        assert lint_source(source, "f.py").findings == []
+
+    def test_plain_ruff_noqa_is_not_ours(self):
+        result = lint_source("if x == 0.0:  # noqa\n    pass\n", "f.py")
+        assert [f.rule_id for f in result.findings] == ["RPR003"]
+
+    def test_noqa_on_other_line_does_not_leak(self):
+        source = "# repro: noqa[RPR003]\nif x == 0.0:\n    pass\n"
+        result = lint_source(source, "f.py")
+        assert [f.rule_id for f in result.findings] == ["RPR003"]
+
+    @pytest.mark.parametrize(
+        "line, expected",
+        [
+            ("x = 1", None),
+            ("x = 1  # repro: noqa", frozenset()),
+            ("x = 1  # repro: noqa[RPR001]", frozenset({"RPR001"})),
+            ("x = 1  # repro: noqa[rpr001, RPR005]", frozenset({"RPR001", "RPR005"})),
+        ],
+    )
+    def test_noqa_parser(self, line, expected):
+        assert noqa_rules_for_line(line) == expected
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_rpr000(self):
+        result = lint_source("def broken(:\n", "bad.py")
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert finding.rule_id == "RPR000"
+        assert finding.path == "bad.py"
+        assert "does not parse" in finding.message
+
+
+class TestLintPaths:
+    def test_directory_walk_and_relative_paths(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "clean.py").write_text("x = 1\n")
+        (package / "dirty.py").write_text("d = 86400\n")
+        result = lint_paths([package], root=tmp_path)
+        assert result.files == 2
+        assert [f.path for f in result.findings] == ["pkg/dirty.py"]
+        assert result.findings[0].line == 1
+
+    def test_pycache_is_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("d = 3600.0\n")
+        assert lint_paths([tmp_path], root=tmp_path).findings == []
+
+    def test_missing_target_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            lint_paths([tmp_path / "nope"], root=tmp_path)
+
+    def test_single_file_target(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("t = 273.15\n")
+        result = lint_paths([target], root=tmp_path)
+        assert [f.rule_id for f in result.findings] == ["RPR001"]

@@ -1,0 +1,55 @@
+"""Text and JSON reporters."""
+
+import json
+
+from repro.analysis.lint import apply_baseline, lint_source, render_json, render_text
+from repro.analysis.lint.baseline import Baseline, BaselineDiff
+
+
+def _diff(source: str = "d = 3600.0\nif x == 0.0:\n    pass\n"):
+    result = lint_source(source, "src/repro/fake.py")
+    return apply_baseline(result.findings, Baseline()), result.suppressed
+
+
+class TestTextReport:
+    def test_one_line_per_finding_with_location(self):
+        diff, suppressed = _diff()
+        text = render_text(diff, suppressed)
+        lines = text.splitlines()
+        assert lines[0].startswith("src/repro/fake.py:1: RPR001")
+        assert lines[1].startswith("src/repro/fake.py:2: RPR003")
+        assert lines[-1] == "2 findings"
+
+    def test_summary_counts_suppressed_and_baselined(self):
+        result = lint_source(
+            "d = 3600.0  # repro: noqa[RPR001]\n", "src/repro/fake.py"
+        )
+        diff = apply_baseline(result.findings, Baseline())
+        text = render_text(diff, result.suppressed)
+        assert "0 findings" in text and "1 suppressed" in text
+
+    def test_stale_entries_mention_write_baseline(self):
+        diff = BaselineDiff(
+            new=[],
+            baselined=[],
+            stale=[{"rule": "RPR001", "path": "a.py", "line": 3, "message": "m"}],
+        )
+        assert "--write-baseline" in render_text(diff)
+
+
+class TestJsonReport:
+    def test_payload_shape(self):
+        diff, suppressed = _diff()
+        payload = json.loads(render_json(diff, suppressed))
+        assert payload["ok"] is False
+        assert payload["baselined"] == 0 and payload["suppressed"] == 0
+        first = payload["findings"][0]
+        assert set(first) == {
+            "rule", "severity", "path", "line", "message", "suggestion", "fingerprint",
+        }
+        assert first["rule"] == "RPR001" and first["severity"] == "error"
+
+    def test_clean_run_is_ok(self):
+        diff = apply_baseline([], Baseline())
+        payload = json.loads(render_json(diff))
+        assert payload["ok"] is True and payload["findings"] == []

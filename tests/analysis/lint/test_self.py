@@ -1,0 +1,41 @@
+"""The acceptance gate, as a test: this repo lints clean.
+
+Every finding in ``src/`` is either fixed, suppressed with a documented
+``# repro: noqa[RULE]``, or recorded in the committed baseline — and the
+registered experiments validate statically.  If this test fails, so
+will CI's ``repro lint`` step.
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint import (
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    validate_experiments,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+class TestRepositoryLintsClean:
+    def test_src_has_no_non_baselined_findings(self):
+        result = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+        diff = apply_baseline(result.findings, baseline)
+        assert diff.new == [], "\n".join(str(f) for f in diff.new)
+
+    def test_baseline_has_no_stale_entries(self):
+        result = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+        diff = apply_baseline(result.findings, baseline)
+        assert diff.stale == [], "prune with: python -m repro lint --write-baseline"
+
+    def test_registered_experiments_validate_statically(self):
+        findings = validate_experiments(repo_root=REPO_ROOT)
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_whole_tree_was_linted(self):
+        # Guards against the walk silently skipping the package.
+        result = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        assert result.files > 90

@@ -1,0 +1,189 @@
+"""Static experiment validation: real registry clean, broken fixtures caught."""
+
+from dataclasses import dataclass
+
+from repro.analysis.lint import validate_experiments
+from repro.lab.schedule import PhaseKind
+from repro.lab.thermal_chamber import ThermalChamber
+
+
+@dataclass
+class FakeDescriptor:
+    exp_id: str = "FAKE1"
+    paper_artifact: str = "Figure X"
+    description: str = "a fixture"
+    runner: object = staticmethod(lambda: None)
+    bench: str = "benchmarks/bench_fig1_behavioral.py"
+
+
+@dataclass
+class FakePhase:
+    """Bypasses TestPhase's eager validation to feed the validator junk."""
+
+    label: str = "FAKE"
+    kind: PhaseKind = PhaseKind.STRESS
+    duration: float = 3600.0
+    temperature_c: float = 110.0
+    supply_voltage: float = 1.2
+    sampling_interval: float = 1200.0
+
+
+_EMPTY = dict(
+    registry={},
+    cases=(),
+    sequences={},
+    knobs={},
+    waveforms={},
+    extra_phases=(),
+)
+
+
+def _messages(findings):
+    return [finding.message for finding in findings]
+
+
+class TestRealRegistryValidates:
+    def test_zero_findings_without_running_a_simulation(self):
+        # Imports the registry and Table 1 schedule only; finishes far
+        # too fast to have simulated 170 chip-hours.
+        assert validate_experiments() == []
+
+
+class TestDescriptorValidation:
+    def _validate(self, descriptor, key=None):
+        kwargs = dict(_EMPTY)
+        kwargs["registry"] = {key or descriptor.exp_id: descriptor}
+        return validate_experiments(**kwargs)
+
+    def test_good_descriptor_passes(self):
+        assert self._validate(FakeDescriptor()) == []
+
+    def test_lowercase_id_flagged(self):
+        findings = self._validate(FakeDescriptor(exp_id="fig4"), key="fig4")
+        assert any("uppercase" in m for m in _messages(findings))
+
+    def test_key_mismatch_flagged(self):
+        findings = self._validate(FakeDescriptor(exp_id="FAKE2"), key="FAKE1")
+        assert any("registered under" in m for m in _messages(findings))
+
+    def test_empty_description_flagged(self):
+        findings = self._validate(FakeDescriptor(description=""))
+        assert any("empty description" in m for m in _messages(findings))
+
+    def test_missing_bench_file_flagged(self):
+        findings = self._validate(FakeDescriptor(bench="benchmarks/bench_nope.py"))
+        assert any("does not exist" in m for m in _messages(findings))
+
+    def test_uncallable_runner_flagged(self):
+        findings = self._validate(FakeDescriptor(runner=None))
+        assert any("not callable" in m for m in _messages(findings))
+
+
+class TestScheduleValidation:
+    def _validate(self, cases, sequences):
+        kwargs = dict(_EMPTY)
+        kwargs["cases"] = cases
+        kwargs["sequences"] = sequences
+        return validate_experiments(**kwargs)
+
+    def test_consistent_schedule_passes(self):
+        cases = (("Active (Stress)", "AS110DC24", 1),)
+        assert self._validate(cases, {1: ("AS110DC24",)}) == []
+
+    def test_unparseable_case_name_flagged(self):
+        findings = self._validate((("g", "BOGUS", 1),), {1: ("BOGUS",)})
+        assert any("unrecognised" in m for m in _messages(findings))
+
+    def test_duplicate_case_id_flagged(self):
+        cases = (("g", "AS110DC24", 1), ("g", "AS110DC24", 1))
+        findings = self._validate(cases, {1: ("AS110DC24",)})
+        assert any("duplicate Table 1 case id" in m for m in _messages(findings))
+
+    def test_sequence_case_missing_from_table_flagged(self):
+        findings = self._validate(
+            (("g", "AS110DC24", 1),), {1: ("AS110DC24", "R20Z6")}
+        )
+        assert any("not a Table 1 row" in m for m in _messages(findings))
+
+    def test_table_row_missing_from_sequences_flagged(self):
+        findings = self._validate(
+            (("g", "AS110DC24", 1), ("g", "R20Z6", 1)), {1: ("AS110DC24",)}
+        )
+        assert any("missing from the chip execution" in m for m in _messages(findings))
+
+
+class TestPhaseSanity:
+    def _validate(self, phase, chamber=None):
+        kwargs = dict(_EMPTY)
+        kwargs["extra_phases"] = (("fixture", phase),)
+        if chamber is not None:
+            kwargs["chamber"] = chamber
+        return validate_experiments(**kwargs)
+
+    def test_sane_phase_passes(self):
+        assert self._validate(FakePhase()) == []
+
+    def test_zero_duration_flagged(self):
+        findings = self._validate(FakePhase(duration=0.0))
+        assert any("non-positive duration" in m for m in _messages(findings))
+
+    def test_sampling_interval_exceeding_duration_flagged(self):
+        findings = self._validate(FakePhase(duration=600.0, sampling_interval=1200.0))
+        assert any("exceeds the phase duration" in m for m in _messages(findings))
+
+    def test_positive_supply_recovery_flagged(self):
+        phase = FakePhase(kind=PhaseKind.RECOVERY, supply_voltage=1.2)
+        findings = self._validate(phase)
+        assert any("Vdda <= 0" in m for m in _messages(findings))
+
+    def test_zero_supply_stress_flagged(self):
+        findings = self._validate(FakePhase(supply_voltage=0.0))
+        assert any("non-positive supply" in m for m in _messages(findings))
+
+    def test_unreachable_temperature_flagged(self):
+        findings = self._validate(FakePhase(temperature_c=200.0))
+        assert any("outside the thermal chamber" in m for m in _messages(findings))
+
+    def test_chamber_limits_are_respected(self):
+        wide = ThermalChamber(min_c=-100.0, max_c=250.0)
+        assert self._validate(FakePhase(temperature_c=200.0), chamber=wide) == []
+
+
+class TestKnobAndWaveformRanges:
+    @dataclass
+    class FakeKnobs:
+        alpha: float = 4.0
+        sleep_voltage: float = -0.3
+        sleep_temperature_c: float = 110.0
+
+    @dataclass
+    class FakeWaveform:
+        duty: float = 0.5
+
+    def _validate(self, **overrides):
+        kwargs = dict(_EMPTY)
+        kwargs.update(overrides)
+        return validate_experiments(**kwargs)
+
+    def test_sane_knobs_pass(self):
+        assert self._validate(knobs={"K": self.FakeKnobs()}) == []
+
+    def test_nonpositive_alpha_flagged(self):
+        findings = self._validate(knobs={"K": self.FakeKnobs(alpha=0.0)})
+        assert any("alpha must be positive" in m for m in _messages(findings))
+
+    def test_positive_sleep_voltage_flagged(self):
+        findings = self._validate(knobs={"K": self.FakeKnobs(sleep_voltage=1.2)})
+        assert any("must be <= 0 V" in m for m in _messages(findings))
+
+    def test_unreachable_sleep_temperature_flagged(self):
+        findings = self._validate(knobs={"K": self.FakeKnobs(sleep_temperature_c=400.0)})
+        assert any("outside the thermal chamber" in m for m in _messages(findings))
+
+    def test_duty_out_of_range_flagged(self):
+        for duty in (0.0, 1.5, -0.1):
+            findings = self._validate(waveforms={"W": self.FakeWaveform(duty=duty)})
+            assert any("duty factor alpha" in m for m in _messages(findings)), duty
+
+    def test_full_duty_dc_passes(self):
+        assert self._validate(waveforms={"W": self.FakeWaveform(duty=1.0)}) == []

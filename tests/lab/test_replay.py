@@ -4,8 +4,23 @@ import numpy as np
 import pytest
 
 from repro.errors import MeasurementError
-from repro.lab.datalog import DataLog
+from repro.lab.datalog import DataLog, MeasurementRecord
 from repro.lab.replay import fresh_delays_from_log, result_from_csv, result_from_log
+
+
+def _record(chip_id: str, timestamp: float, phase_elapsed: float, delay: float):
+    return MeasurementRecord(
+        chip_id=chip_id,
+        case="AS110DC24",
+        phase="AS110DC24",
+        timestamp=timestamp,
+        phase_elapsed=phase_elapsed,
+        count=1000,
+        frequency=1.0 / (2.0 * delay),
+        delay=delay,
+        temperature_c=110.0,
+        supply_voltage=1.2,
+    )
 
 
 class TestReplay:
@@ -42,3 +57,34 @@ class TestReplay:
                 truncated.append(record)
         with pytest.raises(MeasurementError):
             fresh_delays_from_log(truncated)
+
+    def test_mid_phase_error_names_the_chip(self):
+        log = DataLog()
+        log.append(_record("chip-9", timestamp=1200.0, phase_elapsed=1200.0, delay=5e-9))
+        with pytest.raises(MeasurementError, match="chip-9"):
+            fresh_delays_from_log(log)
+
+    def test_one_resumed_chip_poisons_only_that_chip(self):
+        # chip-1 has a clean time-zero anchor; chip-2 resumes mid-phase.
+        # The whole log must be rejected: a partial fresh-delay map would
+        # silently drop chip-2's series.
+        log = DataLog()
+        log.append(_record("chip-1", timestamp=0.0, phase_elapsed=0.0, delay=5e-9))
+        log.append(_record("chip-2", timestamp=600.0, phase_elapsed=600.0, delay=6e-9))
+        with pytest.raises(MeasurementError, match="chip-2"):
+            fresh_delays_from_log(log)
+
+    def test_later_time_zero_sample_anchors_resumed_log(self):
+        # A log that starts at a *later* phase's time-zero reading is a
+        # legal resume point: the earliest record per chip has
+        # phase_elapsed exactly 0.0, so it anchors that chip's deltas.
+        log = DataLog()
+        log.append(_record("chip-1", timestamp=86400.0, phase_elapsed=0.0, delay=5.2e-9))
+        log.append(_record("chip-1", timestamp=88200.0, phase_elapsed=1800.0, delay=5.1e-9))
+        fresh = fresh_delays_from_log(log)
+        assert fresh["chip-1"] == 5.2e-9
+
+    def test_replayed_result_has_no_chips(self, campaign_result):
+        replayed = result_from_log(campaign_result.log)
+        assert replayed.chips == {}
+        assert set(replayed.fresh_delays) == set(campaign_result.fresh_delays)

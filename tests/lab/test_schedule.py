@@ -66,6 +66,43 @@ class TestPhaseValidation:
         with pytest.raises(ScheduleError):
             TestPhase("x", PhaseKind.STRESS, 0.0, 110.0, 1.2)
 
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ScheduleError, match="duration"):
+            TestPhase("x", PhaseKind.STRESS, -hours(1.0), 110.0, 1.2)
+
+    def test_zero_duration_case_name_rejected(self):
+        # A zero-hour case parses through the grammar but must still be
+        # rejected by phase validation (zero-duration phases measure
+        # nothing and would divide the sampling loop by zero).
+        with pytest.raises(ScheduleError, match="duration"):
+            parse_case_name("AS110DC0")
+        with pytest.raises(ScheduleError, match="duration"):
+            parse_case_name("AR110N0")
+
+    def test_sampling_interval_must_be_positive(self):
+        for bad_interval in (0.0, -60.0):
+            with pytest.raises(ScheduleError, match="sampling"):
+                TestPhase(
+                    "x",
+                    PhaseKind.STRESS,
+                    hours(1.0),
+                    110.0,
+                    1.2,
+                    sampling_interval=bad_interval,
+                )
+
+    def test_recovery_at_exactly_zero_volts_allowed(self):
+        phase = TestPhase("x", PhaseKind.RECOVERY, hours(1.0), 20.0, 0.0)
+        assert phase.supply_voltage == 0.0
+
+    def test_multi_phase_total_duration_sums(self):
+        case = TestCase(
+            name="multi",
+            chip_no=1,
+            phases=(parse_case_name("AS110DC24"), parse_case_name("AR110N6")),
+        )
+        assert case.total_duration == hours(30.0)
+
 
 class TestTable1Schedule:
     def test_eleven_rows(self):

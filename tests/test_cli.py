@@ -100,3 +100,60 @@ class TestCampaignCli:
         assert "measurement" in out
         assert "ro.evaluations" in out
         assert "campaign.sim_seconds_per_wall_second" in out
+
+
+class TestLintCli:
+    """The `repro lint` subcommand against fixture trees."""
+
+    def _dirty_tree(self, tmp_path):
+        tree = tmp_path / "pkg"
+        tree.mkdir()
+        (tree / "dirty.py").write_text("d = 3600.0\n")
+        return tree
+
+    def test_findings_gate_with_exit_1(self, tmp_path, capsys):
+        tree = self._dirty_tree(tmp_path)
+        assert main(["lint", str(tree), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out and "SECONDS_PER_HOUR" in out
+
+    def test_clean_tree_exits_0(self, tmp_path, capsys):
+        tree = tmp_path / "pkg"
+        tree.mkdir()
+        (tree / "clean.py").write_text("x = 1\n")
+        assert main(["lint", str(tree), "--no-baseline"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        tree = self._dirty_tree(tmp_path)
+        assert main(["lint", str(tree), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "RPR001"
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        tree = self._dirty_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(tree), "--write-baseline",
+                     "--baseline", str(baseline)]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert main(["lint", str(tree), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_repo_lints_clean_end_to_end(self, capsys):
+        # The acceptance criterion, through the real CLI entry point.
+        assert main(["lint"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_experiments_validation_runs_clean_and_fast(self, capsys):
+        assert main(["lint", "--experiments"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_malformed_baseline_is_a_repro_error(self, tmp_path, capsys):
+        tree = self._dirty_tree(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["lint", str(tree), "--baseline", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
