@@ -1,0 +1,100 @@
+"""PERF — parallel campaign engine vs the sequential path.
+
+Benchmarks the ``workers`` execution mode of ``run_table1_campaign``:
+
+* times the sequential run and a multi-worker run of the same seed and
+  asserts the merged result is bit-identical (the engine's contract —
+  workers may only change wall-clock scheduling, never the physics);
+* reports the trap-rate cache hit ratio of the instrumented run and the
+  number of closed-form-compressed cycles, the two sequential
+  optimisations that carry the campaign speedup.
+
+Run directly for a smoke check (CI does)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_campaign.py -q
+"""
+
+import os
+import time
+
+from repro.lab.campaign import run_table1_campaign
+from repro.obs import Tracer
+
+#: Worker threads for the parallel leg (capped by chip count inside the
+#: engine; more workers than cores is fine — numpy releases the GIL).
+WORKERS = min(4, (os.cpu_count() or 1) + 1)
+
+#: Chips in the timed comparison (the full paper bench).
+N_CHIPS = 5
+
+
+def test_bench_parallel_campaign(once):
+    """Time sequential vs parallel and verify bit-identity of the merge."""
+
+    def measure():
+        seq_tracer, par_tracer = Tracer(), Tracer()
+        start = time.perf_counter()
+        sequential = run_table1_campaign(
+            seed=0, n_chips=N_CHIPS, tracer=seq_tracer, workers=1
+        )
+        seq_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = run_table1_campaign(
+            seed=0, n_chips=N_CHIPS, tracer=par_tracer, workers=WORKERS
+        )
+        par_wall = time.perf_counter() - start
+        return seq_wall, par_wall, sequential, parallel, par_tracer
+
+    seq_wall, par_wall, sequential, parallel, tracer = once(measure)
+
+    # The engine's contract: workers change scheduling, not results.
+    assert list(sequential.log) == list(parallel.log)
+    assert sequential.fresh_delays == parallel.fresh_delays
+
+    metrics = tracer.metrics
+    hits = metrics.value("bti.rate_cache.hits")
+    partial = metrics.value("bti.rate_cache.partial_hits")
+    misses = metrics.value("bti.rate_cache.misses")
+    lookups = hits + partial + misses
+    reuse = (hits + partial) / lookups if lookups else 0.0
+
+    print(f"sequential: {seq_wall:.3f} s   parallel ({WORKERS} workers): "
+          f"{par_wall:.3f} s   ratio {seq_wall / par_wall:.2f}x")
+    print(f"rate cache: {int(hits)} full + {int(partial)} partial hits / "
+          f"{int(lookups)} lookups ({100.0 * reuse:.1f} % reuse)")
+    print(f"measurements: {len(parallel.log)} "
+          f"({len(parallel.log) / par_wall:.1f}/s parallel)")
+
+    assert len(parallel.log) > 500
+    # The duty-averaged rate bases must be reused heavily even under
+    # instrument jitter; a cold cache would make every lookup a miss.
+    assert reuse > 0.3
+
+
+def test_bench_cycle_compression(once):
+    """Report the closed-form compression on a constant-condition loop."""
+    from repro.core.knobs import OperatingPoint, RecoveryKnobs
+    from repro.core.planner import CircadianPlanner
+    from repro.fpga.chip import FpgaChip
+    from repro.units import hours
+
+    knobs = RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
+    planner = CircadianPlanner(knobs, OperatingPoint(temperature_c=110.0),
+                               period=hours(30.0))
+    n_cycles = 5000  # ~17 years of schedule
+
+    def measure():
+        tracer = Tracer()
+        chip = FpgaChip("bench-compress", seed=0, tracer=tracer)
+        start = time.perf_counter()
+        trough = planner.fast_forward(chip, n_cycles)
+        wall = time.perf_counter() - start
+        return wall, trough, tracer
+
+    wall, trough, tracer = once(measure)
+    compressed = tracer.metrics.value("bti.cycles_compressed")
+    print(f"fast-forward {n_cycles} cycles: {wall * 1e3:.1f} ms "
+          f"({compressed:.0f} population-cycles compressed), "
+          f"trough dTd {trough * 1e12:.1f} ps")
+    assert trough > 0.0
+    assert compressed >= n_cycles

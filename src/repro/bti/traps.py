@@ -22,13 +22,22 @@ oscillator over a 24 h phase is a handful of numpy operations.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.bti.conditions import BiasCondition, BiasPhase
 from repro.errors import ConfigurationError
+from repro.obs import get_tracer
 from repro.units import BOLTZMANN_EV, celsius
+
+#: Default number of bias points the per-population rate cache retains.
+#: A campaign touches a handful of distinct patterns (frozen DC, the two
+#: AC half-cycles, passive/negative recovery); 32 covers every schedule
+#: in the repo with room for ablation sweeps.
+RATE_CACHE_SIZE = 32
 
 
 @dataclass(frozen=True)
@@ -106,6 +115,61 @@ class _PopulationState:
     elapsed: float = 0.0
 
 
+@dataclass(frozen=True)
+class CyclePhase:
+    """One leg of a repeating bias cycle, in :meth:`TrapPopulation.evolve` terms.
+
+    ``stress_voltage`` and ``relax_voltage`` follow the same per-owner
+    (or scalar) convention as ``evolve``; the phase is piecewise constant
+    so its occupancy update is an exact affine map.
+    """
+
+    duration: float
+    stress_voltage: np.ndarray | float
+    temperature: float
+    duty: float = 1.0
+    relax_voltage: np.ndarray | float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration < 0.0:
+            raise ConfigurationError(
+                f"cycle phase duration must be non-negative, got {self.duration}"
+            )
+        if not 0.0 <= self.duty <= 1.0:
+            raise ConfigurationError(f"duty must be within [0, 1], got {self.duty}")
+
+
+class _LruCache:
+    """A tiny bounded LRU map (the rate caches; not thread-safe)."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ConfigurationError(f"cache size must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        """The cached value, refreshed as most recent, or ``None``."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert a value, evicting the least recently used past the bound."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class TrapPopulation:
     """Trap ensemble shared by a group of transistors ("owners").
 
@@ -120,6 +184,8 @@ class TrapPopulation:
         params: TrapParameters,
         n_owners: int,
         rng: np.random.Generator | int | None = None,
+        tracer=None,
+        rate_cache_size: int = RATE_CACHE_SIZE,
     ) -> None:
         if n_owners <= 0:
             raise ConfigurationError(f"n_owners must be positive, got {n_owners}")
@@ -135,6 +201,38 @@ class TrapPopulation:
         self.tau_e0 = _log_uniform(rng, params.tau_emission_bounds, n_traps)
         self.impact = rng.exponential(params.impact_mean_volts, size=n_traps)
         self._state = _PopulationState(occupancy=np.zeros(n_traps))
+
+        # Rates factor as (1/tau) * arrhenius(T) * exp(gamma * dV): the
+        # 1/tau arrays are immutable, the temperature factor is a scalar,
+        # and campaigns replay a handful of voltage patterns thousands of
+        # times.  Three memo levels, coarse to fine:
+        #   base:     voltage pattern -> (1/tau)*exp(gamma*dV) per trap
+        #   combined: (stress, relax, duty) -> duty-averaged base rates
+        #   full:     (combined key, temperature) -> final rate arrays
+        # Instrument jitter re-samples voltage and temperature per chunk,
+        # so the outer levels hit even when the inner one cannot.
+        self._inv_tau_c0 = 1.0 / self.tau_c0
+        self._inv_tau_e0 = 1.0 / self.tau_e0
+        self._base_cache = _LruCache(rate_cache_size)
+        self._comb_cache = _LruCache(rate_cache_size)
+        self._full_cache = _LruCache(rate_cache_size)
+        self._scratch_total = np.empty(n_traps)
+        self._scratch_pinf = np.empty(n_traps)
+        self._scratch_weights = np.empty(n_traps)
+        tracer = tracer if tracer is not None else get_tracer()
+        self._cache_hits = tracer.counter(
+            "bti.rate_cache.hits", "rate lookups served fully from cache"
+        )
+        self._cache_partial_hits = tracer.counter(
+            "bti.rate_cache.partial_hits",
+            "rate lookups that reused cached voltage factors",
+        )
+        self._cache_misses = tracer.counter(
+            "bti.rate_cache.misses", "rate lookups that recomputed voltage factors"
+        )
+        self._cycles_compressed = tracer.counter(
+            "bti.cycles_compressed", "schedule cycles folded by evolve_cycles"
+        )
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -161,17 +259,24 @@ class TrapPopulation:
     # physics
     # ------------------------------------------------------------------ #
 
-    def _rates(self, stress_voltage: np.ndarray, temperature: float) -> tuple[np.ndarray, np.ndarray]:
-        """Per-trap capture and emission rates (1/s) at a bias point.
-
-        ``stress_voltage`` is broadcast per trap (already expanded from the
-        per-owner vector by the caller).
-        """
+    def _arrhenius(self, temperature: float) -> tuple[float, float]:
+        """Scalar capture/emission Arrhenius factors relative to reference."""
         p = self.params
         inv_kt = 1.0 / (BOLTZMANN_EV * temperature)
         inv_kt_ref = 1.0 / (BOLTZMANN_EV * p.reference_temperature)
         arr_c = np.exp(-p.ea_capture_ev * (inv_kt - inv_kt_ref))
         arr_e = np.exp(-p.ea_emission_ev * (inv_kt - inv_kt_ref))
+        return arr_c, arr_e
+
+    def _rates(self, stress_voltage: np.ndarray, temperature: float) -> tuple[np.ndarray, np.ndarray]:
+        """Per-trap capture and emission rates (1/s) at a bias point.
+
+        ``stress_voltage`` is broadcast per trap (already expanded from the
+        per-owner vector by the caller).  This is the uncached reference
+        path; hot loops go through :meth:`_rates_for`.
+        """
+        p = self.params
+        arr_c, arr_e = self._arrhenius(temperature)
         capture = (
             (1.0 / self.tau_c0)
             * arr_c
@@ -185,6 +290,97 @@ class TrapPopulation:
                 * (stress_voltage - p.reference_recovery_voltage)
             )
         )
+        return capture, emission
+
+    @staticmethod
+    def _bias_key(per_owner: np.ndarray | float) -> tuple[tuple[int, ...], bytes]:
+        """Hashable fingerprint of a per-owner (or scalar) voltage pattern."""
+        arr = np.asarray(per_owner, dtype=float)
+        return (arr.shape, arr.tobytes())
+
+    def _base_rates(
+        self, per_owner_voltage: np.ndarray | float, key
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Temperature-free per-trap rate bases ``(1/tau) * exp(gamma*dV)``.
+
+        The voltage factor is computed at owner resolution and expanded by
+        gather — ``exp(x)[owner]`` equals ``exp(x[owner])`` bit-for-bit at
+        a fraction of the exp cost, since owners are ~100x fewer than
+        traps.  Returned arrays are read-only and shared; do not mutate.
+        """
+        base = self._base_cache.get(key)
+        if base is not None:
+            return base
+        p = self.params
+        arr = np.asarray(per_owner_voltage, dtype=float)
+        if arr.ndim == 0:
+            v_owner = np.full(self.n_owners, float(arr))
+        elif arr.shape != (self.n_owners,):
+            raise ConfigurationError(
+                f"per-owner vector must have shape ({self.n_owners},), got {arr.shape}"
+            )
+        else:
+            v_owner = arr
+        vfac_c = np.exp(p.gamma_capture_per_volt * (v_owner - p.reference_stress_voltage))
+        vfac_e = np.exp(
+            -p.gamma_emission_per_volt * (v_owner - p.reference_recovery_voltage)
+        )
+        base_c = self._inv_tau_c0 * vfac_c[self.owner]
+        base_e = self._inv_tau_e0 * vfac_e[self.owner]
+        base_c.flags.writeable = False
+        base_e.flags.writeable = False
+        base = (base_c, base_e)
+        self._base_cache.put(key, base)
+        return base
+
+    def _effective_rates(
+        self,
+        stress_voltage: np.ndarray | float,
+        temperature: float,
+        duty: float,
+        relax_voltage: np.ndarray | float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Duty-averaged per-trap rates for one piecewise-constant phase.
+
+        Returned arrays are read-only and may be shared with the cache;
+        callers must not mutate them.
+        """
+        key_s = self._bias_key(stress_voltage)
+        if duty >= 1.0:  # callers validate duty <= 1.0, so this is pure DC
+            comb_key = (key_s, None, 1.0)
+        else:
+            comb_key = (key_s, self._bias_key(relax_voltage), duty)
+        full_key = (comb_key, float(temperature))
+        cached = self._full_cache.get(full_key)
+        if cached is not None:
+            self._cache_hits.inc()
+            return cached
+        comb = self._comb_cache.get(comb_key)
+        if comb is not None:
+            self._cache_partial_hits.inc()
+        else:
+            self._cache_misses.inc()
+            base_c, base_e = self._base_rates(stress_voltage, key_s)
+            if duty >= 1.0:
+                comb = (base_c, base_e)
+            else:
+                # The scalar Arrhenius factors are common to both legs of
+                # the duty average, so they distribute over the mix and the
+                # combination itself is temperature-free.
+                relax_c, relax_e = self._base_rates(relax_voltage, comb_key[1])
+                suppression = self.params.ac_capture_suppression ** (1.0 - duty)
+                comb_c = duty * suppression * base_c + (1.0 - duty) * relax_c
+                comb_e = duty * base_e + (1.0 - duty) * relax_e
+                comb_c.flags.writeable = False
+                comb_e.flags.writeable = False
+                comb = (comb_c, comb_e)
+            self._comb_cache.put(comb_key, comb)
+        arr_c, arr_e = self._arrhenius(temperature)
+        capture = comb[0] * arr_c
+        emission = comb[1] * arr_e
+        capture.flags.writeable = False
+        emission.flags.writeable = False
+        self._full_cache.put(full_key, (capture, emission))
         return capture, emission
 
     def _expand(self, per_owner: np.ndarray | float) -> np.ndarray:
@@ -219,22 +415,72 @@ class TrapPopulation:
             raise ConfigurationError(f"duty must be within [0, 1], got {duty}")
         if duration <= 0.0:  # zero-length phase is a no-op (negatives raise above)
             return
-        v_stress = self._expand(stress_voltage)
-        if duty >= 1.0:  # validated <= 1.0 above, so this is the pure-DC branch
-            capture, emission = self._rates(v_stress, temperature)
-        else:
-            v_relax = self._expand(relax_voltage)
-            cap_s, emi_s = self._rates(v_stress, temperature)
-            cap_r, emi_r = self._rates(v_relax, temperature)
-            suppression = self.params.ac_capture_suppression ** (1.0 - duty)
-            capture = duty * suppression * cap_s + (1.0 - duty) * cap_r
-            emission = duty * emi_s + (1.0 - duty) * emi_r
-        total = capture + emission
-        p_inf = capture / total
-        decay = np.exp(-total * duration)
+        capture, emission = self._effective_rates(
+            stress_voltage, temperature, duty, relax_voltage
+        )
+        # Allocation-free update in scratch buffers: the occupancy arrays
+        # are ~30k doubles, so these elementwise ops are memory-bound.
+        total = np.add(capture, emission, out=self._scratch_total)
+        p_inf = np.divide(capture, total, out=self._scratch_pinf)
+        np.multiply(total, -duration, out=total)
+        decay = np.exp(total, out=total)
         state = self._state
-        state.occupancy = p_inf + (state.occupancy - p_inf) * decay
+        occupancy = state.occupancy
+        np.subtract(occupancy, p_inf, out=occupancy)
+        np.multiply(occupancy, decay, out=occupancy)
+        np.add(occupancy, p_inf, out=occupancy)
         state.elapsed += duration
+
+    def evolve_cycles(self, phases: Sequence[CyclePhase], n: int) -> None:
+        """Advance through ``n`` repetitions of a fixed phase sequence, O(1) in ``n``.
+
+        Every :meth:`evolve` is an elementwise affine map ``p' = a*p + b``
+        with ``a = exp(-(rc+re)*dt)`` and ``b = p_inf*(1 - a)``, so one
+        full cycle composes to an affine map ``p' = a_c*p + b_c`` and N
+        identical cycles to the exact closed form::
+
+            p' = a_c**N * p  +  b_c * (1 - a_c**N) / (1 - a_c)
+
+        The cycle decay is accumulated as an exponent sum (``a_c =
+        exp(-X)`` with ``X = sum((rc+re)*dt)``) and ``1 - a_c`` is
+        evaluated via ``expm1`` so slow traps keep full precision.
+        """
+        if n < 0:
+            raise ConfigurationError(f"cycle count must be non-negative, got {n}")
+        if not phases:
+            raise ConfigurationError("evolve_cycles needs at least one phase")
+        if n == 0:
+            return
+        exponent = np.zeros(self.n_traps)
+        offset = np.zeros(self.n_traps)
+        period = 0.0
+        for phase in phases:
+            period += phase.duration
+            if phase.duration <= 0.0:
+                continue
+            capture, emission = self._effective_rates(
+                phase.stress_voltage,
+                phase.temperature,
+                phase.duty,
+                phase.relax_voltage,
+            )
+            total = capture + emission
+            x = total * phase.duration
+            # Affine compose: p -> a*p + p_inf*(1-a) with a = exp(-x).
+            offset = offset * np.exp(-x) + (capture / total) * -np.expm1(-x)
+            exponent = exponent + x
+        one_minus_ac = -np.expm1(-exponent)
+        # Geometric-series ratio (1 - a_c**n)/(1 - a_c); when the cycle
+        # decay underflows to the identity the series degenerates to n.
+        ratio = np.where(
+            one_minus_ac > 0.0,
+            -np.expm1(-n * exponent) / np.where(one_minus_ac > 0.0, one_minus_ac, 1.0),
+            float(n),
+        )
+        state = self._state
+        state.occupancy = np.exp(-n * exponent) * state.occupancy + offset * ratio
+        state.elapsed += n * period
+        self._cycles_compressed.inc(n)
 
     def evolve_phase(self, phase: BiasPhase, stress_mask: np.ndarray | None = None) -> None:
         """Advance through a :class:`BiasPhase`.
@@ -270,9 +516,10 @@ class TrapPopulation:
 
     def delta_vth(self) -> np.ndarray:
         """Expected per-owner threshold-voltage shift (volts, mean-field)."""
-        return np.bincount(
-            self.owner, weights=self._state.occupancy * self.impact, minlength=self.n_owners
+        weights = np.multiply(
+            self._state.occupancy, self.impact, out=self._scratch_weights
         )
+        return np.bincount(self.owner, weights=weights, minlength=self.n_owners)
 
     def sample_delta_vth(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
         """One stochastic per-owner shift: each trap is occupied or not.
@@ -303,6 +550,7 @@ class TrapPopulation:
     def reset(self) -> None:
         """Return every trap to the fresh (empty) state and zero the clock."""
         self._state = _PopulationState(occupancy=np.zeros(self.n_traps))
+        self._invalidate_rate_cache()
 
     def snapshot(self) -> _PopulationState:
         """Capture the mutable state for later :meth:`restore` (what-if runs)."""
@@ -317,3 +565,16 @@ class TrapPopulation:
         self._state = _PopulationState(
             occupancy=state.occupancy.copy(), elapsed=state.elapsed
         )
+        self._invalidate_rate_cache()
+
+    def _invalidate_rate_cache(self) -> None:
+        """Drop every memoised rate array (state transitions must not
+        observe entries built for a previous trajectory)."""
+        self._base_cache.clear()
+        self._comb_cache.clear()
+        self._full_cache.clear()
+
+    @property
+    def rate_cache_entries(self) -> int:
+        """Live entries across all rate-cache levels (introspection)."""
+        return len(self._base_cache) + len(self._comb_cache) + len(self._full_cache)

@@ -84,7 +84,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     progress = ProgressReporter(enabled=args.progress)
     print(f"running the Table 1 campaign on {args.chips} chips...")
     result = run_table1_campaign(seed=args.seed, n_chips=args.chips,
-                                 tracer=tracer, progress=progress)
+                                 tracer=tracer, progress=progress,
+                                 workers=args.workers)
     print(f"done: {len(result.log)} measurements over {len(result.chips)} chips")
     if args.csv:
         result.log.write_csv(args.csv)
@@ -105,7 +106,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     progress = ProgressReporter(enabled=args.progress)
     print(f"running the Table 1 campaign on {args.chips} chips (instrumented)...")
     result = run_table1_campaign(seed=args.seed, n_chips=args.chips,
-                                 tracer=tracer, progress=progress)
+                                 tracer=tracer, progress=progress,
+                                 workers=args.workers)
     print(f"done: {len(result.log)} measurements over {len(result.chips)} chips\n")
     tracer.summary_table(
         "Per-span timing (campaign -> case -> phase -> measurement)"
@@ -211,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
         parser.add_argument("--seed", type=int, default=0, help="campaign seed")
         parser.add_argument(
             "--chips", type=int, default=5, help="number of chips on the bench"
+        )
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker threads running chips concurrently (bit-identical "
+            "to sequential for the same seed)",
         )
         parser.add_argument("--trace", help="write a JSONL span trace to this file")
         verbosity = parser.add_mutually_exclusive_group()

@@ -20,6 +20,7 @@ from repro.core.metrics import design_margin_relaxed
 from repro.core.policies import NoRecoveryPolicy, ProactivePolicy
 from repro.core.rejuvenator import Rejuvenator, Trajectory
 from repro.errors import ConfigurationError
+from repro.fpga.chip import CycleSegment
 from repro.fpga.ring_oscillator import StressMode
 from repro.units import SECONDS_PER_HOUR, hours
 
@@ -116,6 +117,34 @@ class CircadianPlanner:
         )
         policy = ProactivePolicy(self.knobs, self.period)
         return rejuvenator.run(policy, total_active_time)
+
+    def fast_forward(self, chip, n_cycles: int) -> float:
+        """Advance ``chip`` through ``n_cycles`` planned cycles, O(1) in count.
+
+        Same piecewise-constant physics as :meth:`simulate` — one active
+        leg at the operating point, one sleep leg at the knob conditions
+        — but routed through the chip's closed-form
+        :meth:`~repro.fpga.chip.FpgaChip.apply_cycles`, so the cost does
+        not grow with ``n_cycles``.  No trajectory samples are recorded;
+        use this to project far beyond a detailed simulation window.
+        Returns the end-of-sleep (trough) delay shift.
+        """
+        if n_cycles <= 0:
+            raise ConfigurationError(f"n_cycles must be positive, got {n_cycles}")
+        active, sleep = self.knobs.split_cycle(self.period)
+        segments = (
+            CycleSegment.active(
+                active,
+                self.operating.temperature,
+                self.operating.supply_voltage,
+                mode=self.stress_mode,
+            ),
+            CycleSegment.sleep(
+                sleep, self.knobs.sleep_temperature, self.knobs.sleep_voltage
+            ),
+        )
+        chip.apply_cycles(segments, n_cycles)
+        return chip.delta_path_delay()
 
     def compare_against_baseline(
         self, chip, total_active_time: float, max_segment: float = 1800.0

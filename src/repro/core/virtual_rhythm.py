@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.knobs import OperatingPoint, RecoveryKnobs
 from repro.errors import ConfigurationError
+from repro.fpga.chip import CycleSegment
 from repro.fpga.ring_oscillator import StressMode
 from repro.units import celsius
 
@@ -158,3 +159,59 @@ class VirtualCircadianRhythm:
             )
             alpha = self._next_alpha(alpha, trough)
         return RhythmResult(cycles=tuple(cycles), target_shift=self.target_shift)
+
+    def fast_forward(
+        self, chip, n_cycles: int, alpha: float | None = None
+    ) -> RhythmCycle:
+        """Project ``n_cycles`` rhythm cycles at a *fixed* alpha, O(1) in count.
+
+        The adaptive loop in :meth:`run` observes the end-of-sleep
+        readout of every cycle, so it cannot be compressed; but once the
+        controller has converged the schedule is periodic, and the
+        remaining lifetime can be fast-forwarded through the chip's
+        closed-form :meth:`~repro.fpga.chip.FpgaChip.apply_cycles`.  The
+        first ``n_cycles - 1`` cycles are compressed and the last one
+        runs explicitly, so the returned :class:`RhythmCycle` carries
+        observed peak and trough shifts.
+        """
+        if n_cycles <= 0:
+            raise ConfigurationError("n_cycles must be positive")
+        alpha = alpha if alpha is not None else self.knobs.alpha
+        lo, hi = self.alpha_bounds
+        if not lo <= alpha <= hi:
+            raise ConfigurationError(
+                f"alpha {alpha} outside bounds {self.alpha_bounds}"
+            )
+        active = self.period * alpha / (1.0 + alpha)
+        sleep = self.period - active
+        sleep_temp = celsius(self.knobs.sleep_temperature_c)
+        if n_cycles > 1:
+            segments = (
+                CycleSegment.active(
+                    active,
+                    self.operating.temperature,
+                    self.operating.supply_voltage,
+                    mode=self.stress_mode,
+                ),
+                CycleSegment.sleep(sleep, sleep_temp, self.knobs.sleep_voltage),
+            )
+            chip.apply_cycles(segments, n_cycles - 1)
+        chip.apply_stress(
+            active,
+            temperature=self.operating.temperature,
+            supply_voltage=self.operating.supply_voltage,
+            mode=self.stress_mode,
+        )
+        peak = chip.delta_path_delay()
+        chip.apply_recovery(
+            sleep, temperature=sleep_temp, supply_voltage=self.knobs.sleep_voltage
+        )
+        trough = chip.delta_path_delay()
+        return RhythmCycle(
+            index=n_cycles - 1,
+            alpha=alpha,
+            active_time=active,
+            sleep_time=sleep,
+            peak_shift=peak,
+            trough_shift=trough,
+        )

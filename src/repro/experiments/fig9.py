@@ -27,6 +27,12 @@ class Fig9Result:
     comparison: EnvelopeComparison
     knobs: RecoveryKnobs
     period: float
+    #: Cycles projected past the detailed window with the closed-form
+    #: fast-forward (0 when no projection was requested).
+    projected_cycles: int = 0
+    #: End-of-sleep delay shift after ``n_cycles + projected_cycles``
+    #: total cycles (``None`` when no projection was requested).
+    projected_shift: float | None = None
 
     @property
     def envelope_bounded(self) -> bool:
@@ -77,12 +83,17 @@ def run(
     period: float = hours(7.5),
     knobs: RecoveryKnobs | None = None,
     operating_temperature_c: float = 110.0,
+    projected_cycles: int = 0,
 ) -> Fig9Result:
     """Simulate the Fig. 9 schedule on a fresh chip.
 
     The default period (6 h active + 1.5 h sleep) keeps the experiment
     fast while preserving alpha = 4; the paper's qualitative picture is
-    period-independent (Table 5).
+    period-independent (Table 5).  ``projected_cycles`` extends the
+    whole-life view past the detailed window: the envelope trough after
+    ``n_cycles + projected_cycles`` total cycles is computed with the
+    planner's closed-form fast-forward, at a cost independent of how far
+    the projection reaches.
     """
     knobs = knobs or RecoveryKnobs(alpha=4.0, sleep_voltage=-0.3, sleep_temperature_c=110.0)
     chip = FpgaChip("fig9", seed=seed)
@@ -93,4 +104,15 @@ def run(
     )
     total_active = n_cycles * knobs.active_fraction * period
     comparison = planner.compare_against_baseline(chip, total_active)
-    return Fig9Result(comparison=comparison, knobs=knobs, period=period)
+    projected_shift = None
+    if projected_cycles > 0:
+        state = chip.snapshot()
+        projected_shift = planner.fast_forward(chip, n_cycles + projected_cycles)
+        chip.restore(state)
+    return Fig9Result(
+        comparison=comparison,
+        knobs=knobs,
+        period=period,
+        projected_cycles=projected_cycles,
+        projected_shift=projected_shift,
+    )

@@ -9,9 +9,12 @@ the paper measures: CUT path delay and ring-oscillator frequency.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Sequence
+
 import numpy as np
 
-from repro.bti.traps import TrapPopulation
+from repro.bti.traps import CyclePhase, TrapPopulation
 from repro.device.delay import AlphaPowerDelayModel, FirstOrderDelayShift, GateDelayModel
 from repro.device.technology import TechnologyParameters, TECH_40NM
 from repro.device.variation import ProcessVariation, VariationSample
@@ -20,6 +23,61 @@ from repro.fpga.fabric import Fabric, Location
 from repro.fpga.netlist import InverterChainNetlist
 from repro.fpga.ring_oscillator import StressMode
 from repro.obs import get_tracer
+
+
+@dataclass(frozen=True)
+class CycleSegment:
+    """One leg of a repeating chip schedule, in :meth:`FpgaChip.apply_stress`
+    / :meth:`FpgaChip.apply_recovery` terms.
+
+    Build with :meth:`active` (stress) or :meth:`sleep` (recovery); a
+    sequence of segments repeated ``n`` times feeds
+    :meth:`FpgaChip.apply_cycles`.
+    """
+
+    duration: float
+    temperature: float
+    supply_voltage: float | None
+    stress: bool
+    mode: StressMode = StressMode.DC
+    chain_input: int = 1
+
+    def __post_init__(self) -> None:
+        if self.duration < 0.0:
+            raise ConfigurationError(
+                f"segment duration must be non-negative, got {self.duration}"
+            )
+
+    @classmethod
+    def active(
+        cls,
+        duration: float,
+        temperature: float,
+        supply_voltage: float | None = None,
+        mode: StressMode = StressMode.DC,
+        chain_input: int = 1,
+    ) -> "CycleSegment":
+        """A stress leg; ``supply_voltage`` ``None`` means the nominal rail."""
+        return cls(
+            duration=duration,
+            temperature=temperature,
+            supply_voltage=supply_voltage,
+            stress=True,
+            mode=mode,
+            chain_input=chain_input,
+        )
+
+    @classmethod
+    def sleep(
+        cls, duration: float, temperature: float, supply_voltage: float = 0.0
+    ) -> "CycleSegment":
+        """A recovery leg (power-gated at 0 V or a negative rail)."""
+        return cls(
+            duration=duration,
+            temperature=temperature,
+            supply_voltage=supply_voltage,
+            stress=False,
+        )
 
 
 class FpgaChip:
@@ -109,15 +167,17 @@ class FpgaChip:
         is_pmos = self.netlist.owner_is_pmos
         self._pmos_owners = np.flatnonzero(is_pmos)
         self._nmos_owners = np.flatnonzero(~is_pmos)
+        tracer = tracer if tracer is not None else get_tracer()
         pop_rng_p, pop_rng_n = rng.spawn(2)
         self._pmos_population = TrapPopulation(
-            tech.nbti_traps, n_owners=self._pmos_owners.size, rng=pop_rng_p
+            tech.nbti_traps, n_owners=self._pmos_owners.size, rng=pop_rng_p,
+            tracer=tracer,
         )
         self._nmos_population = TrapPopulation(
-            tech.pbti_traps, n_owners=self._nmos_owners.size, rng=pop_rng_n
+            tech.pbti_traps, n_owners=self._nmos_owners.size, rng=pop_rng_n,
+            tracer=tracer,
         )
         self._elapsed = 0.0
-        tracer = tracer if tracer is not None else get_tracer()
         self._trap_updates = tracer.counter(
             "bti.trap_updates", "per-transistor trap-population evolutions"
         )
@@ -196,6 +256,36 @@ class FpgaChip:
         self._trap_updates.inc(self.n_owners)
         self._elapsed += duration
 
+    def _stress_profile(
+        self,
+        temperature: float,
+        supply_voltage: float | None,
+        mode: StressMode,
+        chain_input: int,
+    ) -> tuple[np.ndarray, float, np.ndarray | None]:
+        """Validated per-owner ``(v_stress, duty, v_relax)`` for a stress bias."""
+        supply = supply_voltage if supply_voltage is not None else self.tech.vdd_nominal
+        if supply <= 0.0:
+            raise ConfigurationError("stress requires a positive supply; use apply_recovery")
+        self.tech.check_temperature(temperature)
+        if mode is StressMode.DC:
+            fractions = self.netlist.dc_stress_fractions(chain_input)
+            return fractions * supply, 1.0, None
+        if mode is StressMode.AC:
+            pattern_a, pattern_b = self.netlist.ac_stress_fractions()
+            return pattern_a * supply, 0.5, pattern_b * supply
+        raise ConfigurationError(f"unknown stress mode {mode!r}")
+
+    def _recovery_profile(
+        self, temperature: float, supply_voltage: float
+    ) -> tuple[np.ndarray, float, np.ndarray | None]:
+        """Validated per-owner ``(v_stress, duty, v_relax)`` for a recovery bias."""
+        if supply_voltage > 0.0:
+            raise ConfigurationError("recovery needs a non-positive supply voltage")
+        self.tech.check_recovery_voltage(supply_voltage)
+        self.tech.check_temperature(temperature)
+        return np.full(self.n_owners, supply_voltage), 1.0, None
+
     def apply_stress(
         self,
         duration: float,
@@ -210,24 +300,10 @@ class FpgaChip:
         oscillate (50 % duty between the two complementary static
         patterns).  ``supply_voltage`` defaults to the nominal rail.
         """
-        supply = supply_voltage if supply_voltage is not None else self.tech.vdd_nominal
-        if supply <= 0.0:
-            raise ConfigurationError("stress requires a positive supply; use apply_recovery")
-        self.tech.check_temperature(temperature)
-        if mode is StressMode.DC:
-            fractions = self.netlist.dc_stress_fractions(chain_input)
-            self._evolve(duration, fractions * supply, temperature)
-        elif mode is StressMode.AC:
-            pattern_a, pattern_b = self.netlist.ac_stress_fractions()
-            self._evolve(
-                duration,
-                pattern_a * supply,
-                temperature,
-                duty=0.5,
-                relax_voltage=pattern_b * supply,
-            )
-        else:
-            raise ConfigurationError(f"unknown stress mode {mode!r}")
+        v_stress, duty, v_relax = self._stress_profile(
+            temperature, supply_voltage, mode, chain_input
+        )
+        self._evolve(duration, v_stress, temperature, duty=duty, relax_voltage=v_relax)
 
     def apply_recovery(
         self, duration: float, temperature: float, supply_voltage: float = 0.0
@@ -238,12 +314,63 @@ class FpgaChip:
         negative value is the paper's accelerated recovery.  Every device
         sees the recovery bias uniformly.
         """
-        if supply_voltage > 0.0:
-            raise ConfigurationError("recovery needs a non-positive supply voltage")
-        self.tech.check_recovery_voltage(supply_voltage)
-        self.tech.check_temperature(temperature)
-        voltage = np.full(self.n_owners, supply_voltage)
-        self._evolve(duration, voltage, temperature)
+        v_stress, duty, v_relax = self._recovery_profile(temperature, supply_voltage)
+        self._evolve(duration, v_stress, temperature, duty=duty, relax_voltage=v_relax)
+
+    def _segment_profile(
+        self, segment: CycleSegment
+    ) -> tuple[np.ndarray, float, np.ndarray | None]:
+        """Per-owner bias profile of one schedule segment."""
+        if segment.stress:
+            return self._stress_profile(
+                segment.temperature,
+                segment.supply_voltage,
+                segment.mode,
+                segment.chain_input,
+            )
+        supply = 0.0 if segment.supply_voltage is None else segment.supply_voltage
+        return self._recovery_profile(segment.temperature, supply)
+
+    def apply_cycles(self, segments: Sequence[CycleSegment], n: int) -> None:
+        """Advance through ``n`` repetitions of a fixed segment sequence.
+
+        Uses the closed-form affine composition of
+        :meth:`~repro.bti.traps.TrapPopulation.evolve_cycles` — exact (the
+        same piecewise-constant physics as calling :meth:`apply_stress` /
+        :meth:`apply_recovery` in a loop) but O(1) in ``n``.  Only valid
+        when every cycle really is identical: any per-cycle feedback
+        (adaptive duty, jittered instruments) must stay on the loop path.
+        """
+        if n < 0:
+            raise ConfigurationError(f"cycle count must be non-negative, got {n}")
+        if not segments:
+            raise ConfigurationError("apply_cycles needs at least one segment")
+        if n == 0:
+            return
+        phases_pmos: list[CyclePhase] = []
+        phases_nmos: list[CyclePhase] = []
+        period = 0.0
+        for segment in segments:
+            v_stress, duty, v_relax = self._segment_profile(segment)
+            relax = v_relax if v_relax is not None else np.zeros(self.n_owners)
+            for owners, phases in (
+                (self._pmos_owners, phases_pmos),
+                (self._nmos_owners, phases_nmos),
+            ):
+                phases.append(
+                    CyclePhase(
+                        duration=segment.duration,
+                        stress_voltage=v_stress[owners],
+                        temperature=segment.temperature,
+                        duty=duty,
+                        relax_voltage=relax[owners],
+                    )
+                )
+            period += segment.duration
+        self._pmos_population.evolve_cycles(phases_pmos, n)
+        self._nmos_population.evolve_cycles(phases_nmos, n)
+        self._trap_updates.inc(self.n_owners * len(segments) * n)
+        self._elapsed += n * period
 
     # ------------------------------------------------------------------ #
     # state management

@@ -71,6 +71,33 @@ class ReadoutCounter:
             )
         return count
 
+    def read_many(
+        self, fosc: float, n_reads: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """``n_reads`` noisy readouts at a fixed frequency, one RNG call.
+
+        Draws the whole noise vector at once; the generator stream (and
+        therefore every count) is identical to ``n_reads`` sequential
+        :meth:`read` calls with the same generator.
+        """
+        if n_reads <= 0:
+            raise ConfigurationError(f"n_reads must be positive, got {n_reads}")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        counts = np.full(n_reads, self.ideal_count(fosc), dtype=np.int64)
+        if self.noise_counts > 0:
+            counts += rng.integers(
+                -self.noise_counts, self.noise_counts + 1, size=n_reads
+            )
+        np.maximum(counts, 0, out=counts)
+        highest = int(counts.max())
+        if highest > self.max_count:
+            raise CounterOverflowError(
+                f"count {highest} exceeds the {self.bits}-bit counter range; "
+                f"raise fref above {self.fref} Hz"
+            )
+        return counts
+
     def frequency(self, count: int) -> float:
         """Oscillator frequency implied by a count (paper Eq. 14)."""
         if count < 0:

@@ -92,6 +92,11 @@ class InverterChainNetlist:
         self.owner_stage = stages
         self.owner_is_pmos = is_pmos
         self.owner_stress_fraction = stress_fraction
+        # The netlist is pure structure, so every stress pattern is fixed
+        # at construction; campaigns request the same handful of patterns
+        # thousands of times.  Memoise them as read-only arrays.
+        self._dc_fractions: dict[int, np.ndarray] = {}
+        self._ac_fractions: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # structure
@@ -184,7 +189,14 @@ class InverterChainNetlist:
         overdrive the device sees.  Under DC the set is constant once the
         inputs are fixed — the paper's Hypothesis 1.  Enable-gated chains
         freeze with ``En = 0``.
+
+        The pattern is a pure function of the netlist structure, so it is
+        computed once per ``chain_input`` and returned as a read-only
+        array; callers must copy before mutating.
         """
+        cached = self._dc_fractions.get(chain_input)
+        if cached is not None:
+            return cached
         fractions = np.zeros(self.n_owners)
         inputs = self.node_values(chain_input)
         enable = 0  # frozen ring: En held low (only used when gated)
@@ -195,6 +207,8 @@ class InverterChainNetlist:
                 fractions[self.owner_index(stage, name)] = fraction
             for name, fraction in self.routing.stressed_fractions(out).items():
                 fractions[self.owner_index(stage, name)] = fraction
+        fractions.flags.writeable = False
+        self._dc_fractions[chain_input] = fractions
         return fractions
 
     def _running_pattern(self, phase_input: int) -> np.ndarray:
@@ -216,6 +230,13 @@ class InverterChainNetlist:
 
         A free-running ring alternates between the two static patterns; a
         50 % duty cycle between them models the oscillation (the toggling
-        period, ~100 ns, is far below any trap time constant).
+        period, ~100 ns, is far below any trap time constant).  Computed
+        once and returned as read-only arrays; copy before mutating.
         """
-        return self._running_pattern(1), self._running_pattern(0)
+        if self._ac_fractions is None:
+            pattern_a = self._running_pattern(1)
+            pattern_b = self._running_pattern(0)
+            pattern_a.flags.writeable = False
+            pattern_b.flags.writeable = False
+            self._ac_fractions = (pattern_a, pattern_b)
+        return self._ac_fractions

@@ -1,7 +1,16 @@
-"""Multi-chip campaign runner reproducing the paper's Table 1 schedule."""
+"""Multi-chip campaign runner reproducing the paper's Table 1 schedule.
+
+Chips on the bench are fully independent — each owns its chip, testbench
+and RNG child streams — so the campaign can run them sequentially (the
+default) or fan them out to worker threads with ``workers=N``.  The
+parallel path is bit-identical to the sequential one for the same seed:
+seed derivation, per-chip execution order and the merged log order do not
+depend on how workers are scheduled.
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -15,10 +24,32 @@ from repro.lab.measurement import VirtualTestbench
 from repro.lab.schedule import (
     CHIP_SEQUENCES,
     TestCase,
+    TestPhase,
     baseline_phase,
     standard_case,
 )
-from repro.obs import NULL_PROGRESS, ProgressReporter, get_tracer
+from repro.obs import NULL_PROGRESS, NULL_TRACER, ProgressReporter, Tracer, get_tracer
+
+
+def _run_case_phases(
+    tracer,
+    cases_counter,
+    bench: VirtualTestbench,
+    case_name: str,
+    phases: tuple[TestPhase, ...] | list[TestPhase],
+    log: DataLog,
+) -> None:
+    """Execute one case's phases on a bench inside a ``case`` span.
+
+    The single definition of the case-span discipline, shared by the
+    sequential :class:`Campaign` methods and the parallel chip workers.
+    """
+    with tracer.span("case", case=case_name, chip_id=bench.chip.chip_id) as span:
+        sim_start = bench.chip.elapsed
+        for phase in phases:
+            bench.run_phase(phase, case_name, log)
+        span.set("sim_advanced", bench.chip.elapsed - sim_start)
+    cases_counter.inc()
 
 
 @dataclass
@@ -139,25 +170,23 @@ class Campaign:
 
     def run_case(self, case: TestCase) -> None:
         """Execute a case's phases on its chip, appending to the shared log."""
-        chip_id = self.chip_id(case.chip_no)
-        bench = self.benches[chip_id]
-        with self.tracer.span("case", case=case.name, chip_id=chip_id) as span:
-            sim_start = bench.chip.elapsed
-            for phase in case.phases:
-                bench.run_phase(phase, case.name, self.log)
-            span.set("sim_advanced", bench.chip.elapsed - sim_start)
-        self._cases_run.inc()
+        bench = self.benches[self.chip_id(case.chip_no)]
+        _run_case_phases(
+            self.tracer, self._cases_run, bench, case.name, case.phases, self.log
+        )
 
     def run_baseline(self) -> None:
         """Burn every chip in (2 h at 20 degC, 1.2 V) — the paper's baseline."""
         phase = baseline_phase()
         for chip_id, bench in self.benches.items():
-            case_name = f"BASELINE-{chip_id}"
-            with self.tracer.span("case", case=case_name, chip_id=chip_id) as span:
-                sim_start = bench.chip.elapsed
-                bench.run_phase(phase, case_name, self.log)
-                span.set("sim_advanced", bench.chip.elapsed - sim_start)
-            self._cases_run.inc()
+            _run_case_phases(
+                self.tracer,
+                self._cases_run,
+                bench,
+                f"BASELINE-{chip_id}",
+                [phase],
+                self.log,
+            )
 
     def result(self) -> CampaignResult:
         """Bundle the current state into a :class:`CampaignResult`."""
@@ -166,12 +195,118 @@ class Campaign:
         )
 
 
+def _run_chip_schedule(
+    chip_no: int,
+    case_names: tuple[str, ...],
+    include_baseline: bool,
+    variation: ProcessVariation,
+    chip_stream: np.random.Generator,
+    bench_stream: np.random.Generator,
+    instrument: bool,
+) -> tuple[FpgaChip, DataLog, DataLog, "Tracer | None"]:
+    """One chip's full Table 1 schedule, self-contained for a worker.
+
+    Seed handling mirrors :class:`Campaign.__init__` exactly — the chip
+    seed is drawn from ``chip_stream`` and the bench noise runs off
+    ``bench_stream`` — so the records produced here are bit-identical to
+    the sequential path.  Baseline and case records are returned as
+    separate shards because the sequential log interleaves them
+    (all baselines first, then the case sequences).
+    """
+    worker_tracer = Tracer() if instrument else NULL_TRACER
+    chip = FpgaChip(
+        f"chip-{chip_no}",
+        tech=TECH_40NM,
+        variation=variation,
+        seed=int(chip_stream.integers(2**31)),
+        tracer=worker_tracer,
+    )
+    bench = VirtualTestbench(chip, rng=bench_stream, tracer=worker_tracer)
+    cases_counter = worker_tracer.counter(
+        "campaign.cases", "test cases executed across campaigns"
+    )
+    baseline_log = DataLog()
+    case_log = DataLog()
+    if include_baseline:
+        _run_case_phases(
+            worker_tracer,
+            cases_counter,
+            bench,
+            f"BASELINE-{chip.chip_id}",
+            [baseline_phase()],
+            baseline_log,
+        )
+    for name in case_names:
+        case = standard_case(name, chip_no)
+        _run_case_phases(
+            worker_tracer, cases_counter, bench, case.name, case.phases, case_log
+        )
+    return chip, baseline_log, case_log, worker_tracer if instrument else None
+
+
+def _parallel_table1(
+    seed: int | None,
+    n_chips: int,
+    include_baseline: bool,
+    tracer,
+    progress: ProgressReporter,
+    workers: int,
+    sequences: dict[int, tuple[str, ...]],
+) -> CampaignResult:
+    """Fan the chips out to worker threads and merge deterministically.
+
+    Threads (not processes): the trap updates are numpy array ops that
+    release the GIL, and threads avoid pickling chips back.  Workers are
+    merged in chip order after all complete — log order, span ids and
+    counter sums never depend on scheduling.
+    """
+    master = np.random.default_rng(seed)
+    variation = ProcessVariation()
+    streams = [master.spawn(2) for _ in range(n_chips)]
+    results: list = [None] * n_chips
+    with ThreadPoolExecutor(max_workers=min(workers, n_chips)) as pool:
+        future_to_index = {
+            pool.submit(
+                _run_chip_schedule,
+                index + 1,
+                sequences.get(index + 1, ()),
+                include_baseline,
+                variation,
+                streams[index][0],
+                streams[index][1],
+                tracer.enabled,
+            ): index
+            for index in range(n_chips)
+        }
+        chips_done = 0
+        for future in as_completed(future_to_index):
+            index = future_to_index[future]
+            results[index] = future.result()
+            chips_done += 1
+            progress.line(
+                f"chip-{index + 1} schedule complete ({chips_done}/{n_chips} chips)"
+            )
+    chips: dict[str, FpgaChip] = {}
+    fresh_delays: dict[str, float] = {}
+    for chip, _, _, worker_tracer in results:
+        chips[chip.chip_id] = chip
+        fresh_delays[chip.chip_id] = chip.fresh_path_delay
+        if worker_tracer is not None:
+            tracer.absorb(worker_tracer)
+    log = DataLog.merge(
+        [baseline_log for _, baseline_log, _, _ in results]
+        + [case_log for _, _, case_log, _ in results]
+    )
+    return CampaignResult(log=log, chips=chips, fresh_delays=fresh_delays)
+
+
 def run_table1_campaign(
     seed: int | None = 0,
     n_chips: int = 5,
     include_baseline: bool = True,
     tracer=None,
     progress: ProgressReporter | None = None,
+    workers: int = 1,
 ) -> CampaignResult:
     """Run the full Table 1 schedule and return the result.
 
@@ -179,41 +314,52 @@ def run_table1_campaign(
     then its recovery case; chip 5 additionally re-stresses for 48 h and
     runs the 12 h recovery (``AR110N12``).
 
-    ``tracer`` wraps the run in a ``campaign`` span (cases and phases nest
-    under it) and records the simulated-seconds-per-wall-second
-    throughput; ``progress`` gets one line per completed case.
+    ``workers`` above 1 runs each chip's schedule in a worker thread; the
+    merged result is bit-identical to the sequential run for the same
+    seed.  ``tracer`` wraps the run in a ``campaign`` span (cases and
+    phases nest under it, whichever worker ran them) and records the
+    simulated-seconds-per-wall-second throughput; ``progress`` gets one
+    line per completed case (sequential) or chip (parallel).
     """
     tracer = tracer if tracer is not None else get_tracer()
     progress = progress if progress is not None else NULL_PROGRESS
-    campaign = Campaign(n_chips=n_chips, seed=seed, tracer=tracer)
+    if workers < 1:
+        raise ScheduleError(f"workers must be at least 1, got {workers}")
     sequences = {
         chip_no: names for chip_no, names in CHIP_SEQUENCES.items() if chip_no <= n_chips
     }
-    total_cases = sum(len(names) for names in sequences.values())
-    with tracer.span("campaign", seed=seed, n_chips=n_chips) as span:
-        if include_baseline:
-            campaign.run_baseline()
-            progress.line(f"baseline burn-in done on {n_chips} chips")
-        cases_done = 0
-        chips_done = 0
-        for chip_no, case_names in sequences.items():
-            for name in case_names:
-                campaign.run_case(standard_case(name, chip_no))
-                cases_done += 1
-                progress.case_done(
-                    campaign.chip_id(chip_no),
-                    name,
-                    cases_done,
-                    total_cases,
-                    chips_done,
-                    len(sequences),
-                )
-            chips_done += 1
-        sim_total = float(sum(chip.elapsed for chip in campaign.chips.values()))
+    with tracer.span("campaign", seed=seed, n_chips=n_chips, workers=workers) as span:
+        if workers > 1:
+            result = _parallel_table1(
+                seed, n_chips, include_baseline, tracer, progress, workers, sequences
+            )
+        else:
+            campaign = Campaign(n_chips=n_chips, seed=seed, tracer=tracer)
+            total_cases = sum(len(names) for names in sequences.values())
+            if include_baseline:
+                campaign.run_baseline()
+                progress.line(f"baseline burn-in done on {n_chips} chips")
+            cases_done = 0
+            chips_done = 0
+            for chip_no, case_names in sequences.items():
+                for name in case_names:
+                    campaign.run_case(standard_case(name, chip_no))
+                    cases_done += 1
+                    progress.case_done(
+                        campaign.chip_id(chip_no),
+                        name,
+                        cases_done,
+                        total_cases,
+                        chips_done,
+                        len(sequences),
+                    )
+                chips_done += 1
+            result = campaign.result()
+        sim_total = float(sum(chip.elapsed for chip in result.chips.values()))
         span.set("sim_advanced", sim_total)
     if span.duration > 0.0:
         tracer.gauge(
             "campaign.sim_seconds_per_wall_second",
             "simulated time advanced per wall-clock second",
         ).set(sim_total / span.duration)
-    return campaign.result()
+    return result

@@ -53,6 +53,22 @@ class DataLog:
         """Add many records."""
         self._records.extend(records)
 
+    @classmethod
+    def merge(cls, logs: Iterable["DataLog"]) -> "DataLog":
+        """Concatenate shard logs into one.
+
+        Ordering guarantee: the result is the *stable* concatenation of
+        the shards — records keep their within-shard order, and every
+        record of shard ``i`` precedes every record of shard ``i + 1``.
+        Callers pick a canonical shard order (the parallel campaign uses
+        chip order) so merged logs are deterministic regardless of which
+        worker finished first.
+        """
+        merged = cls()
+        for log in logs:
+            merged._records.extend(log._records)
+        return merged
+
     def filter(
         self,
         chip_id: str | None = None,

@@ -10,10 +10,11 @@ chose (0 V for plain power gating, negative for accelerated self-healing).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
-from repro.bti.traps import TrapParameters, TrapPopulation
+from repro.bti.traps import CyclePhase, TrapParameters, TrapPopulation
 from repro.errors import ConfigurationError
 from repro.units import nanoseconds
 
@@ -55,6 +56,30 @@ class CoreParameters:
             raise ConfigurationError("delay_sensitivity must be positive")
         if self.active_power <= 0.0 or self.sleep_power < 0.0:
             raise ConfigurationError("powers must be positive (active) / non-negative (sleep)")
+
+
+@dataclass(frozen=True)
+class CoreSegment:
+    """One leg of a repeating per-core schedule.
+
+    A sequence of segments repeated ``n`` times feeds
+    :meth:`CoreAgingModel.run_cycles`; an active leg stresses at the
+    core supply (AC, 50% duty, like :meth:`CoreAgingModel.run_active`),
+    a sleep leg recovers at ``sleep_voltage``.
+    """
+
+    duration: float
+    temperature: float
+    active: bool
+    sleep_voltage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration < 0.0:
+            raise ConfigurationError(
+                f"segment duration must be non-negative, got {self.duration}"
+            )
+        if not self.active and self.sleep_voltage > 0.0:
+            raise ConfigurationError("sleep voltage must be non-positive")
 
 
 class CoreAgingModel:
@@ -120,6 +145,60 @@ class CoreAgingModel:
         if voltage < 0.0:
             power += self.params.negative_rail_overhead * self.params.active_power
         self.energy_joules += power * duration
+
+    def run_cycles(self, segments: Sequence[CoreSegment], n: int) -> None:
+        """Advance through ``n`` repetitions of a fixed segment sequence.
+
+        Same physics as alternating :meth:`run_active` / :meth:`sleep` in
+        a loop, but routed through the trap ensemble's closed-form
+        :meth:`~repro.bti.traps.TrapPopulation.evolve_cycles`, so the
+        cost is O(1) in ``n``.  Energy and time accounting scale exactly
+        with the cycle count.  Only valid when every cycle is identical —
+        any per-cycle feedback (aging-aware scheduling, drifting
+        temperatures) must stay on the loop path.
+        """
+        if n < 0:
+            raise ConfigurationError(f"cycle count must be non-negative, got {n}")
+        if not segments:
+            raise ConfigurationError("run_cycles needs at least one segment")
+        if n == 0:
+            return
+        supply = self.params.supply_voltage
+        phases: list[CyclePhase] = []
+        energy_per_cycle = 0.0
+        active_per_cycle = 0.0
+        sleep_per_cycle = 0.0
+        for segment in segments:
+            if segment.active:
+                phases.append(
+                    CyclePhase(
+                        duration=segment.duration,
+                        stress_voltage=supply,
+                        temperature=segment.temperature,
+                        duty=0.5,
+                        relax_voltage=0.0,
+                    )
+                )
+                energy_per_cycle += self.params.active_power * segment.duration
+                active_per_cycle += segment.duration
+            else:
+                phases.append(
+                    CyclePhase(
+                        duration=segment.duration,
+                        stress_voltage=segment.sleep_voltage,
+                        temperature=segment.temperature,
+                    )
+                )
+                power = self.params.sleep_power
+                if segment.sleep_voltage < 0.0:
+                    power += self.params.negative_rail_overhead * self.params.active_power
+                energy_per_cycle += power * segment.duration
+                sleep_per_cycle += segment.duration
+        self._pmos.evolve_cycles(phases, n)
+        self._nmos.evolve_cycles(phases, n)
+        self.active_seconds += n * active_per_cycle
+        self.sleep_seconds += n * sleep_per_cycle
+        self.energy_joules += n * energy_per_cycle
 
     def snapshot(self) -> tuple:
         """Capture aging and accounting state for what-if runs."""

@@ -38,7 +38,16 @@ class ScheduleDecision:
 
 
 class Scheduler(Protocol):
-    """Anything that can pick the active set each epoch."""
+    """Anything that can pick the active set each epoch.
+
+    Schedulers whose decision depends only on the epoch index and the
+    demand — never on the aging state — declare ``aging_independent =
+    True``; for constant demand their schedule is periodic, which lets
+    :meth:`repro.multicore.system.MulticoreSystem.fast_forward` compress
+    whole rotations with the closed-form cycle composition.
+    """
+
+    aging_independent: bool = False
 
     def decide(
         self, epoch: int, demand: int, aging: np.ndarray, grid: ThermalGrid
@@ -56,6 +65,8 @@ def _check_demand(demand: int, n_cores: int) -> int:
 class BaselineScheduler:
     """Fixed active set: cores 0..demand-1 always run; sleep is passive."""
 
+    aging_independent = True
+
     def decide(
         self, epoch: int, demand: int, aging: np.ndarray, grid: ThermalGrid
     ) -> ScheduleDecision:
@@ -66,6 +77,8 @@ class BaselineScheduler:
 
 class RoundRobinScheduler:
     """Rotating active window; sleep is passive (0 V) inactivity."""
+
+    aging_independent = True
 
     def __init__(self, sleep_voltage: float = 0.0) -> None:
         if sleep_voltage > 0.0:
@@ -105,6 +118,10 @@ class HeaterAwareScheduler:
         Relative importance of aging level vs neighbour heat when ranking
         sleep candidates.  Aging is normalised by its current maximum.
     """
+
+    # Decisions feed on the aging state, so the schedule is not periodic
+    # and cannot be fast-forwarded with the closed-form compression.
+    aging_independent = False
 
     def __init__(
         self,
@@ -176,6 +193,11 @@ class InstrumentedScheduler:
         self._decide_seconds = tracer.counter(
             "multicore.decide_seconds", "wall-clock seconds spent in decide()"
         )
+
+    @property
+    def aging_independent(self) -> bool:
+        """Whether the wrapped scheduler ignores the aging state."""
+        return getattr(self.inner, "aging_independent", False)
 
     def decide(
         self, epoch: int, demand: int, aging: np.ndarray, grid: ThermalGrid

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.multicore.core_model import CoreAgingModel, CoreParameters
+from repro.multicore.core_model import CoreAgingModel, CoreParameters, CoreSegment
 from repro.multicore.scheduler import Scheduler
 from repro.multicore.thermal import ThermalGrid
 from repro.obs import get_tracer
@@ -187,3 +187,79 @@ class MulticoreSystem:
             active_mask=active_mask,
             energy_joules=self.total_energy() - energy_start,
         )
+
+    def fast_forward(
+        self,
+        scheduler: Scheduler,
+        demand: int,
+        n_rotations: int,
+        epoch_duration: float = hours(1.0),
+        epoch_offset: int = 0,
+    ) -> np.ndarray:
+        """Advance whole schedule rotations at O(1) cost in ``n_rotations``.
+
+        Valid only for schedulers declaring ``aging_independent = True``:
+        with constant ``demand`` their schedule repeats every ``n_cores``
+        epochs, so each core sees a fixed periodic active/sleep pattern
+        that the trap ensemble's closed-form cycle composition can
+        compress.  One rotation (``n_cores`` epochs) is decided and its
+        thermal fields solved normally; every core then jumps through
+        ``n_rotations`` repetitions of its pattern.  Per-epoch history is
+        not recorded — use :meth:`run` for trajectories.  Callers that
+        resume stepping afterwards should advance their ``epoch_offset``
+        by ``n_rotations * n_cores``.  Returns the final per-core delay
+        shifts.
+        """
+        if not getattr(scheduler, "aging_independent", False):
+            raise ConfigurationError(
+                f"{type(scheduler).__name__} decisions depend on the aging "
+                "state; its schedule is not periodic and cannot be "
+                "fast-forwarded"
+            )
+        if n_rotations <= 0:
+            raise ConfigurationError("n_rotations must be positive")
+        if epoch_duration <= 0.0:
+            raise ConfigurationError("epoch_duration must be positive")
+        n = self.n_cores
+        aging = self.delay_shifts()  # ignored by aging-independent policies
+        patterns: list[list[CoreSegment]] = [[] for _ in range(n)]
+        with self.tracer.span(
+            "multicore.fast_forward",
+            scheduler=type(scheduler).__name__,
+            n_cores=n,
+            n_rotations=n_rotations,
+            epoch_duration=epoch_duration,
+        ) as span:
+            for k in range(n):
+                decision = scheduler.decide(
+                    epoch_offset + k, demand, aging, self.grid
+                )
+                active = set(decision.active)
+                if len(active) > n:
+                    raise ConfigurationError(
+                        "scheduler activated more cores than exist"
+                    )
+                powers = np.array(
+                    [
+                        self.cores[i].params.active_power
+                        if i in active
+                        else self.cores[i].params.sleep_power
+                        for i in range(n)
+                    ]
+                )
+                temperatures = self.grid.steady_state(powers)
+                for i in range(n):
+                    patterns[i].append(
+                        CoreSegment(
+                            duration=epoch_duration,
+                            temperature=temperatures[i],
+                            active=i in active,
+                            sleep_voltage=0.0 if i in active else decision.sleep_voltage,
+                        )
+                    )
+            for core, pattern in zip(self.cores, patterns):
+                core.run_cycles(pattern, n_rotations)
+            self._epochs.inc(n_rotations * n)
+            self._core_steps.inc(n_rotations * n * n)
+            span.set("sim_advanced", n_rotations * n * epoch_duration)
+        return self.delay_shifts()

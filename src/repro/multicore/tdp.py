@@ -71,6 +71,11 @@ class TdpConstrainedScheduler:
         self.constraint = constraint
         self.clamped_epochs = 0
 
+    @property
+    def aging_independent(self) -> bool:
+        """The clamp never looks at aging; independence is the inner's."""
+        return getattr(self.inner, "aging_independent", False)
+
     def decide(
         self, epoch: int, demand: int, aging: np.ndarray, grid: ThermalGrid
     ) -> ScheduleDecision:

@@ -138,6 +138,20 @@ class MetricsRegistry:
         """Name -> value for every metric, sorted by name."""
         return {name: self._metrics[name].value for name in sorted(self._metrics)}
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Counters accumulate (sums add); gauges take the other registry's
+        value (it is the more recent observation when workers are merged
+        after they finish).  A name registered with a different kind in
+        the two registries raises :class:`ConfigurationError`.
+        """
+        for name, metric in other._metrics.items():
+            if metric.kind == "counter":
+                self.counter(name, metric.description).inc(metric.value)
+            else:
+                self.gauge(name, metric.description).set(metric.value)
+
     def reset(self) -> None:
         """Drop every metric (a fresh run starts from zero)."""
         self._metrics.clear()

@@ -1,5 +1,6 @@
 """Circadian planner."""
 
+import numpy as np
 import pytest
 
 from repro.core.knobs import OperatingPoint, RecoveryKnobs
@@ -83,3 +84,38 @@ class TestSimulation:
     def test_margin_target_validated(self, planner, small_chip):
         with pytest.raises(ConfigurationError):
             planner.optimise_alpha(small_chip, hours(8.0), margin_target=1.5)
+
+
+class TestFastForward:
+    def test_matches_simulated_schedule(self, planner, small_chip, chip_factory):
+        from repro.units import celsius
+
+        other = chip_factory(seed=123)
+        trough = planner.fast_forward(small_chip, 40)
+        active, sleep = KNOBS.split_cycle(planner.period)
+        for _ in range(40):
+            other.apply_stress(
+                active,
+                temperature=OPERATING.temperature,
+                supply_voltage=OPERATING.supply_voltage,
+                mode=planner.stress_mode,
+            )
+            other.apply_recovery(
+                sleep,
+                temperature=celsius(KNOBS.sleep_temperature_c),
+                supply_voltage=KNOBS.sleep_voltage,
+            )
+        assert trough == pytest.approx(other.delta_path_delay(), rel=1e-9)
+        assert small_chip.elapsed == pytest.approx(40 * planner.period, rel=1e-12)
+
+    def test_cost_independent_of_cycle_count(self, planner, chip_factory):
+        # Projecting ten thousand cycles must be as cheap as ten; this
+        # only terminates quickly if the closed form is in use.
+        chip = chip_factory(seed=9)
+        trough = planner.fast_forward(chip, 10_000)
+        assert np.isfinite(trough)
+        assert chip.elapsed == pytest.approx(10_000 * planner.period, rel=1e-12)
+
+    def test_rejects_nonpositive_cycles(self, planner, small_chip):
+        with pytest.raises(ConfigurationError):
+            planner.fast_forward(small_chip, 0)

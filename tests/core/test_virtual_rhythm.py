@@ -62,3 +62,43 @@ class TestVirtualCircadianRhythm:
             make_rhythm().run(small_chip, n_cycles=0)
         with pytest.raises(ConfigurationError):
             make_rhythm().run(small_chip, n_cycles=2, alpha0=100.0)
+
+
+class TestFastForward:
+    def test_matches_fixed_alpha_loop(self, small_chip, chip_factory):
+        from repro.units import celsius
+
+        rhythm = make_rhythm()
+        other = chip_factory(seed=123)
+        cycle = rhythm.fast_forward(small_chip, 30, alpha=4.0)
+        active = rhythm.period * 4.0 / 5.0
+        sleep = rhythm.period - active
+        for _ in range(30):
+            other.apply_stress(
+                active,
+                temperature=rhythm.operating.temperature,
+                supply_voltage=rhythm.operating.supply_voltage,
+                mode=rhythm.stress_mode,
+            )
+            peak = other.delta_path_delay()
+            other.apply_recovery(
+                sleep,
+                temperature=celsius(rhythm.knobs.sleep_temperature_c),
+                supply_voltage=rhythm.knobs.sleep_voltage,
+            )
+            trough = other.delta_path_delay()
+        assert cycle.peak_shift == pytest.approx(peak, rel=1e-9)
+        assert cycle.trough_shift == pytest.approx(trough, rel=1e-9)
+        assert cycle.index == 29
+        assert small_chip.elapsed == pytest.approx(other.elapsed, rel=1e-12)
+
+    def test_last_cycle_is_observed(self, small_chip):
+        cycle = make_rhythm().fast_forward(small_chip, 1, alpha=2.0)
+        assert cycle.peak_shift > cycle.trough_shift > 0.0
+
+    def test_rejects_bad_inputs(self, small_chip):
+        rhythm = make_rhythm()
+        with pytest.raises(ConfigurationError):
+            rhythm.fast_forward(small_chip, 0)
+        with pytest.raises(ConfigurationError):
+            rhythm.fast_forward(small_chip, 5, alpha=100.0)

@@ -196,3 +196,18 @@ class TestFig10:
     def test_equal_work(self, result):
         works = {m.work_epochs for m in result.metrics.values()}
         assert len(works) == 1
+
+
+class TestFig9Projection:
+    def test_projection_extends_the_window(self):
+        result = fig9.run(n_cycles=4, projected_cycles=60)
+        assert result.projected_cycles == 60
+        assert result.projected_shift is not None
+        # Bounded envelope: the projected trough stays below the
+        # unmitigated end-of-window shift.
+        assert result.projected_shift < result.comparison.baseline.final_shift
+
+    def test_no_projection_by_default(self):
+        result = fig9.run(n_cycles=4)
+        assert result.projected_cycles == 0
+        assert result.projected_shift is None

@@ -135,3 +135,41 @@ class TestDelayModels:
         for chip in (linear, alpha):
             chip.apply_stress(hours(48.0), temperature=celsius(110.0))
         assert alpha.delta_path_delay() > linear.delta_path_delay()
+
+
+class TestApplyCycles:
+    def segments(self):
+        from repro.fpga.chip import CycleSegment
+
+        return (
+            CycleSegment.active(hours(1.0), celsius(110.0), mode=StressMode.AC),
+            CycleSegment.sleep(hours(0.25), celsius(110.0), -0.3),
+        )
+
+    def test_matches_explicit_loop(self, chip_factory):
+        closed = chip_factory(seed=21)
+        naive = chip_factory(seed=21)
+        n = 300
+        closed.apply_cycles(self.segments(), n)
+        for _ in range(n):
+            naive.apply_stress(
+                hours(1.0), temperature=celsius(110.0), mode=StressMode.AC
+            )
+            naive.apply_recovery(
+                hours(0.25), temperature=celsius(110.0), supply_voltage=-0.3
+            )
+        assert closed.delta_path_delay() == pytest.approx(
+            naive.delta_path_delay(), rel=1e-9
+        )
+        assert closed.elapsed == pytest.approx(naive.elapsed, rel=1e-12)
+
+    def test_zero_cycles_is_noop(self, small_chip):
+        small_chip.apply_cycles(self.segments(), 0)
+        assert small_chip.elapsed == 0.0
+        assert small_chip.delta_path_delay() == 0.0
+
+    def test_rejects_bad_inputs(self, small_chip):
+        with pytest.raises(ConfigurationError):
+            small_chip.apply_cycles(self.segments(), -1)
+        with pytest.raises(ConfigurationError):
+            small_chip.apply_cycles((), 5)

@@ -58,3 +58,28 @@ class TestReadoutCounter:
     def test_delay_rejects_zero_count(self):
         with pytest.raises(ConfigurationError):
             ReadoutCounter().delay(0)
+
+
+class TestReadMany:
+    def test_matches_scalar_reads_on_the_same_stream(self):
+        counter = ReadoutCounter(noise_counts=5)
+        fosc = 3.2e6
+        batch = counter.read_many(fosc, 40, rng=np.random.default_rng(9))
+        rng = np.random.default_rng(9)
+        scalar = [counter.read(fosc, rng=rng) for _ in range(40)]
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_noise_free_batch_is_constant(self):
+        counter = ReadoutCounter(noise_counts=0)
+        batch = counter.read_many(3.2e6, 10, rng=np.random.default_rng(0))
+        assert np.all(batch == counter.ideal_count(3.2e6))
+
+    def test_batch_overflow_detected(self):
+        counter = ReadoutCounter(fref=500.0, bits=16)
+        with pytest.raises(CounterOverflowError):
+            counter.read_many(100e6, 4, rng=np.random.default_rng(0))
+
+    def test_counts_never_negative(self):
+        counter = ReadoutCounter(fref=500.0, noise_counts=50)
+        batch = counter.read_many(2000.0, 200, rng=np.random.default_rng(3))
+        assert np.all(batch >= 0)

@@ -122,3 +122,42 @@ class TestDataLog:
         with pytest.raises(MeasurementError) as excinfo:
             DataLog.read_csv(path)
         assert ":3:" in str(excinfo.value)
+
+
+class TestMerge:
+    def test_stable_concatenation_in_shard_order(self):
+        shard_a = DataLog()
+        shard_a.extend([record(0, chip="chip-1"), record(1, chip="chip-1")])
+        shard_b = DataLog()
+        shard_b.extend([record(0, chip="chip-2"), record(1, chip="chip-2")])
+        merged = DataLog.merge([shard_a, shard_b])
+        assert len(merged) == 4
+        assert [r.chip_id for r in merged] == ["chip-1", "chip-1", "chip-2", "chip-2"]
+        # Within-shard order preserved.
+        assert [r.count for r in merged] == [3200, 3201, 3200, 3201]
+
+    def test_merge_order_is_caller_defined(self):
+        shard_a = DataLog()
+        shard_a.append(record(0, chip="chip-1"))
+        shard_b = DataLog()
+        shard_b.append(record(0, chip="chip-2"))
+        forward = DataLog.merge([shard_a, shard_b])
+        reverse = DataLog.merge([shard_b, shard_a])
+        assert [r.chip_id for r in forward] == ["chip-1", "chip-2"]
+        assert [r.chip_id for r in reverse] == ["chip-2", "chip-1"]
+
+    def test_merge_skips_empty_shards(self):
+        shard = DataLog()
+        shard.append(record(0))
+        merged = DataLog.merge([DataLog(), shard, DataLog()])
+        assert len(merged) == 1
+
+    def test_merge_of_nothing_is_empty(self):
+        assert len(DataLog.merge([])) == 0
+
+    def test_merge_does_not_alias_shards(self):
+        shard = DataLog()
+        shard.append(record(0))
+        merged = DataLog.merge([shard])
+        shard.append(record(1))
+        assert len(merged) == 1

@@ -85,3 +85,44 @@ class TestCoreAgingModel:
             CoreParameters(delay_sensitivity=0.0)
         with pytest.raises(ConfigurationError):
             CoreParameters(active_power=0.0)
+
+
+class TestRunCycles:
+    def segments(self):
+        from repro.multicore.core_model import CoreSegment
+
+        return (
+            CoreSegment(hours(1.0), celsius(85.0), active=True),
+            CoreSegment(hours(0.25), celsius(110.0), active=False, sleep_voltage=-0.3),
+        )
+
+    def test_matches_explicit_loop(self):
+        closed = make_core(seed=5)
+        naive = make_core(seed=5)
+        n = 500
+        closed.run_cycles(self.segments(), n)
+        for _ in range(n):
+            naive.run_active(hours(1.0), celsius(85.0))
+            naive.sleep(hours(0.25), celsius(110.0), voltage=-0.3)
+        assert closed.delta_path_delay() == pytest.approx(
+            naive.delta_path_delay(), rel=1e-9
+        )
+        assert closed.energy_joules == pytest.approx(naive.energy_joules, rel=1e-12)
+        assert closed.active_seconds == naive.active_seconds
+        assert closed.sleep_seconds == naive.sleep_seconds
+
+    def test_zero_cycles_is_noop(self):
+        core = make_core()
+        core.run_cycles(self.segments(), 0)
+        assert core.energy_joules == 0.0 and core.delta_path_delay() == 0.0
+
+    def test_rejects_bad_inputs(self):
+        from repro.multicore.core_model import CoreSegment
+
+        core = make_core()
+        with pytest.raises(ConfigurationError):
+            core.run_cycles(self.segments(), -1)
+        with pytest.raises(ConfigurationError):
+            core.run_cycles((), 3)
+        with pytest.raises(ConfigurationError):
+            CoreSegment(hours(1.0), celsius(85.0), active=False, sleep_voltage=0.3)

@@ -123,3 +123,45 @@ class TestMetrics:
     def test_energy_positive(self):
         metrics = compute_metrics(run_system(RoundRobinScheduler(), n_epochs=4))
         assert metrics.energy_joules > 0.0
+
+
+class TestFastForward:
+    def test_matches_epoch_by_epoch_run(self):
+        ff = MulticoreSystem(core_params=fast_params(), seed=11)
+        stepped = MulticoreSystem(core_params=fast_params(), seed=11)
+        scheduler = CircadianScheduler()
+        n_rotations = 6
+        final = ff.fast_forward(scheduler, demand=6, n_rotations=n_rotations)
+        history = stepped.run(
+            scheduler,
+            ConstantWorkload(6),
+            n_epochs=n_rotations * stepped.n_cores,
+            epoch_duration=hours(1.0),
+        )
+        np.testing.assert_allclose(final, history.final_shifts(), rtol=1e-9)
+        assert ff.total_energy() == pytest.approx(stepped.total_energy(), rel=1e-12)
+
+    def test_refuses_aging_dependent_scheduler(self):
+        system = MulticoreSystem(core_params=fast_params(), seed=1)
+        with pytest.raises(ConfigurationError):
+            system.fast_forward(HeaterAwareScheduler(), demand=6, n_rotations=4)
+
+    def test_rejects_bad_inputs(self):
+        system = MulticoreSystem(core_params=fast_params(), seed=1)
+        with pytest.raises(ConfigurationError):
+            system.fast_forward(CircadianScheduler(), demand=6, n_rotations=0)
+        with pytest.raises(ConfigurationError):
+            system.fast_forward(
+                CircadianScheduler(), demand=6, n_rotations=2, epoch_duration=0.0
+            )
+
+    def test_wrapped_schedulers_inherit_independence(self):
+        from repro.multicore.scheduler import InstrumentedScheduler
+        from repro.multicore.tdp import TdpConstrainedScheduler, TdpConstraint
+
+        assert InstrumentedScheduler(CircadianScheduler()).aging_independent
+        assert not InstrumentedScheduler(HeaterAwareScheduler()).aging_independent
+        constraint = TdpConstraint(budget_watts=65.0)
+        assert TdpConstrainedScheduler(
+            RoundRobinScheduler(), constraint
+        ).aging_independent
