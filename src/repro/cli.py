@@ -74,6 +74,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the campaign CLI's resilience flags into run kwargs."""
+    from repro.lab.campaign import table1_horizon
+    from repro.lab.faults import FaultPlan
+    from repro.lab.resilience import RetryPolicy
+
+    kwargs: dict = {}
+    if args.fault_seed is not None:
+        chip_ids = [f"chip-{i + 1}" for i in range(args.chips)]
+        kwargs["faults"] = FaultPlan.generate(
+            args.fault_seed,
+            chip_ids,
+            table1_horizon(args.chips),
+            rate_per_day=args.fault_rate,
+            dropout_probability=args.dropout_prob,
+        )
+    if args.retries is not None or args.retry_backoff is not None:
+        kwargs["retry"] = RetryPolicy(
+            max_attempts=args.retries if args.retries is not None else 3,
+            backoff_seconds=(
+                args.retry_backoff if args.retry_backoff is not None else 5.0
+            ),
+        )
+    if args.resume is not None:
+        kwargs["checkpoint"] = args.resume
+        kwargs["resume"] = True
+    elif args.checkpoint is not None:
+        kwargs["checkpoint"] = args.checkpoint
+    return kwargs
+
+
+def _print_quarantine(result) -> None:
+    """One line per chip the campaign had to pull from the bench."""
+    for chip_id, report in result.quarantined.items():
+        print(
+            f"quarantined: {chip_id} during {report.case} at "
+            f"t={report.sim_time:.0f} s — {report.reason}"
+        )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.lab.campaign import run_table1_campaign
     from repro.obs import JsonlExporter, ProgressReporter, Tracer
@@ -85,8 +125,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(f"running the Table 1 campaign on {args.chips} chips...")
     result = run_table1_campaign(seed=args.seed, n_chips=args.chips,
                                  tracer=tracer, progress=progress,
-                                 workers=args.workers)
+                                 workers=args.workers,
+                                 **_resilience_kwargs(args))
     print(f"done: {len(result.log)} measurements over {len(result.chips)} chips")
+    _print_quarantine(result)
     if args.csv:
         result.log.write_csv(args.csv)
         print(f"log written to {args.csv}")
@@ -107,8 +149,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"running the Table 1 campaign on {args.chips} chips (instrumented)...")
     result = run_table1_campaign(seed=args.seed, n_chips=args.chips,
                                  tracer=tracer, progress=progress,
-                                 workers=args.workers)
-    print(f"done: {len(result.log)} measurements over {len(result.chips)} chips\n")
+                                 workers=args.workers,
+                                 **_resilience_kwargs(args))
+    print(f"done: {len(result.log)} measurements over {len(result.chips)} chips")
+    _print_quarantine(result)
+    print()
     tracer.summary_table(
         "Per-span timing (campaign -> case -> phase -> measurement)"
     ).print()
@@ -222,6 +267,55 @@ def build_parser() -> argparse.ArgumentParser:
             "to sequential for the same seed)",
         )
         parser.add_argument("--trace", help="write a JSONL span trace to this file")
+        parser.add_argument(
+            "--checkpoint",
+            metavar="DIR",
+            help="snapshot each chip to this directory after every completed "
+            "case (trap state, RNG state, DataLog shards)",
+        )
+        parser.add_argument(
+            "--resume",
+            metavar="DIR",
+            help="resume a killed campaign from its checkpoint directory "
+            "(finished chips are not replayed; implies --checkpoint DIR)",
+        )
+        parser.add_argument(
+            "--fault-seed",
+            type=int,
+            metavar="N",
+            help="inject a deterministic instrument-fault plan drawn with "
+            "this seed (chamber drift, supply droop, readout faults, "
+            "chip dropout)",
+        )
+        parser.add_argument(
+            "--fault-rate",
+            type=float,
+            default=1.0,
+            metavar="X",
+            help="mean instrument faults per chip per simulated day "
+            "(default: 1.0; only with --fault-seed)",
+        )
+        parser.add_argument(
+            "--dropout-prob",
+            type=float,
+            default=0.0,
+            metavar="P",
+            help="per-chip probability of a permanent mid-campaign dropout "
+            "(default: 0.0; only with --fault-seed)",
+        )
+        parser.add_argument(
+            "--retries",
+            type=int,
+            metavar="N",
+            help="sample attempts before a chip is quarantined (default: 3)",
+        )
+        parser.add_argument(
+            "--retry-backoff",
+            type=float,
+            metavar="SECONDS",
+            help="simulated seconds before the first sample retry, doubling "
+            "per attempt (default: 5)",
+        )
         verbosity = parser.add_mutually_exclusive_group()
         verbosity.add_argument(
             "--progress",

@@ -32,6 +32,22 @@ class CounterOverflowError(MeasurementError):
     """The ring-oscillator readout counter exceeded its bit width."""
 
 
+class ChipDropoutError(InstrumentError):
+    """A chip stopped responding mid-campaign (socket, bitstream or die).
+
+    Not retryable: once a device falls off the bench it stays off, and the
+    campaign quarantines it instead of crashing.
+    """
+
+
+class RetryExhaustedError(MeasurementError):
+    """A retried measurement kept failing past the policy's attempt budget."""
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint directory is missing, corrupt or incompatible."""
+
+
 class FittingError(ReproError):
     """Model parameter extraction failed to converge or was ill-posed."""
 

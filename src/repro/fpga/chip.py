@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bti.traps import CyclePhase, TrapPopulation
+from repro.bti.traps import CyclePhase, TrapPopulation, _PopulationState
 from repro.device.delay import AlphaPowerDelayModel, FirstOrderDelayShift, GateDelayModel
 from repro.device.technology import TechnologyParameters, TECH_40NM
 from repro.device.variation import ProcessVariation, VariationSample
@@ -396,3 +396,40 @@ class FpgaChip:
         self._pmos_population.reset()
         self._nmos_population.reset()
         self._elapsed = 0.0
+
+    def export_state(self) -> dict[str, np.ndarray | float]:
+        """Aging state as plain arrays/floats, for on-disk checkpoints.
+
+        Everything mutable lives here: the two trap occupancies and the
+        three clocks.  The immutable parts (variation sample, netlist,
+        weights) are reproduced exactly by rebuilding the chip from the
+        same seed, so a checkpoint never stores them.
+        """
+        pmos, nmos, elapsed = self.snapshot()
+        return {
+            "pmos_occupancy": pmos.occupancy,
+            "pmos_elapsed": pmos.elapsed,
+            "nmos_occupancy": nmos.occupancy,
+            "nmos_elapsed": nmos.elapsed,
+            "elapsed": elapsed,
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a state produced by :meth:`export_state`.
+
+        The chip must have been built from the same seed/technology — the
+        occupancy shapes are validated against this chip's populations.
+        """
+        self.restore(
+            (
+                _PopulationState(
+                    occupancy=np.asarray(state["pmos_occupancy"], dtype=float),
+                    elapsed=float(state["pmos_elapsed"]),
+                ),
+                _PopulationState(
+                    occupancy=np.asarray(state["nmos_occupancy"], dtype=float),
+                    elapsed=float(state["nmos_elapsed"]),
+                ),
+                float(state["elapsed"]),
+            )
+        )

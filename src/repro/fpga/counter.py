@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError, CounterOverflowError
+from repro.errors import ConfigurationError, CounterOverflowError, MeasurementError
 
 
 class ReadoutCounter:
@@ -105,7 +105,16 @@ class ReadoutCounter:
         return 2.0 * count * self.fref
 
     def delay(self, count: int) -> float:
-        """CUT delay implied by a count (paper Eq. 15): ``1/(4*Cout*fref)``."""
+        """CUT delay implied by a count (paper Eq. 15): ``1/(4*Cout*fref)``.
+
+        A zero count is a measurement outcome, not a configuration mistake
+        — readout noise can clamp a near-zero-``fosc`` count to 0 — so it
+        raises :class:`~repro.errors.MeasurementError`, which the retry
+        layer treats as a re-readable fault.
+        """
         if count <= 0:
-            raise ConfigurationError("count must be positive to imply a finite delay")
+            raise MeasurementError(
+                f"count {count} implies no oscillation — the RO is stopped "
+                "or fosc is below the counter resolution"
+            )
         return 1.0 / (4.0 * count * self.fref)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import MeasurementError
 from repro.fpga.counter import ReadoutCounter
 from repro.obs import get_tracer
 
@@ -69,10 +70,24 @@ class RingOscillator:
         """Noise-free oscillation frequency of the CUT."""
         return self.chip.oscillation_frequency()
 
+    def _require_oscillation(self, count: float) -> None:
+        """Refuse a readout that implies the ring is not oscillating.
+
+        Noise can clamp a near-zero-``fosc`` count to 0; converting that to
+        a delay would divide by zero (or, before this guard, surface as a
+        misleading ``ConfigurationError`` deep inside a measurement).
+        """
+        if count <= 0:
+            raise MeasurementError(
+                f"chip {self.chip.chip_id}: readout count {count} implies no "
+                "oscillation — RO stopped or fosc below counter resolution"
+            )
+
     def measure(self, rng: np.random.Generator | int | None = None) -> RoMeasurement:
         """Take one counter readout (quantised, with repeatability noise)."""
         self._evaluations.inc()
         count = self.counter.read(self.frequency(), rng=rng)
+        self._require_oscillation(count)
         return RoMeasurement(
             count=count,
             frequency=self.counter.frequency(count),
@@ -97,6 +112,7 @@ class RingOscillator:
         # vectorised call (stream-identical to sequential reads).
         counts = self.counter.read_many(self.frequency(), n_reads, rng=rng)
         mean_count = float(np.mean(counts))
+        self._require_oscillation(mean_count)
         return RoMeasurement(
             count=int(round(mean_count)),
             frequency=2.0 * mean_count * self.counter.fref,

@@ -7,10 +7,22 @@ paper's Table 1 on virtual :class:`~repro.fpga.chip.FpgaChip` instances.
 """
 
 from repro.lab.clock_generator import ClockGenerator
-from repro.lab.campaign import Campaign, CampaignResult, run_table1_campaign
+from repro.lab.campaign import (
+    Campaign,
+    CampaignResult,
+    run_table1_campaign,
+    table1_horizon,
+)
 from repro.lab.datalog import DataLog, MeasurementRecord
+from repro.lab.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
 from repro.lab.measurement import VirtualTestbench
 from repro.lab.power_supply import DcPowerSupply
+from repro.lab.resilience import (
+    CheckpointStore,
+    QuarantineReport,
+    ResilientTestbench,
+    RetryPolicy,
+)
 from repro.lab.replay import fresh_delays_from_log, result_from_csv, result_from_log
 from repro.lab.schedule import (
     PhaseKind,
@@ -25,14 +37,22 @@ from repro.lab.thermal_chamber import ThermalChamber
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "CheckpointStore",
     "ClockGenerator",
     "DataLog",
     "DcPowerSupply",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "fresh_delays_from_log",
     "result_from_csv",
     "result_from_log",
     "MeasurementRecord",
     "PhaseKind",
+    "QuarantineReport",
+    "ResilientTestbench",
+    "RetryPolicy",
     "TABLE1_CASES",
     "TestCase",
     "TestPhase",
@@ -41,4 +61,5 @@ __all__ = [
     "parse_case_name",
     "run_table1_campaign",
     "standard_case",
+    "table1_horizon",
 ]

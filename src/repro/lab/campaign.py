@@ -17,10 +17,23 @@ import numpy as np
 
 from repro.device.technology import TechnologyParameters, TECH_40NM
 from repro.device.variation import ProcessVariation
-from repro.errors import ScheduleError
+from repro.errors import (
+    CheckpointError,
+    ChipDropoutError,
+    ConfigurationError,
+    RetryExhaustedError,
+    ScheduleError,
+)
 from repro.fpga.chip import FpgaChip
 from repro.lab.datalog import DataLog
+from repro.lab.faults import FaultInjector, FaultPlan
 from repro.lab.measurement import VirtualTestbench
+from repro.lab.resilience import (
+    CheckpointStore,
+    QuarantineReport,
+    ResilientTestbench,
+    RetryPolicy,
+)
 from repro.lab.schedule import (
     CHIP_SEQUENCES,
     TestCase,
@@ -29,6 +42,7 @@ from repro.lab.schedule import (
     standard_case,
 )
 from repro.obs import NULL_PROGRESS, NULL_TRACER, ProgressReporter, Tracer, get_tracer
+from repro.units import hours
 
 
 def _run_case_phases(
@@ -59,11 +73,20 @@ class CampaignResult:
     ``log`` holds every measurement; ``chips`` the final chip states (for
     follow-up what-if experiments); ``fresh_delays`` the per-chip fresh CUT
     delay, needed to convert absolute delay readings into delay change.
+    ``quarantined`` flags chips pulled from the bench mid-campaign (chip
+    dropout, retries exhausted) — their measurements up to the failure are
+    kept in ``log``, and the campaign completes on the survivors.
     """
 
     log: DataLog
     chips: dict[str, FpgaChip]
     fresh_delays: dict[str, float] = field(default_factory=dict)
+    quarantined: dict[str, QuarantineReport] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True when every chip finished its full schedule."""
+        return not self.quarantined
 
     def _case_records(self, case: str, chip_no: int | None) -> DataLog:
         """Records of one case, disambiguated to a single chip.
@@ -300,6 +323,186 @@ def _parallel_table1(
     return CampaignResult(log=log, chips=chips, fresh_delays=fresh_delays)
 
 
+def _resilient_chip_schedule(
+    chip_no: int,
+    case_names: tuple[str, ...],
+    include_baseline: bool,
+    variation: ProcessVariation,
+    chip_stream: np.random.Generator,
+    bench_stream: np.random.Generator,
+    instrument: bool,
+    plan: FaultPlan | None,
+    retry: RetryPolicy | None,
+    store: CheckpointStore | None,
+) -> tuple[FpgaChip, DataLog, DataLog, QuarantineReport | None, "Tracer | None"]:
+    """One chip's schedule with faults, retries and checkpointing.
+
+    Seed handling is identical to :func:`_run_chip_schedule`, so with no
+    faults installed the records are bit-identical to the plain paths.
+    On resume the chip is rebuilt from its seed (cheap, deterministic),
+    its trap state and the bench RNG are rewound from the checkpoint, and
+    only the unfinished tail of the schedule runs.
+    """
+    worker_tracer = Tracer() if instrument else NULL_TRACER
+    chip = FpgaChip(
+        f"chip-{chip_no}",
+        tech=TECH_40NM,
+        variation=variation,
+        seed=int(chip_stream.integers(2**31)),
+        tracer=worker_tracer,
+    )
+    baseline_log, case_log = DataLog(), DataLog()
+    completed: list[str] = []
+    quarantine: QuarantineReport | None = None
+    if store is not None:
+        loaded = store.load_chip(chip, bench_stream)
+        if loaded is not None:
+            baseline_log, case_log, completed, quarantine = loaded
+    if plan is not None:
+        injector = FaultInjector(
+            plan, chip.chip_id, start_time=chip.elapsed, tracer=worker_tracer
+        )
+        bench: VirtualTestbench = ResilientTestbench(
+            chip, injector=injector, retry=retry, rng=bench_stream, tracer=worker_tracer
+        )
+    else:
+        bench = VirtualTestbench(chip, rng=bench_stream, tracer=worker_tracer)
+    cases_counter = worker_tracer.counter(
+        "campaign.cases", "test cases executed across campaigns"
+    )
+    quarantines_counter = worker_tracer.counter(
+        "campaign.quarantines", "chips pulled from the bench mid-campaign"
+    )
+    schedule: list[tuple[str, tuple[TestPhase, ...], DataLog]] = []
+    if include_baseline:
+        schedule.append((f"BASELINE-{chip.chip_id}", (baseline_phase(),), baseline_log))
+    for name in case_names:
+        schedule.append((name, standard_case(name, chip_no).phases, case_log))
+    for index, (case_name, phases, log) in enumerate(schedule):
+        if quarantine is not None:
+            break
+        if index < len(completed):
+            if completed[index] != case_name:
+                raise CheckpointError(
+                    f"checkpoint for {chip.chip_id} completed {completed[index]!r} "
+                    f"at position {index}, but the schedule says {case_name!r}"
+                )
+            continue
+        try:
+            _run_case_phases(
+                worker_tracer, cases_counter, bench, case_name, phases, log
+            )
+        except (ChipDropoutError, RetryExhaustedError) as error:
+            # Graceful degradation: keep the records taken so far, flag
+            # the chip, and let the rest of the campaign finish.
+            quarantine = QuarantineReport(
+                chip_id=chip.chip_id,
+                case=case_name,
+                sim_time=chip.elapsed,
+                reason=str(error),
+            )
+            quarantines_counter.inc()
+            if store is not None:
+                store.save_chip(
+                    chip, bench_stream, baseline_log, case_log, completed, quarantine
+                )
+            break
+        completed.append(case_name)
+        if store is not None:
+            store.save_chip(chip, bench_stream, baseline_log, case_log, completed)
+    return chip, baseline_log, case_log, quarantine, (
+        worker_tracer if instrument else None
+    )
+
+
+def _resilient_table1(
+    seed: int | None,
+    n_chips: int,
+    include_baseline: bool,
+    tracer,
+    progress: ProgressReporter,
+    workers: int,
+    sequences: dict[int, tuple[str, ...]],
+    plan: FaultPlan | None,
+    retry: RetryPolicy | None,
+    store: CheckpointStore | None,
+) -> CampaignResult:
+    """Fan chips out with fault/retry/checkpoint support and merge.
+
+    The same deterministic merge discipline as :func:`_parallel_table1`:
+    chip order decides log order, worker scheduling never does.
+    """
+    master = np.random.default_rng(seed)
+    variation = ProcessVariation()
+    streams = [master.spawn(2) for _ in range(n_chips)]
+    results: list = [None] * n_chips
+    with ThreadPoolExecutor(max_workers=min(max(workers, 1), n_chips)) as pool:
+        future_to_index = {
+            pool.submit(
+                _resilient_chip_schedule,
+                index + 1,
+                sequences.get(index + 1, ()),
+                include_baseline,
+                variation,
+                streams[index][0],
+                streams[index][1],
+                tracer.enabled,
+                plan,
+                retry,
+                store,
+            ): index
+            for index in range(n_chips)
+        }
+        chips_done = 0
+        for future in as_completed(future_to_index):
+            index = future_to_index[future]
+            results[index] = future.result()
+            chips_done += 1
+            quarantine = results[index][3]
+            if quarantine is not None:
+                progress.line(
+                    f"chip-{index + 1} QUARANTINED during {quarantine.case}: "
+                    f"{quarantine.reason} ({chips_done}/{n_chips} chips)"
+                )
+            else:
+                progress.line(
+                    f"chip-{index + 1} schedule complete ({chips_done}/{n_chips} chips)"
+                )
+    chips: dict[str, FpgaChip] = {}
+    fresh_delays: dict[str, float] = {}
+    quarantined: dict[str, QuarantineReport] = {}
+    for chip, _, _, quarantine, worker_tracer in results:
+        chips[chip.chip_id] = chip
+        fresh_delays[chip.chip_id] = chip.fresh_path_delay
+        if quarantine is not None:
+            quarantined[chip.chip_id] = quarantine
+        if worker_tracer is not None:
+            tracer.absorb(worker_tracer)
+    log = DataLog.merge(
+        [baseline_log for _, baseline_log, _, _, _ in results]
+        + [case_log for _, _, case_log, _, _ in results]
+    )
+    return CampaignResult(
+        log=log, chips=chips, fresh_delays=fresh_delays, quarantined=quarantined
+    )
+
+
+def table1_horizon(n_chips: int = 5, include_baseline: bool = True) -> float:
+    """Longest per-chip simulated schedule length in seconds.
+
+    The natural horizon for :meth:`FaultPlan.generate`: fault times are
+    drawn on each chip's own clock, which spans at most this long.
+    """
+    horizon = 0.0
+    for chip_no, names in CHIP_SEQUENCES.items():
+        if chip_no > n_chips:
+            continue
+        total = hours(2.0) if include_baseline else 0.0
+        total += sum(standard_case(name, chip_no).total_duration for name in names)
+        horizon = max(horizon, total)
+    return horizon
+
+
 def run_table1_campaign(
     seed: int | None = 0,
     n_chips: int = 5,
@@ -307,6 +510,10 @@ def run_table1_campaign(
     tracer=None,
     progress: ProgressReporter | None = None,
     workers: int = 1,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    checkpoint: "str | None" = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run the full Table 1 schedule and return the result.
 
@@ -320,16 +527,51 @@ def run_table1_campaign(
     phases nest under it, whichever worker ran them) and records the
     simulated-seconds-per-wall-second throughput; ``progress`` gets one
     line per completed case (sequential) or chip (parallel).
+
+    Resilience: ``faults`` installs a :class:`FaultPlan` (chips it never
+    names stay bit-identical to a fault-free run); ``retry`` bounds the
+    sample re-reads taken on transient faults; ``checkpoint`` names a
+    directory that receives a per-chip snapshot after every completed
+    case, and ``resume=True`` continues a campaign previously
+    checkpointed there without replaying finished chips.  A chip that
+    drops out (or exhausts its retries) is quarantined: the campaign
+    completes on the survivors and reports the gap in
+    ``CampaignResult.quarantined``.
     """
     tracer = tracer if tracer is not None else get_tracer()
     progress = progress if progress is not None else NULL_PROGRESS
     if workers < 1:
         raise ScheduleError(f"workers must be at least 1, got {workers}")
+    store = None
+    if checkpoint is not None:
+        store = CheckpointStore(checkpoint)
+        if store.read_manifest() is not None and not resume:
+            raise CheckpointError(
+                f"{checkpoint} already holds a campaign checkpoint; pass "
+                "resume=True (--resume) to continue it or use a fresh directory"
+            )
+        store.init_manifest(seed, n_chips, include_baseline)
+    elif resume:
+        raise ConfigurationError("resume requires a checkpoint directory")
+    resilient = faults is not None or retry is not None or store is not None
     sequences = {
         chip_no: names for chip_no, names in CHIP_SEQUENCES.items() if chip_no <= n_chips
     }
     with tracer.span("campaign", seed=seed, n_chips=n_chips, workers=workers) as span:
-        if workers > 1:
+        if resilient:
+            result = _resilient_table1(
+                seed,
+                n_chips,
+                include_baseline,
+                tracer,
+                progress,
+                workers,
+                sequences,
+                faults,
+                retry,
+                store,
+            )
+        elif workers > 1:
             result = _parallel_table1(
                 seed, n_chips, include_baseline, tracer, progress, workers, sequences
             )

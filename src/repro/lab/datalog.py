@@ -136,11 +136,25 @@ class DataLog:
         Malformed files raise :class:`~repro.errors.MeasurementError`
         naming the file and the 1-based line number of the bad row, so a
         truncated or hand-edited log points at itself rather than dying
-        with a bare ``KeyError``.
+        with a bare ``KeyError``.  A file with no header row at all (empty,
+        or data where the header should be) is refused too — ``DictReader``
+        would otherwise yield nothing and silently return an empty log.
         """
         log = cls()
+        expected = [f.name for f in fields(MeasurementRecord)]
         with open(path, newline="") as handle:
             reader = csv.DictReader(handle)
+            if reader.fieldnames is None:
+                raise MeasurementError(
+                    f"{path}: empty file — expected a header row "
+                    f"{','.join(expected)}"
+                )
+            missing = [name for name in expected if name not in reader.fieldnames]
+            if missing:
+                raise MeasurementError(
+                    f"{path}: header row is missing column(s) "
+                    f"{', '.join(missing)} — not a DataLog CSV?"
+                )
             # Header is line 1; DictReader rows start on line 2.
             for line_no, row in enumerate(reader, start=2):
                 try:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MeasurementError
 from repro.fpga.counter import ReadoutCounter
 from repro.fpga.ring_oscillator import RingOscillator, StressMode
 from repro.lab.clock_generator import ClockGenerator
@@ -83,6 +83,22 @@ class VirtualTestbench:
             "datalog.records", "measurement records appended to campaign logs"
         )
 
+    def _delivered_temperature(self) -> float:
+        """Chamber temperature (kelvin) the chip sees right now.
+
+        Extension point: the resilience layer adds fault drift and chip
+        dropout detection here without touching the nominal path.
+        """
+        return self.chamber.actual_temperature(self._rng)
+
+    def _delivered_voltage(self) -> float:
+        """Supply voltage (volts) the chip sees right now."""
+        return self.supply.actual_voltage(self._rng)
+
+    def _read_measurement(self):
+        """One averaged RO readout burst (the fault-injectable step)."""
+        return self.ro.measure_averaged(self.reads_per_sample, rng=self._rng)
+
     def take_sample(
         self, case: str, phase_label: str, phase_elapsed: float
     ) -> MeasurementRecord:
@@ -101,11 +117,16 @@ class VirtualTestbench:
             if self.sampling_overhead > 0.0:
                 self.chip.apply_stress(
                     self.sampling_overhead,
-                    temperature=self.chamber.actual_temperature(self._rng),
+                    temperature=self._delivered_temperature(),
                     supply_voltage=NOMINAL_RAIL,
                     mode=StressMode.AC,
                 )
-            measurement = self.ro.measure_averaged(self.reads_per_sample, rng=self._rng)
+            try:
+                measurement = self._read_measurement()
+            except MeasurementError as error:
+                raise type(error)(
+                    f"{self.chip.chip_id} case {case} phase {phase_label}: {error}"
+                ) from error
             self._samples.inc()
             span.set("sim_advanced", self.sampling_overhead)
             return MeasurementRecord(
@@ -118,8 +139,39 @@ class VirtualTestbench:
                 frequency=measurement.frequency,
                 delay=measurement.delay,
                 temperature_c=self.chamber.setpoint_celsius,
-                supply_voltage=self.supply.setpoint,
+                # A rail behind an open relay delivers 0 V no matter what
+                # the setpoint register holds.
+                supply_voltage=(
+                    self.supply.setpoint if self.supply.output_enabled else 0.0
+                ),
             )
+
+    def _apply_chunk(
+        self, phase: TestPhase, chunk: float, temperature: float, voltage: float
+    ) -> None:
+        """Advance the chip through ``chunk`` seconds of the phase bias."""
+        if phase.kind is PhaseKind.STRESS:
+            self.chip.apply_stress(
+                chunk,
+                temperature=temperature,
+                supply_voltage=voltage,
+                mode=phase.mode,
+            )
+        else:
+            self.chip.apply_recovery(
+                chunk, temperature=temperature, supply_voltage=voltage
+            )
+
+    def _record_sample(
+        self, log: DataLog, case: str, phase: TestPhase, phase_elapsed: float
+    ) -> None:
+        """Take one sample and append it to ``log``.
+
+        Extension point: the resilience layer wraps this with bounded
+        retries and deterministic backoff.
+        """
+        log.append(self.take_sample(case, phase.label, phase_elapsed))
+        self._records.inc()
 
     def run_phase(self, phase: TestPhase, case: str, log: DataLog) -> None:
         """Execute one phase, recording samples into ``log``.
@@ -148,25 +200,20 @@ class VirtualTestbench:
             else:
                 self.supply.enable_output()
                 self.supply.set_voltage(phase.supply_voltage)
-            log.append(self.take_sample(case, phase.label, 0.0))
-            self._records.inc()
+            self._record_sample(log, case, phase, 0.0)
             elapsed = 0.0
-            while elapsed < phase.duration:
+            # Summing float chunks can stall a hair short of the duration
+            # (e.g. ten 0.1 s intervals sum to 0.9999999999999999); without
+            # a tolerance the loop would schedule a spurious near-zero
+            # final chunk and log a duplicate sample.
+            tolerance = 1e-9 * phase.duration
+            while phase.duration - elapsed > tolerance:
                 chunk = min(phase.sampling_interval, phase.duration - elapsed)
-                temperature = self.chamber.actual_temperature(self._rng)
-                voltage = self.supply.actual_voltage(self._rng)
-                if phase.kind is PhaseKind.STRESS:
-                    self.chip.apply_stress(
-                        chunk,
-                        temperature=temperature,
-                        supply_voltage=voltage,
-                        mode=phase.mode,
-                    )
-                else:
-                    self.chip.apply_recovery(
-                        chunk, temperature=temperature, supply_voltage=voltage
-                    )
+                temperature = self._delivered_temperature()
+                voltage = self._delivered_voltage()
+                self._apply_chunk(phase, chunk, temperature, voltage)
                 elapsed += chunk
-                log.append(self.take_sample(case, phase.label, elapsed))
-                self._records.inc()
+                if phase.duration - elapsed <= tolerance:
+                    elapsed = phase.duration
+                self._record_sample(log, case, phase, elapsed)
             span.set("sim_advanced", self.chip.elapsed - sim_start)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, CounterOverflowError
+from repro.errors import ConfigurationError, CounterOverflowError, MeasurementError
 from repro.fpga.counter import ReadoutCounter
 
 
@@ -55,8 +55,11 @@ class TestReadoutCounter:
         with pytest.raises(ConfigurationError):
             ReadoutCounter().ideal_count(0.0)
 
-    def test_delay_rejects_zero_count(self):
-        with pytest.raises(ConfigurationError):
+    def test_delay_rejects_zero_count_as_measurement_error(self):
+        # A zero count is a noise-driven measurement outcome, not a
+        # configuration mistake — it must surface as MeasurementError so
+        # the retry layer can re-read instead of crashing the campaign.
+        with pytest.raises(MeasurementError):
             ReadoutCounter().delay(0)
 
 

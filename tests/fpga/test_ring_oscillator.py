@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import MeasurementError
 from repro.fpga.counter import ReadoutCounter
 from repro.fpga.ring_oscillator import RingOscillator, StressMode
 from repro.units import celsius, hours
@@ -44,6 +45,23 @@ class TestRingOscillator:
         ro = RingOscillator(small_chip)
         m = ro.measure(rng=0)
         assert m.delay == pytest.approx(1.0 / (2.0 * m.frequency), rel=1e-9)
+
+    def test_near_zero_fosc_raises_measurement_error(self):
+        # A ring barely above DC quantises to a zero count; converting that
+        # to a delay would divide by zero, so the RO refuses with a typed
+        # error naming the chip instead of crashing deeper in the stack.
+        class _StalledRing:
+            chip_id = "stalled-chip"
+            elapsed = 0.0
+
+            def oscillation_frequency(self):
+                return 0.01  # hertz — far below the counter resolution
+
+        ro = RingOscillator(_StalledRing(), ReadoutCounter(noise_counts=0))
+        with pytest.raises(MeasurementError, match="stalled-chip"):
+            ro.measure(rng=0)
+        with pytest.raises(MeasurementError, match="no\\s+oscillation"):
+            ro.measure_averaged(3, rng=0)
 
 
 class TestStressMode:

@@ -110,7 +110,24 @@ class TestDataLog:
         path.write_text("chip_id,case\nchip-1,A\n")
         with pytest.raises(MeasurementError) as excinfo:
             DataLog.read_csv(path)
-        assert ":2:" in str(excinfo.value)
+        # Detected at the header, naming what is missing.
+        assert "timestamp" in str(excinfo.value)
+        assert str(path) in str(excinfo.value)
+
+    def test_read_csv_empty_file_raises_measurement_error(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text("")
+        with pytest.raises(MeasurementError) as excinfo:
+            DataLog.read_csv(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_read_csv_headerless_file_raises_measurement_error(self, tmp_path):
+        # Data where the header should be: DictReader would adopt the first
+        # data row as field names and silently misparse.
+        path = tmp_path / "log.csv"
+        path.write_text("chip-1,A,P,0.0,0.0,100,1.0,1.0,20.0,1.2\n")
+        with pytest.raises(MeasurementError):
+            DataLog.read_csv(path)
 
     def test_read_csv_truncated_row_raises_measurement_error(self, tmp_path):
         log = DataLog()

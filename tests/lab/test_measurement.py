@@ -89,3 +89,29 @@ class TestVirtualTestbench:
             VirtualTestbench(small_chip, reads_per_sample=0)
         with pytest.raises(ConfigurationError):
             VirtualTestbench(small_chip, sampling_overhead=-1.0)
+
+    def test_phase_duration_with_float_residue_takes_no_extra_sample(self, bench):
+        # Ten 0.1 s chunks sum to 0.9999999999999999 in binary float; the
+        # loop must not schedule a spurious near-zero 11th chunk and log a
+        # duplicate sample at the end of the phase.
+        log = DataLog()
+        phase = TestPhase(
+            "AS110DC0", PhaseKind.STRESS, 1.0, 110.0, 1.2,
+            sampling_interval=0.1,
+        )
+        bench.run_phase(phase, "AS110DC0", log)
+        assert len(log) == 11  # initial + ten intervals, not 12
+        elapsed = [record.phase_elapsed for record in log]
+        assert len(set(elapsed)) == len(elapsed)  # no duplicate sample times
+        assert log.last().phase_elapsed == 1.0  # snapped, not 0.9999999...
+
+    def test_open_relay_records_zero_supply_voltage(self, bench):
+        # The setpoint register still holds 1.2 V, but a rail behind an
+        # open relay delivers nothing — the record must say 0 V.
+        bench.supply.set_voltage(1.2)
+        bench.supply.disable_output()
+        record = bench.take_sample("CASE", "PHASE", 0.0)
+        assert record.supply_voltage == 0.0
+        bench.supply.enable_output()
+        record = bench.take_sample("CASE", "PHASE", 0.0)
+        assert record.supply_voltage == 1.2
