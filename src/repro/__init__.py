@@ -33,7 +33,9 @@ from repro.bti import (
     Waveform,
 )
 from repro.device import TECH_40NM, ProcessVariation, TechnologyParameters
+from repro.errors import PhysicsViolationError
 from repro.fpga import FpgaChip, ReadoutCounter, RingOscillator, StressMode
+from repro.guard import Guard, GuardConfig, GuardMode, use_guard
 
 __version__ = "1.0.0"
 
@@ -44,6 +46,10 @@ __all__ = [
     "FirstOrderBtiModel",
     "FirstOrderDelayModel",
     "FpgaChip",
+    "Guard",
+    "GuardConfig",
+    "GuardMode",
+    "PhysicsViolationError",
     "ProcessVariation",
     "ReactionDiffusionModel",
     "ReadoutCounter",
@@ -56,4 +62,5 @@ __all__ = [
     "TrapPopulation",
     "Waveform",
     "__version__",
+    "use_guard",
 ]

@@ -6,6 +6,7 @@ RPR002      nondeterminism on a simulation path
 RPR003      ``==``/``!=`` against a float literal
 RPR004      Celsius-looking literal passed to a kelvin parameter
 RPR005      ``tracer.span(...)`` opened outside a ``with`` block
+RPR006      raw ``exp`` (or division by one) on a guarded physics path
 ==========  ====================================================
 
 Suppress a deliberate violation with ``# repro: noqa[RPR00X]`` on the
@@ -288,6 +289,75 @@ class SpanHygieneRule(Rule):
         )
 
 
+class UnguardedExpRule(Rule):
+    """RPR006: raw ``exp`` on a guarded physics path.
+
+    The model stack's hot modules (``bti``, ``device``, ``fpga``,
+    ``multicore``) compute their rate factors through
+    :func:`repro.guard.safe_exp` / ``safe_exp_array`` so extreme
+    temperatures and fields saturate instead of overflowing to inf —
+    which the runtime physics contracts would then trip on at a far less
+    helpful distance from the cause.  An ``exp`` whose argument is
+    already clamped (``min`` / ``np.minimum`` / ``np.clip``) passes;
+    deliberate negative-exponent sites carry ``# repro: noqa[RPR006]``
+    or live in the committed baseline.  Division *by* an exponential is
+    flagged separately: the denominator underflowing to 0.0 turns a
+    saturation into a ZeroDivisionError/inf — multiply by the negated
+    exponent instead.
+    """
+
+    rule_id = "RPR006"
+    title = "unguarded-exp"
+    severity = Severity.ERROR
+    node_types = (ast.Call, ast.BinOp)
+
+    #: Module path segments whose physics is under runtime guard contracts.
+    GUARDED_SEGMENTS = ("/bti/", "/device/", "/fpga/", "/multicore/")
+
+    #: Call names that bound the exponent before the exp.
+    _CLAMPING = frozenset({"min", "minimum", "clip"})
+
+    #: Exponential spellings a denominator must never be.
+    _EXP_NAMES = frozenset({"exp", "expm1", "exp2", "safe_exp", "safe_exp_array"})
+
+    def applies_to(self, path: str) -> bool:
+        """Only the guarded model modules; the guard package defines the helpers."""
+        return any(segment in path for segment in self.GUARDED_SEGMENTS)
+
+    @staticmethod
+    def _call_tail(node: ast.AST) -> str:
+        """Terminal attribute name of a call target, or empty."""
+        if not isinstance(node, ast.Call):
+            return ""
+        return _dotted_name(node.func).rpartition(".")[2]
+
+    def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[Finding]:
+        """Flag unclamped exp calls and divisions by an exponential."""
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div) and self._call_tail(node.right) in self._EXP_NAMES:
+                yield self.finding(
+                    node,
+                    ctx,
+                    "division by an exponential on a guarded physics path",
+                    "an underflowing denominator turns into 0.0 -> inf; "
+                    "multiply by the negated-exponent form instead",
+                )
+            return
+        name = _dotted_name(node.func)
+        head, _, tail = name.rpartition(".")
+        if tail != "exp" or head not in ("math", "np", "numpy"):
+            return
+        if node.args and self._call_tail(node.args[0]) in self._CLAMPING:
+            return
+        yield self.finding(
+            node,
+            ctx,
+            f"raw {name}() on a guarded physics path",
+            "use repro.guard.safe_exp/safe_exp_array (or clamp the exponent) "
+            "so extreme conditions saturate instead of overflowing",
+        )
+
+
 #: The default rule set `repro lint` runs.
 BUILTIN_RULES: tuple[Rule, ...] = (
     UnitLiteralRule(),
@@ -295,4 +365,5 @@ BUILTIN_RULES: tuple[Rule, ...] = (
     FloatEqualityRule(),
     CelsiusKelvinRule(),
     SpanHygieneRule(),
+    UnguardedExpRule(),
 )

@@ -8,9 +8,8 @@ what "110 degC" or "-0.3 V" means.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.errors import ConfigurationError
+from repro.guard import safe_exp
 from repro.units import BOLTZMANN_EV
 
 
@@ -30,7 +29,10 @@ def arrhenius_factor(
     exponent = (-activation_energy_ev / BOLTZMANN_EV) * (
         1.0 / temperature - 1.0 / reference_temperature
     )
-    return float(np.exp(exponent))
+    # As T -> 0 K the exponent diverges (|Ea|/kT ~ 1e4 already at 1 K);
+    # saturate instead of overflowing to inf.  Underflow to 0.0 on the
+    # cold side of a positive-Ea process is the physically right limit.
+    return safe_exp(exponent)
 
 
 def field_factor(gamma_per_volt: float, voltage: float, reference_voltage: float) -> float:
@@ -41,4 +43,4 @@ def field_factor(gamma_per_volt: float, voltage: float, reference_voltage: float
     overdrive along the stressing polarity; see
     :class:`repro.bti.conditions.BiasCondition` for the sign convention.
     """
-    return float(np.exp(gamma_per_volt * (voltage - reference_voltage)))
+    return safe_exp(gamma_per_volt * (voltage - reference_voltage))

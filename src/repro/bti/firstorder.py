@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.guard import safe_exp
 from repro.units import BOLTZMANN_EV
 
 
@@ -57,11 +58,10 @@ class PhysicsScaling:
         if temperature <= 0.0:
             raise ConfigurationError("temperature must be positive kelvin")
         kt = BOLTZMANN_EV * temperature
-        return float(
-            self.k_prefactor
-            * np.exp(-self.e0_ev / kt)
-            * np.exp(self.b_field_ev_per_volt * voltage / kt)
-        )
+        # One combined exponent: as T -> 0 K the field term alone would
+        # overflow while the barrier term underflows; their sum saturates.
+        exponent = (self.b_field_ev_per_volt * voltage - self.e0_ev) / kt
+        return float(self.k_prefactor * safe_exp(exponent))
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.bti.conditions import BiasCondition, BiasPhase
 from repro.errors import ConfigurationError
+from repro.guard import get_guard, safe_exp, safe_exp_array
 from repro.obs import get_tracer
 from repro.units import BOLTZMANN_EV, celsius
 
@@ -104,7 +105,8 @@ class TrapParameters:
 
 def _log_uniform(rng: np.random.Generator, bounds: tuple[float, float], size: int) -> np.ndarray:
     lo, hi = bounds
-    return np.exp(rng.uniform(np.log(lo), np.log(hi), size=size))
+    # Bounded by construction: the exponent is a draw in [log lo, log hi].
+    return np.exp(rng.uniform(np.log(lo), np.log(hi), size=size))  # repro: noqa[RPR006]
 
 
 @dataclass
@@ -186,6 +188,7 @@ class TrapPopulation:
         rng: np.random.Generator | int | None = None,
         tracer=None,
         rate_cache_size: int = RATE_CACHE_SIZE,
+        guard=None,
     ) -> None:
         if n_owners <= 0:
             raise ConfigurationError(f"n_owners must be positive, got {n_owners}")
@@ -219,6 +222,7 @@ class TrapPopulation:
         self._scratch_total = np.empty(n_traps)
         self._scratch_pinf = np.empty(n_traps)
         self._scratch_weights = np.empty(n_traps)
+        self._guard = guard if guard is not None else get_guard()
         tracer = tracer if tracer is not None else get_tracer()
         self._cache_hits = tracer.counter(
             "bti.rate_cache.hits", "rate lookups served fully from cache"
@@ -264,8 +268,10 @@ class TrapPopulation:
         p = self.params
         inv_kt = 1.0 / (BOLTZMANN_EV * temperature)
         inv_kt_ref = 1.0 / (BOLTZMANN_EV * p.reference_temperature)
-        arr_c = np.exp(-p.ea_capture_ev * (inv_kt - inv_kt_ref))
-        arr_e = np.exp(-p.ea_emission_ev * (inv_kt - inv_kt_ref))
+        # safe_exp: as T -> 0 K the exponent diverges; saturate rather
+        # than overflow to inf (which would NaN-poison the rate product).
+        arr_c = safe_exp(-p.ea_capture_ev * (inv_kt - inv_kt_ref))
+        arr_e = safe_exp(-p.ea_emission_ev * (inv_kt - inv_kt_ref))
         return arr_c, arr_e
 
     def _rates(self, stress_voltage: np.ndarray, temperature: float) -> tuple[np.ndarray, np.ndarray]:
@@ -280,12 +286,15 @@ class TrapPopulation:
         capture = (
             (1.0 / self.tau_c0)
             * arr_c
-            * np.exp(p.gamma_capture_per_volt * (stress_voltage - p.reference_stress_voltage))
+            * safe_exp_array(
+                p.gamma_capture_per_volt
+                * (stress_voltage - p.reference_stress_voltage)
+            )
         )
         emission = (
             (1.0 / self.tau_e0)
             * arr_e
-            * np.exp(
+            * safe_exp_array(
                 -p.gamma_emission_per_volt
                 * (stress_voltage - p.reference_recovery_voltage)
             )
@@ -321,8 +330,10 @@ class TrapPopulation:
             )
         else:
             v_owner = arr
-        vfac_c = np.exp(p.gamma_capture_per_volt * (v_owner - p.reference_stress_voltage))
-        vfac_e = np.exp(
+        vfac_c = safe_exp_array(
+            p.gamma_capture_per_volt * (v_owner - p.reference_stress_voltage)
+        )
+        vfac_e = safe_exp_array(
             -p.gamma_emission_per_volt * (v_owner - p.reference_recovery_voltage)
         )
         base_c = self._inv_tau_c0 * vfac_c[self.owner]
@@ -378,6 +389,19 @@ class TrapPopulation:
         arr_c, arr_e = self._arrhenius(temperature)
         capture = comb[0] * arr_c
         emission = comb[1] * arr_e
+        guard = self._guard
+        if guard.checking:
+            # Each factor is exp-clamped, but their product can still
+            # overflow to inf; repair/raise before the arrays are frozen
+            # and cached.
+            rate_cap = guard.config.rate_cap
+            inputs = {"temperature": float(temperature), "duty": float(duty)}
+            capture = guard.check_array(
+                "bti.rate", capture, 0.0, rate_cap, inputs=inputs
+            )
+            emission = guard.check_array(
+                "bti.rate", emission, 0.0, rate_cap, inputs=inputs
+            )
         capture.flags.writeable = False
         emission.flags.writeable = False
         self._full_cache.put(full_key, (capture, emission))
@@ -423,13 +447,30 @@ class TrapPopulation:
         total = np.add(capture, emission, out=self._scratch_total)
         p_inf = np.divide(capture, total, out=self._scratch_pinf)
         np.multiply(total, -duration, out=total)
-        decay = np.exp(total, out=total)
+        # total = -(capture+emission)*duration <= 0: underflow-only, safe.
+        decay = np.exp(total, out=total)  # repro: noqa[RPR006]
         state = self._state
         occupancy = state.occupancy
         np.subtract(occupancy, p_inf, out=occupancy)
         np.multiply(occupancy, decay, out=occupancy)
         np.add(occupancy, p_inf, out=occupancy)
         state.elapsed += duration
+        guard = self._guard
+        if guard.checking:
+            guard.check_array(
+                "bti.occupancy",
+                occupancy,
+                0.0,
+                1.0,
+                inputs=lambda: {
+                    "op": "evolve",
+                    "duration": float(duration),
+                    "temperature": float(temperature),
+                    "duty": float(duty),
+                    "elapsed": float(state.elapsed),
+                },
+                arrays=lambda: self._bundle_arrays(stress_voltage, relax_voltage),
+            )
 
     def evolve_cycles(self, phases: Sequence[CyclePhase], n: int) -> None:
         """Advance through ``n`` repetitions of a fixed phase sequence, O(1) in ``n``.
@@ -467,7 +508,8 @@ class TrapPopulation:
             total = capture + emission
             x = total * phase.duration
             # Affine compose: p -> a*p + p_inf*(1-a) with a = exp(-x).
-            offset = offset * np.exp(-x) + (capture / total) * -np.expm1(-x)
+            # x >= 0, so exp(-x) <= 1: underflow-only, safe.
+            offset = offset * np.exp(-x) + (capture / total) * -np.expm1(-x)  # repro: noqa[RPR006]
             exponent = exponent + x
         one_minus_ac = -np.expm1(-exponent)
         # Geometric-series ratio (1 - a_c**n)/(1 - a_c); when the cycle
@@ -478,9 +520,25 @@ class TrapPopulation:
             float(n),
         )
         state = self._state
-        state.occupancy = np.exp(-n * exponent) * state.occupancy + offset * ratio
+        # exponent >= 0 and n >= 1, so exp(-n*exponent) <= 1: safe.
+        state.occupancy = np.exp(-n * exponent) * state.occupancy + offset * ratio  # repro: noqa[RPR006]
         state.elapsed += n * period
         self._cycles_compressed.inc(n)
+        guard = self._guard
+        if guard.checking:
+            guard.check_array(
+                "bti.occupancy",
+                state.occupancy,
+                0.0,
+                1.0,
+                inputs=lambda: {
+                    "op": "evolve_cycles",
+                    "n": int(n),
+                    "period": float(period),
+                    "elapsed": float(state.elapsed),
+                },
+                arrays=lambda: self._bundle_arrays(None, None),
+            )
 
     def evolve_phase(self, phase: BiasPhase, stress_mask: np.ndarray | None = None) -> None:
         """Advance through a :class:`BiasPhase`.
@@ -521,6 +579,10 @@ class TrapPopulation:
         )
         return np.bincount(self.owner, weights=weights, minlength=self.n_owners)
 
+    def max_delta_vth(self) -> np.ndarray:
+        """Per-owner ceiling on :meth:`delta_vth` (every trap occupied)."""
+        return np.bincount(self.owner, weights=self.impact, minlength=self.n_owners)
+
     def sample_delta_vth(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
         """One stochastic per-owner shift: each trap is occupied or not.
 
@@ -546,6 +608,33 @@ class TrapPopulation:
     # ------------------------------------------------------------------ #
     # state management
     # ------------------------------------------------------------------ #
+
+    def _bundle_arrays(self, stress_voltage, relax_voltage) -> dict:
+        """Model arrays for a guard repro bundle (violation slow path)."""
+        arrays = {
+            "occupancy": self._state.occupancy,
+            "tau_c0": self.tau_c0,
+            "tau_e0": self.tau_e0,
+            "impact": self.impact,
+            "owner": self.owner,
+        }
+        if stress_voltage is not None:
+            arrays["stress_voltage"] = np.asarray(stress_voltage, dtype=float)
+        if relax_voltage is not None:
+            arrays["relax_voltage"] = np.asarray(relax_voltage, dtype=float)
+        return arrays
+
+    def inject_upset(self, value: float, n_traps: int = 64) -> None:
+        """Fault-injection hook: overwrite the first ``n_traps`` occupancies.
+
+        Bypasses the physics on purpose — campaigns use this (via
+        ``FaultKind.TRAP_UPSET``) to model a corrupted readout/state
+        upset and exercise the guard's detect/clamp/quarantine path.  The
+        poked values (NaN, >1, <0 ...) are caught by the ``bti.occupancy``
+        contract on the next ``evolve``.
+        """
+        count = min(int(n_traps), self.n_traps)
+        self._state.occupancy[:count] = value
 
     def reset(self) -> None:
         """Return every trap to the fresh (empty) state and zero the clock."""

@@ -89,6 +89,15 @@ def _resilience_kwargs(args: argparse.Namespace) -> dict:
             table1_horizon(args.chips),
             rate_per_day=args.fault_rate,
             dropout_probability=args.dropout_prob,
+            upset_probability=args.upset_prob,
+        )
+    if args.guard_mode is not None:
+        from repro.guard import GuardConfig
+
+        kwargs["guard"] = GuardConfig(
+            mode=args.guard_mode,
+            violation_budget=args.guard_budget,
+            dump_dir=args.guard_dumps,
         )
     if args.retries is not None or args.retry_backoff is not None:
         kwargs["retry"] = RetryPolicy(
@@ -316,6 +325,38 @@ def build_parser() -> argparse.ArgumentParser:
             help="simulated seconds before the first sample retry, doubling "
             "per attempt (default: 5)",
         )
+        parser.add_argument(
+            "--upset-prob",
+            type=float,
+            default=0.0,
+            metavar="P",
+            help="per-chip probability of a trap-state upset (NaN or "
+            "out-of-domain occupancy) caught by the physics guards "
+            "(default: 0.0; only with --fault-seed)",
+        )
+        parser.add_argument(
+            "--guard-mode",
+            choices=["raise", "clamp", "off"],
+            metavar="MODE",
+            help="physics-contract enforcement: 'raise' aborts on the "
+            "first violation with a repro bundle, 'clamp' repairs values "
+            "in place and counts violations, 'off' disables the checks "
+            "(default: ambient guard, which raises without dumping)",
+        )
+        parser.add_argument(
+            "--guard-budget",
+            type=int,
+            metavar="N",
+            help="clamp-mode violations tolerated per chip before it is "
+            "quarantined (default: unlimited; only with --guard-mode clamp)",
+        )
+        parser.add_argument(
+            "--guard-dumps",
+            metavar="DIR",
+            default="guard-dumps",
+            help="directory receiving raise-mode repro bundles "
+            "(default: guard-dumps)",
+        )
         verbosity = parser.add_mutually_exclusive_group()
         verbosity.add_argument(
             "--progress",
@@ -395,6 +436,9 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
+        bundle = getattr(error, "bundle_path", None)
+        if bundle:
+            print(f"repro bundle: {bundle}", file=sys.stderr)
         return 2
 
 

@@ -24,6 +24,7 @@ from scipy import optimize
 
 from repro.bti.firstorder import PhysicsScaling, RecoveryParameters, StressParameters
 from repro.errors import FittingError
+from repro.guard import safe_exp
 from repro.units import BOLTZMANN_EV
 
 T = TypeVar("T")
@@ -176,7 +177,9 @@ class ArrheniusRate:
         exponent = (-self.ea_ev / BOLTZMANN_EV) * (
             1.0 / temperature - 1.0 / self.reference_temperature
         )
-        return float(self.c_ref * np.exp(exponent))
+        # Clamped: extrapolating a fitted law to an extreme temperature
+        # must saturate rather than overflow to inf (see repro.guard).
+        return float(self.c_ref * safe_exp(exponent))
 
 
 def fit_arrhenius_rate(temperatures, rates) -> FitReport[ArrheniusRate]:

@@ -20,6 +20,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.guard import GuardMode, get_guard
 
 
 class GateDelayModel(Protocol):
@@ -47,9 +48,8 @@ class FirstOrderDelayShift:
         self, td0: np.ndarray | float, dvth: np.ndarray | float
     ) -> np.ndarray | float:
         """Linearised delay increase (same shape as the broadcast inputs)."""
-        result = np.asarray(td0, dtype=float) * np.asarray(dvth, dtype=float) / (
-            self.vdd - self.vth0
-        )
+        dvth = _checked_dvth(dvth, self.vdd - self.vth0, "FirstOrderDelayShift")
+        result = np.asarray(td0, dtype=float) * dvth / (self.vdd - self.vth0)
         return float(result) if result.ndim == 0 else result
 
 
@@ -77,7 +77,7 @@ class AlphaPowerDelayModel:
     ) -> np.ndarray | float:
         """Delay increase under the alpha-power law."""
         overdrive = self.vdd - self.vth0
-        dvth = np.asarray(dvth, dtype=float)
+        dvth = _checked_dvth(dvth, overdrive, "AlphaPowerDelayModel")
         if np.any(dvth >= overdrive):
             raise ConfigurationError(
                 "dVth reached the gate overdrive; the device no longer switches"
@@ -85,3 +85,39 @@ class AlphaPowerDelayModel:
         ratio = overdrive / (overdrive - dvth)
         result = np.asarray(td0, dtype=float) * (np.power(ratio, self.alpha) - 1.0)
         return float(result) if result.ndim == 0 else result
+
+
+def _checked_dvth(
+    dvth: np.ndarray | float, overdrive: float, model: str
+) -> np.ndarray:
+    """Enforce the ΔVth domain contract: non-negative and finite.
+
+    BTI only *raises* the threshold voltage, so a negative or non-finite
+    shift reaching a delay model means upstream state is corrupt.  The
+    ambient guard is consulted (delay models are shared frozen values
+    with no per-chip state); in campaigns the chip's own guard has
+    already validated the shift, so this is the standalone-user line of
+    defense.  In ``clamp`` mode the shift is additionally clipped to
+    just under the overdrive, where the alpha-power model's typed
+    configuration check would reject it; in ``raise`` mode that
+    rejection stays a :class:`ConfigurationError`, not a violation.
+    """
+    dvth = np.asarray(dvth, dtype=float)
+    guard = get_guard()
+    if guard.checking:
+        clamping = guard.mode is GuardMode.CLAMP
+        ceiling = overdrive * (1.0 - 1e-9) if clamping else np.inf
+        inputs = {"model": model, "overdrive": overdrive}
+        if dvth.ndim == 0:
+            dvth = np.asarray(
+                guard.check_scalar(
+                    "device.dvth", float(dvth), 0.0, ceiling, inputs=inputs
+                )
+            )
+        else:
+            if clamping and not dvth.flags.writeable:
+                dvth = np.array(dvth)
+            dvth = guard.check_array(
+                "device.dvth", dvth, 0.0, ceiling, inputs=inputs
+            )
+    return dvth

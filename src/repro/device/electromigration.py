@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.guard import safe_exp
 from repro.units import BOLTZMANN_EV, SECONDS_PER_YEAR
 
 
@@ -57,7 +58,9 @@ class BlackModel:
         j_factor = (current_density / self.reference_current_density) ** (
             -self.current_exponent
         )
-        t_factor = np.exp(
+        # Clamped: a cryogenic operating point must saturate the MTTF
+        # rather than overflow it to inf * 0-damage NaN downstream.
+        t_factor = safe_exp(
             (self.activation_energy_ev / BOLTZMANN_EV)
             * (1.0 / temperature - 1.0 / self.reference_temperature)
         )

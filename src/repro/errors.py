@@ -54,3 +54,25 @@ class FittingError(ReproError):
 
 class SimulationError(ReproError):
     """A simulation reached an inconsistent internal state."""
+
+
+class PhysicsViolationError(SimulationError):
+    """A runtime physical contract was broken (see :mod:`repro.guard`).
+
+    Raised in ``raise`` guard mode when a model quantity leaves its
+    physical domain — trap occupancy outside [0, 1], a NaN delay, a
+    negative oscillation frequency.  ``contract`` names the violated
+    contract (e.g. ``"bti.occupancy"``) and ``bundle_path`` points at
+    the crash-dump repro bundle written for replay, if one was written.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        contract: str = "",
+        bundle_path: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.contract = contract
+        self.bundle_path = bundle_path

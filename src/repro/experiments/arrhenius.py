@@ -173,7 +173,17 @@ def run_voltage_sweep(
         fit = fit_stress_parameters(np.array(times), np.array(shifts))
         rates.append(fit.parameters.rate_c)
     voltages_arr = np.asarray(voltages, dtype=float)
-    log_rates = np.log(np.asarray(rates))
+    rates_arr = np.asarray(rates, dtype=float)
+    if np.any(~(rates_arr > 0.0)):
+        # A rate constant that underflowed to zero (or fitted NaN) would
+        # put -inf/NaN into the log regression and silently corrupt the
+        # extracted gamma; refuse with the offending voltages named.
+        bad = [f"{v:g} V" for v, r in zip(voltages, rates_arr) if not r > 0.0]
+        raise ConfigurationError(
+            "fitted rate constants must be positive for the log regression; "
+            f"got non-positive/NaN rates at {', '.join(bad)}"
+        )
+    log_rates = np.log(rates_arr)
     design = np.column_stack([np.ones_like(voltages_arr), voltages_arr])
     coeffs, *_ = np.linalg.lstsq(design, log_rates, rcond=None)
     predicted = design @ coeffs

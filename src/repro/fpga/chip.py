@@ -22,6 +22,7 @@ from repro.errors import ConfigurationError
 from repro.fpga.fabric import Fabric, Location
 from repro.fpga.netlist import InverterChainNetlist
 from repro.fpga.ring_oscillator import StressMode
+from repro.guard import get_guard
 from repro.obs import get_tracer
 
 
@@ -120,9 +121,13 @@ class FpgaChip:
         enable_gated: bool = False,
         seed: int | None = None,
         tracer=None,
+        guard=None,
     ) -> None:
         self.chip_id = chip_id
         self.tech = tech
+        #: The chip's contract checker (shared with its trap populations
+        #: and ring oscillator); defaults to the ambient process guard.
+        self.guard = guard if guard is not None else get_guard()
         self.netlist = InverterChainNetlist(n_stages=n_stages, enable_gated=enable_gated)
         rng = np.random.default_rng(seed)
         variation = variation if variation is not None else ProcessVariation()
@@ -171,16 +176,22 @@ class FpgaChip:
         pop_rng_p, pop_rng_n = rng.spawn(2)
         self._pmos_population = TrapPopulation(
             tech.nbti_traps, n_owners=self._pmos_owners.size, rng=pop_rng_p,
-            tracer=tracer,
+            tracer=tracer, guard=self.guard,
         )
         self._nmos_population = TrapPopulation(
             tech.pbti_traps, n_owners=self._nmos_owners.size, rng=pop_rng_n,
-            tracer=tracer,
+            tracer=tracer, guard=self.guard,
         )
         self._elapsed = 0.0
         self._trap_updates = tracer.counter(
             "bti.trap_updates", "per-transistor trap-population evolutions"
         )
+        # Per-owner ceiling on delta_vth (every trap occupied) — the
+        # domain bound the device.delta_vth contract checks against.
+        caps = np.zeros(self.n_owners)
+        caps[self._pmos_owners] = self._pmos_population.max_delta_vth()
+        caps[self._nmos_owners] = self._nmos_population.max_delta_vth()
+        self._dvth_caps = caps
 
     # ------------------------------------------------------------------ #
     # observables
@@ -197,14 +208,36 @@ class FpgaChip:
         return self.netlist.n_owners
 
     def delta_vth(self) -> np.ndarray:
-        """Per-owner expected threshold shift (volts), global owner order."""
+        """Per-owner expected threshold shift (volts), global owner order.
+
+        Contract: each shift lives in ``[0, sum of that owner's trap
+        impacts]`` — BTI only raises Vth, and a fully occupied population
+        is the worst case.
+        """
         shifts = np.zeros(self.n_owners)
         shifts[self._pmos_owners] = self._pmos_population.delta_vth()
         shifts[self._nmos_owners] = self._nmos_population.delta_vth()
+        guard = self.guard
+        if guard.checking:
+            shifts = guard.check_array(
+                "device.delta_vth",
+                shifts,
+                0.0,
+                self._dvth_caps,
+                inputs=lambda: {
+                    "chip": self.chip_id,
+                    "elapsed": float(self._elapsed),
+                },
+            )
         return shifts
 
     def path_delay(self) -> float:
-        """Current CUT delay in seconds (half the oscillation period)."""
+        """Current CUT delay in seconds (half the oscillation period).
+
+        Contract: finite and never below the fresh delay — aging only
+        slows the CUT, and a full recovery asymptotically returns to (but
+        never overshoots) the fresh chip.
+        """
         shifts = self.delta_vth()
         pmos_shift = np.sum(
             self._pmos_delay.delay_shift(
@@ -216,7 +249,20 @@ class FpgaChip:
                 self._weights[self._nmos_owners], shifts[self._nmos_owners]
             )
         )
-        return self.fresh_path_delay + float(pmos_shift) + float(nmos_shift)
+        delay = self.fresh_path_delay + float(pmos_shift) + float(nmos_shift)
+        guard = self.guard
+        if guard.checking:
+            fresh = self.fresh_path_delay
+            delay = guard.check_scalar(
+                "fpga.path_delay",
+                delay,
+                fresh,
+                np.inf,
+                tol=1e-9 * fresh,
+                inputs=lambda: {"chip": self.chip_id, "fresh": fresh,
+                                "elapsed": float(self._elapsed)},
+            )
+        return delay
 
     def delta_path_delay(self) -> float:
         """Delay increase versus the fresh chip (paper's dTd)."""
@@ -396,6 +442,17 @@ class FpgaChip:
         self._pmos_population.reset()
         self._nmos_population.reset()
         self._elapsed = 0.0
+
+    def inject_trap_upset(self, value: float, n_traps: int = 64) -> None:
+        """Corrupt the leading trap occupancies of both populations.
+
+        Fault-injection hook for the lab's ``TRAP_UPSET`` events: writes
+        ``value`` (typically NaN or an out-of-domain occupancy) straight
+        into the state, bypassing the physics.  The corruption surfaces at
+        the next evolve step through the :mod:`repro.guard` contracts.
+        """
+        self._pmos_population.inject_upset(value, n_traps)
+        self._nmos_population.inject_upset(value, n_traps)
 
     def export_state(self) -> dict[str, np.ndarray | float]:
         """Aging state as plain arrays/floats, for on-disk checkpoints.

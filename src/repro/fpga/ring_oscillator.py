@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import MeasurementError
 from repro.fpga.counter import ReadoutCounter
+from repro.guard import get_guard
 from repro.obs import get_tracer
 
 
@@ -61,14 +62,36 @@ class RingOscillator:
     def __init__(self, chip, counter: ReadoutCounter | None = None, tracer=None) -> None:
         self.chip = chip
         self.counter = counter or ReadoutCounter()
+        # Share the chip's guard when it has one so violation counts and
+        # budgets stay per chip; standalone CUTs fall back to the ambient.
+        self._guard = getattr(chip, "guard", None) or get_guard()
         tracer = tracer if tracer is not None else get_tracer()
         self._evaluations = tracer.counter(
             "ro.evaluations", "counter readouts taken from ring oscillators"
         )
 
     def frequency(self) -> float:
-        """Noise-free oscillation frequency of the CUT."""
-        return self.chip.oscillation_frequency()
+        """Noise-free oscillation frequency of the CUT.
+
+        Contract: strictly positive and finite (Eqs. 14-15 divide by
+        it).  In ``clamp`` mode a violating frequency degrades to 0.0 —
+        a dead oscillator — which the readout path already reports as a
+        typed :class:`MeasurementError`, feeding the campaign's
+        retry/quarantine machinery instead of poisoning the DataLog.
+        """
+        frequency = self.chip.oscillation_frequency()
+        guard = self._guard
+        if guard.checking:
+            frequency = guard.positive_scalar(
+                "fpga.frequency",
+                frequency,
+                clamp_to=0.0,
+                inputs=lambda: {
+                    "chip": str(getattr(self.chip, "chip_id", "")),
+                    "elapsed": float(self.chip.elapsed),
+                },
+            )
+        return frequency
 
     def _require_oscillation(self, count: float) -> None:
         """Refuse a readout that implies the ring is not oscillating.

@@ -1,0 +1,112 @@
+"""Crash-dump repro bundles for physics-contract violations.
+
+When a guard in ``raise`` mode trips, it writes the offending inputs and
+the relevant model arrays (trap state, rate arrays, bias waveform) to a
+bundle directory before throwing, so the violation can be replayed
+offline long after the campaign process is gone::
+
+    bundle = read_bundle(err.bundle_path)
+    occupancy = bundle.arrays["occupancy"]   # the out-of-domain state
+    bundle.inputs["temperature"]             # the knobs that produced it
+
+Bundle directories are named deterministically from the contract, the
+owning chip and a sequence number — never from the wall clock — so a
+replayed campaign produces byte-identical bundle paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: Upper bound on same-name bundles before the writer reuses the last slot.
+_MAX_SEQUENCE = 1000
+
+
+def _jsonable(value):
+    """JSON fallback: numpy scalars to Python, everything else to str."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+@dataclass(frozen=True)
+class ReproBundle:
+    """A violation bundle read back from disk (see :func:`read_bundle`)."""
+
+    path: Path
+    contract: str
+    owner: str
+    message: str
+    inputs: dict
+    arrays: dict = field(default_factory=dict)
+
+
+def write_bundle(
+    dump_dir: str | Path,
+    *,
+    contract: str,
+    owner: str = "",
+    message: str = "",
+    inputs: dict | None = None,
+    arrays: dict | None = None,
+) -> Path:
+    """Write a violation bundle and return its directory.
+
+    The bundle is a directory ``<contract>-<owner>-<seq>/`` holding
+    ``violation.json`` (contract, owner, message, scalar inputs) and,
+    when ``arrays`` is non-empty, ``state.npz`` with the model arrays.
+    ``seq`` is the first free sequence number, probed with exclusive
+    directory creation so concurrent workers never collide.
+    """
+    root = Path(dump_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    slug = "-".join(part for part in (contract.replace(".", "-"), owner) if part)
+    path = root / f"{slug}-{_MAX_SEQUENCE - 1:03d}"
+    for seq in range(_MAX_SEQUENCE):
+        candidate = root / f"{slug}-{seq:03d}"
+        try:
+            candidate.mkdir(exist_ok=False)
+        except FileExistsError:
+            continue
+        path = candidate
+        break
+    arrays = {key: np.asarray(value) for key, value in (arrays or {}).items()}
+    meta = {
+        "contract": contract,
+        "owner": owner,
+        "message": message,
+        "inputs": dict(inputs or {}),
+        "arrays": sorted(arrays),
+    }
+    (path / "violation.json").write_text(
+        json.dumps(meta, indent=2, sort_keys=True, default=_jsonable) + "\n"
+    )
+    if arrays:
+        with open(path / "state.npz", "wb") as handle:
+            np.savez(handle, **arrays)
+    return path
+
+
+def read_bundle(path: str | Path) -> ReproBundle:
+    """Load a bundle written by :func:`write_bundle` for replay."""
+    path = Path(path)
+    meta = json.loads((path / "violation.json").read_text())
+    arrays: dict = {}
+    npz = path / "state.npz"
+    if npz.exists():
+        with np.load(npz) as data:
+            arrays = {key: data[key].copy() for key in data.files}
+    return ReproBundle(
+        path=path,
+        contract=str(meta.get("contract", "")),
+        owner=str(meta.get("owner", "")),
+        message=str(meta.get("message", "")),
+        inputs=dict(meta.get("inputs", {})),
+        arrays=arrays,
+    )

@@ -25,6 +25,7 @@ from repro.errors import (
     ScheduleError,
 )
 from repro.fpga.chip import FpgaChip
+from repro.guard import Guard, GuardConfig
 from repro.lab.datalog import DataLog
 from repro.lab.faults import FaultInjector, FaultPlan
 from repro.lab.measurement import VirtualTestbench
@@ -43,6 +44,18 @@ from repro.lab.schedule import (
 )
 from repro.obs import NULL_PROGRESS, NULL_TRACER, ProgressReporter, Tracer, get_tracer
 from repro.units import hours
+
+
+def _chip_guard(config, tracer, chip_id: str) -> Guard | None:
+    """A per-chip :class:`Guard` for ``config``, or ``None`` (ambient).
+
+    One guard per chip keeps violation counts and budgets chip-local —
+    the quarantine decision must not depend on what other chips did —
+    and makes the checks thread-safe in parallel campaigns.
+    """
+    if config is None:
+        return None
+    return Guard(config, tracer=tracer, owner=chip_id)
 
 
 def _run_case_phases(
@@ -147,6 +160,11 @@ class Campaign:
     tracer:
         Telemetry sink shared by the chips and benches; defaults to the
         process tracer (a no-op unless one was installed).
+    guard:
+        Physics-contract policy (:class:`~repro.guard.GuardConfig`); each
+        chip gets its own :class:`~repro.guard.Guard` instance so
+        violation counts and budgets are per chip.  ``None`` leaves the
+        chips on the ambient guard.
     """
 
     def __init__(
@@ -156,6 +174,7 @@ class Campaign:
         variation: ProcessVariation | None = None,
         seed: int | None = 0,
         tracer=None,
+        guard: GuardConfig | None = None,
     ) -> None:
         if n_chips <= 0:
             raise ScheduleError(f"n_chips must be positive, got {n_chips}")
@@ -177,6 +196,7 @@ class Campaign:
                 variation=variation,
                 seed=int(chip_seed.integers(2**31)),
                 tracer=self.tracer,
+                guard=_chip_guard(guard, self.tracer, chip_id),
             )
             self.chips[chip_id] = chip
             self.benches[chip_id] = VirtualTestbench(
@@ -226,6 +246,7 @@ def _run_chip_schedule(
     chip_stream: np.random.Generator,
     bench_stream: np.random.Generator,
     instrument: bool,
+    guard_config: GuardConfig | None = None,
 ) -> tuple[FpgaChip, DataLog, DataLog, "Tracer | None"]:
     """One chip's full Table 1 schedule, self-contained for a worker.
 
@@ -243,6 +264,7 @@ def _run_chip_schedule(
         variation=variation,
         seed=int(chip_stream.integers(2**31)),
         tracer=worker_tracer,
+        guard=_chip_guard(guard_config, worker_tracer, f"chip-{chip_no}"),
     )
     bench = VirtualTestbench(chip, rng=bench_stream, tracer=worker_tracer)
     cases_counter = worker_tracer.counter(
@@ -275,6 +297,7 @@ def _parallel_table1(
     progress: ProgressReporter,
     workers: int,
     sequences: dict[int, tuple[str, ...]],
+    guard_config: GuardConfig | None = None,
 ) -> CampaignResult:
     """Fan the chips out to worker threads and merge deterministically.
 
@@ -298,6 +321,7 @@ def _parallel_table1(
                 streams[index][0],
                 streams[index][1],
                 tracer.enabled,
+                guard_config,
             ): index
             for index in range(n_chips)
         }
@@ -334,6 +358,7 @@ def _resilient_chip_schedule(
     plan: FaultPlan | None,
     retry: RetryPolicy | None,
     store: CheckpointStore | None,
+    guard_config: GuardConfig | None = None,
 ) -> tuple[FpgaChip, DataLog, DataLog, QuarantineReport | None, "Tracer | None"]:
     """One chip's schedule with faults, retries and checkpointing.
 
@@ -342,6 +367,11 @@ def _resilient_chip_schedule(
     On resume the chip is rebuilt from its seed (cheap, deterministic),
     its trap state and the bench RNG are rewound from the checkpoint, and
     only the unfinished tail of the schedule runs.
+
+    A clamp-mode guard whose violation budget runs out raises
+    :class:`~repro.errors.ChipDropoutError` from inside the model stack;
+    it is caught below exactly like an instrument dropout, so the chip
+    lands in quarantine and the campaign completes on the survivors.
     """
     worker_tracer = Tracer() if instrument else NULL_TRACER
     chip = FpgaChip(
@@ -350,6 +380,7 @@ def _resilient_chip_schedule(
         variation=variation,
         seed=int(chip_stream.integers(2**31)),
         tracer=worker_tracer,
+        guard=_chip_guard(guard_config, worker_tracer, f"chip-{chip_no}"),
     )
     baseline_log, case_log = DataLog(), DataLog()
     completed: list[str] = []
@@ -426,6 +457,7 @@ def _resilient_table1(
     plan: FaultPlan | None,
     retry: RetryPolicy | None,
     store: CheckpointStore | None,
+    guard_config: GuardConfig | None = None,
 ) -> CampaignResult:
     """Fan chips out with fault/retry/checkpoint support and merge.
 
@@ -450,6 +482,7 @@ def _resilient_table1(
                 plan,
                 retry,
                 store,
+                guard_config,
             ): index
             for index in range(n_chips)
         }
@@ -514,6 +547,7 @@ def run_table1_campaign(
     retry: RetryPolicy | None = None,
     checkpoint: "str | None" = None,
     resume: bool = False,
+    guard: GuardConfig | None = None,
 ) -> CampaignResult:
     """Run the full Table 1 schedule and return the result.
 
@@ -537,6 +571,13 @@ def run_table1_campaign(
     drops out (or exhausts its retries) is quarantined: the campaign
     completes on the survivors and reports the gap in
     ``CampaignResult.quarantined``.
+
+    ``guard`` installs a physics-contract :class:`~repro.guard.GuardConfig`
+    on every chip (each chip gets its own :class:`~repro.guard.Guard`
+    instance, so worker threads never share violation state).  In clamp
+    mode a chip that exhausts its violation budget is quarantined exactly
+    like a dropout; in raise mode the first violation aborts the campaign
+    with a replayable repro bundle.
     """
     tracer = tracer if tracer is not None else get_tracer()
     progress = progress if progress is not None else NULL_PROGRESS
@@ -553,7 +594,12 @@ def run_table1_campaign(
         store.init_manifest(seed, n_chips, include_baseline)
     elif resume:
         raise ConfigurationError("resume requires a checkpoint directory")
-    resilient = faults is not None or retry is not None or store is not None
+    resilient = (
+        faults is not None
+        or retry is not None
+        or store is not None
+        or guard is not None
+    )
     sequences = {
         chip_no: names for chip_no, names in CHIP_SEQUENCES.items() if chip_no <= n_chips
     }
@@ -570,6 +616,7 @@ def run_table1_campaign(
                 faults,
                 retry,
                 store,
+                guard,
             )
         elif workers > 1:
             result = _parallel_table1(

@@ -23,7 +23,11 @@ The taxonomy maps onto the existing error hierarchy:
   (:class:`~repro.errors.CounterOverflowError`) surfaces it;
 * ``CHIP_DROPOUT`` raises :class:`~repro.errors.ChipDropoutError` from
   its start time onward — permanent, never retried, quarantined by the
-  campaign.
+  campaign;
+* ``TRAP_UPSET`` corrupts the chip's trap-occupancy state in place (a
+  radiation-style state upset rather than a bench fault) — invisible to
+  the instruments, caught only by the :mod:`repro.guard` physics
+  contracts.
 """
 
 from __future__ import annotations
@@ -53,6 +57,8 @@ class FaultKind(enum.Enum):
     STUCK_BIT = "stuck-bit"
     #: The chip stops responding permanently from ``start`` onward.
     CHIP_DROPOUT = "chip-dropout"
+    #: Trap occupancy state corrupted in place (one-shot, silent).
+    TRAP_UPSET = "trap-upset"
 
 
 #: Kinds that fire exactly once, at the first readout at/after ``start``.
@@ -63,6 +69,9 @@ ONE_SHOT_KINDS = frozenset(
 #: Kinds that perturb delivered values over ``[start, start + duration)``.
 WINDOW_KINDS = frozenset({FaultKind.THERMAL_DRIFT, FaultKind.SUPPLY_DROOP})
 
+#: Kinds that corrupt device state (not instruments), once, at/after ``start``.
+STATE_KINDS = frozenset({FaultKind.TRAP_UPSET})
+
 
 @dataclass(frozen=True)
 class FaultEvent:
@@ -70,8 +79,9 @@ class FaultEvent:
 
     ``start`` is simulated seconds on the victim chip's own clock
     (``FpgaChip.elapsed``).  ``duration`` only applies to window kinds;
-    ``magnitude`` is degrees Celsius for drift, volts for droop, and the
-    stuck bit index for ``STUCK_BIT``.
+    ``magnitude`` is degrees Celsius for drift, volts for droop, the
+    stuck bit index for ``STUCK_BIT``, and the bogus occupancy value
+    (possibly NaN) written into the trap state for ``TRAP_UPSET``.
     """
 
     kind: FaultKind
@@ -129,13 +139,18 @@ class FaultPlan:
         horizon: float,
         rate_per_day: float = 1.0,
         dropout_probability: float = 0.0,
+        upset_probability: float = 0.0,
     ) -> "FaultPlan":
         """Draw a random plan from its own RNG (never the campaign's).
 
         ``rate_per_day`` is the Poisson mean of instrument faults per chip
         per simulated day over ``horizon`` seconds;
         ``dropout_probability`` is the per-chip chance of one permanent
-        dropout at a uniform time.  Same arguments, same plan.
+        dropout at a uniform time; ``upset_probability`` is the per-chip
+        chance of one trap-state upset at a uniform time (half NaN, half
+        an out-of-domain occupancy).  Same arguments, same plan — and the
+        upset draws only happen when ``upset_probability`` is non-zero,
+        so plans generated before the knob existed are unchanged.
         """
         if horizon <= 0.0:
             raise ConfigurationError(f"horizon must be positive, got {horizon}")
@@ -143,6 +158,8 @@ class FaultPlan:
             raise ConfigurationError("rate_per_day must be non-negative")
         if not 0.0 <= dropout_probability <= 1.0:
             raise ConfigurationError("dropout_probability must be within [0, 1]")
+        if not 0.0 <= upset_probability <= 1.0:
+            raise ConfigurationError("upset_probability must be within [0, 1]")
         rng = np.random.default_rng(seed)
         transient_kinds = (
             FaultKind.THERMAL_DRIFT,
@@ -183,6 +200,22 @@ class FaultPlan:
                         start=float(rng.uniform(0.0, horizon)),
                     )
                 )
+            # Gated so a zero probability consumes no RNG draws: plans
+            # generated before this knob existed stay byte-identical.
+            if upset_probability > 0.0 and float(rng.random()) < upset_probability:
+                magnitude = (
+                    float("nan")
+                    if float(rng.random()) < 0.5
+                    else float(rng.uniform(1.5, 4.0))
+                )
+                events.append(
+                    FaultEvent(
+                        kind=FaultKind.TRAP_UPSET,
+                        chip_id=chip_id,
+                        start=float(rng.uniform(0.0, horizon)),
+                        magnitude=magnitude,
+                    )
+                )
         return cls(events)
 
 
@@ -204,6 +237,9 @@ class FaultInjector:
         self._windows = tuple(e for e in events if e.kind in WINDOW_KINDS)
         self._pending = [
             e for e in events if e.kind in ONE_SHOT_KINDS and e.start >= start_time
+        ]
+        self._pending_upsets = [
+            e for e in events if e.kind in STATE_KINDS and e.start >= start_time
         ]
         dropouts = [e for e in events if e.kind is FaultKind.CHIP_DROPOUT]
         self._dropout_at = min((e.start for e in dropouts), default=None)
@@ -250,5 +286,14 @@ class FaultInjector:
             if event.start <= now:
                 self._record(event)
                 del self._pending[index]
+                return event
+        return None
+
+    def pop_upset(self, now: float) -> FaultEvent | None:
+        """Consume the earliest pending trap-state upset due at/before ``now``."""
+        for index, event in enumerate(self._pending_upsets):
+            if event.start <= now:
+                self._record(event)
+                del self._pending_upsets[index]
                 return event
         return None

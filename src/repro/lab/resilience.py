@@ -116,6 +116,17 @@ class ResilientTestbench(VirtualTestbench):
             "lab.sample_retries", "readout bursts retried after a transient fault"
         )
 
+    def _apply_chunk(self, phase, chunk, temperature, voltage) -> None:
+        now = self.chip.elapsed
+        upset = self.injector.pop_upset(now)
+        if upset is not None:
+            # A state upset lands between evolve steps: the bogus
+            # occupancy sits in the trap arrays until the next chunk's
+            # evolve, where the guard contract catches it (raise mode)
+            # or clamps it back into domain (clamp mode).
+            self.chip.inject_trap_upset(upset.magnitude)
+        super()._apply_chunk(phase, chunk, temperature, voltage)
+
     def _delivered_temperature(self) -> float:
         now = self.chip.elapsed
         self.injector.check_dropout(now)

@@ -90,14 +90,19 @@ class CoreAgingModel:
         core_id: str,
         params: CoreParameters | None = None,
         rng: np.random.Generator | int | None = None,
+        guard=None,
     ) -> None:
         self.core_id = core_id
         self.params = params or CoreParameters()
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         rng_p, rng_n = rng.spawn(2)
-        self._pmos = TrapPopulation(self.params.nbti_traps, n_owners=1, rng=rng_p)
-        self._nmos = TrapPopulation(self.params.pbti_traps, n_owners=1, rng=rng_n)
+        self._pmos = TrapPopulation(
+            self.params.nbti_traps, n_owners=1, rng=rng_p, guard=guard
+        )
+        self._nmos = TrapPopulation(
+            self.params.pbti_traps, n_owners=1, rng=rng_n, guard=guard
+        )
         # The large population represents the many devices of the critical
         # path; dividing the total shift by the number of 80-trap device
         # equivalents yields the average per-device shift with low

@@ -68,6 +68,9 @@ class MulticoreSystem:
     tracer:
         Telemetry sink for run spans and epoch counters; defaults to the
         process tracer (a no-op unless one was installed).
+    guard:
+        Physics-contract checker shared by the cores and (when the grid
+        is built here) the thermal solve; defaults to the ambient guard.
     """
 
     def __init__(
@@ -76,12 +79,13 @@ class MulticoreSystem:
         core_params: CoreParameters | None = None,
         seed: int | None = 0,
         tracer=None,
+        guard=None,
     ) -> None:
-        self.grid = grid or ThermalGrid()
+        self.grid = grid if grid is not None else ThermalGrid(guard=guard)
         params = core_params or CoreParameters()
         master = np.random.default_rng(seed)
         self.cores = [
-            CoreAgingModel(f"core-{i + 1}", params=params, rng=child)
+            CoreAgingModel(f"core-{i + 1}", params=params, rng=child, guard=guard)
             for i, child in enumerate(master.spawn(self.grid.n_cores))
         ]
         self.tracer = tracer if tracer is not None else get_tracer()

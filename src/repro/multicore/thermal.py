@@ -17,6 +17,7 @@ import networkx as nx
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.guard import get_guard
 from repro.units import celsius
 
 
@@ -42,6 +43,7 @@ class ThermalGrid:
         theta_ambient: float = 4.0,
         theta_coupling: float = 2.0,
         ambient_c: float = 35.0,
+        guard=None,
     ) -> None:
         if rows <= 0 or cols <= 0:
             raise ConfigurationError("grid dimensions must be positive")
@@ -52,6 +54,8 @@ class ThermalGrid:
         self.theta_ambient = theta_ambient
         self.theta_coupling = theta_coupling
         self.ambient = celsius(ambient_c)
+        #: Contract checker for the solved temperatures (ambient default).
+        self.guard = guard if guard is not None else get_guard()
         self.graph = nx.grid_2d_graph(rows, cols)
         self._nodes = sorted(self.graph.nodes)
         self._index = {node: i for i, node in enumerate(self._nodes)}
@@ -98,4 +102,19 @@ class ThermalGrid:
         if np.any(powers < 0.0):
             raise ConfigurationError("powers must be non-negative")
         rise = np.linalg.solve(self._conductance, powers)
-        return self.ambient + rise
+        temperatures = self.ambient + rise
+        guard = self.guard
+        if guard.checking:
+            # With non-negative powers and a diagonally dominant G, no
+            # core can sit below ambient; the upper bound catches NaN/Inf
+            # from a singular or corrupted conductance matrix.
+            temperatures = guard.check_array(
+                "multicore.temperature",
+                temperatures,
+                self.ambient,
+                guard.config.max_temperature,
+                tol=1e-9 * self.ambient,
+                inputs=lambda: {"ambient": self.ambient},
+                arrays=lambda: {"powers": powers, "temperatures": temperatures},
+            )
+        return temperatures

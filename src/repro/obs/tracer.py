@@ -72,6 +72,10 @@ class Span:
         """Attach (or overwrite) one structured attribute."""
         self.attributes[key] = value
 
+    def incr(self, key: str, delta: float = 1.0) -> None:
+        """Add ``delta`` to a numeric attribute (missing counts as 0)."""
+        self.attributes[key] = self.attributes.get(key, 0) + delta
+
     @property
     def sim_advanced(self) -> float:
         """Simulated seconds this span advanced (0 if not recorded)."""
@@ -110,6 +114,9 @@ class _NullSpan:
 
     def set(self, key: str, value) -> None:
         """Discard the attribute."""
+
+    def incr(self, key: str, delta: float = 1.0) -> None:
+        """Discard the increment."""
 
     def __enter__(self) -> "_NullSpan":
         return self

@@ -16,6 +16,8 @@ helpers here keep that translation in one place.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 # Boltzmann constant in eV/K — activation energies in this library are in eV.
 BOLTZMANN_EV = 8.617333262e-5
 
@@ -28,32 +30,46 @@ SECONDS_PER_DAY = 86400.0
 SECONDS_PER_YEAR = 365.25 * SECONDS_PER_DAY
 
 
+def _require_duration(value: float, unit: str) -> float:
+    """Reject negative (or NaN) durations with a typed error."""
+    if not value >= 0.0:
+        raise ConfigurationError(f"duration must be >= 0 {unit}, got {value!r}")
+    return value
+
+
 def celsius(degrees_c: float) -> float:
     """Convert a temperature in degrees Celsius to kelvin."""
     kelvin = degrees_c + ZERO_CELSIUS_K
-    if kelvin <= 0.0:
-        raise ValueError(f"temperature {degrees_c} degC is below absolute zero")
+    # "not >" rather than "<=" so NaN is rejected too.
+    if not kelvin > 0.0:
+        raise ConfigurationError(
+            f"temperature {degrees_c!r} degC is below absolute zero"
+        )
     return kelvin
 
 
 def to_celsius(kelvin: float) -> float:
     """Convert a temperature in kelvin to degrees Celsius."""
+    if not kelvin > 0.0:
+        raise ConfigurationError(
+            f"temperature {kelvin!r} K is at or below absolute zero"
+        )
     return kelvin - ZERO_CELSIUS_K
 
 
 def hours(value: float) -> float:
     """Convert a duration in hours to seconds."""
-    return value * SECONDS_PER_HOUR
+    return _require_duration(value, "hours") * SECONDS_PER_HOUR
 
 
 def minutes(value: float) -> float:
     """Convert a duration in minutes to seconds."""
-    return value * SECONDS_PER_MINUTE
+    return _require_duration(value, "minutes") * SECONDS_PER_MINUTE
 
 
 def days(value: float) -> float:
     """Convert a duration in days to seconds."""
-    return value * SECONDS_PER_DAY
+    return _require_duration(value, "days") * SECONDS_PER_DAY
 
 
 def to_hours(seconds: float) -> float:
@@ -63,7 +79,7 @@ def to_hours(seconds: float) -> float:
 
 def nanoseconds(value: float) -> float:
     """Convert a delay in nanoseconds to seconds."""
-    return value * 1e-9
+    return _require_duration(value, "nanoseconds") * 1e-9
 
 
 def to_nanoseconds(seconds: float) -> float:

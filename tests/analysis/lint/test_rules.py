@@ -139,3 +139,44 @@ class TestSpanHygieneRule:
     def test_unrelated_span_method_passes(self):
         # The JSONL exporter's span(dict) sink is not a context manager.
         assert _rule_ids("self.exporter.span({'type': 'span'})\n") == []
+
+
+class TestUnguardedExpRule:
+    GUARDED = "src/repro/bti/traps.py"
+
+    def test_raw_exp_in_guarded_module_flagged(self):
+        assert _rule_ids("y = np.exp(x)\n", path=self.GUARDED) == ["RPR006"]
+        assert _rule_ids("y = math.exp(x)\n", path=self.GUARDED) == ["RPR006"]
+
+    def test_all_guarded_trees_covered(self):
+        for path in (
+            "src/repro/bti/acceleration.py",
+            "src/repro/device/delay.py",
+            "src/repro/fpga/chip.py",
+            "src/repro/multicore/thermal.py",
+        ):
+            assert _rule_ids("y = np.exp(x)\n", path=path) == ["RPR006"]
+
+    def test_unguarded_modules_exempt(self):
+        assert _rule_ids("y = np.exp(x)\n", path="src/repro/core/fitting.py") == []
+        assert _rule_ids("y = np.exp(x)\n", path="src/repro/guard/contracts.py") == []
+
+    def test_clamped_exponent_passes(self):
+        assert _rule_ids("y = np.exp(np.minimum(x, 700.0))\n", path=self.GUARDED) == []
+        assert _rule_ids("y = math.exp(min(x, 700.0))\n", path=self.GUARDED) == []
+        assert _rule_ids("y = np.exp(np.clip(x, -700, 700))\n", path=self.GUARDED) == []
+
+    def test_safe_exp_helper_passes(self):
+        assert _rule_ids("y = safe_exp(x)\n", path=self.GUARDED) == []
+
+    def test_division_by_exponential_flagged(self):
+        findings = _rule_ids("y = 1.0 / np.exp(x)\n", path=self.GUARDED)
+        assert findings.count("RPR006") == 2  # the division AND the raw exp
+
+    def test_division_by_safe_exp_still_flagged(self):
+        # safe_exp caps overflow, not underflow: 1/safe_exp(-1e6) -> 1/0.0.
+        assert _rule_ids("y = 1.0 / safe_exp(x)\n", path=self.GUARDED) == ["RPR006"]
+
+    def test_suggestion_names_the_helpers(self):
+        result = lint_source("y = np.exp(x)\n", self.GUARDED)
+        assert "safe_exp" in result.findings[0].suggestion

@@ -55,3 +55,30 @@ class TestFieldFactor:
     def test_negative_gamma_inverts_direction(self):
         # Emission uses a negative effective gamma: reverse bias accelerates.
         assert field_factor(-8.2, -0.3, 0.0) == pytest.approx(np.exp(8.2 * 0.3))
+
+
+class TestExtremeConditions:
+    """Overflow/underflow audit: extremes saturate, they never go inf/NaN."""
+
+    def test_near_zero_kelvin_saturates_finite(self):
+        # 1e-6 K drives |Ea|/kT to ~1e10 — raw exp would overflow to inf.
+        hot = arrhenius_factor(0.9, 1e-6, celsius(110.0))
+        assert hot == 0.0  # positive-Ea process frozen out, exact limit
+        cold_reference = arrhenius_factor(0.9, celsius(110.0), 1e-6)
+        assert np.isfinite(cold_reference)
+        assert cold_reference > 0.0
+
+    def test_negative_ea_near_zero_kelvin_saturates(self):
+        factor = arrhenius_factor(-0.9, 1e-6, celsius(110.0))
+        assert np.isfinite(factor)
+
+    def test_extreme_overdrive_field_factor_is_finite(self):
+        assert np.isfinite(field_factor(5.0, 1e4, 1.2))
+        assert field_factor(5.0, -1e4, 1.2) == 0.0
+
+    def test_monotonic_through_the_saturation_knee(self):
+        # Saturation must clamp, not fold back below earlier values.
+        temps = [1e-3, 1e-2, 1.0, 77.0, celsius(-40.0), celsius(110.0)]
+        factors = [arrhenius_factor(0.9, celsius(110.0), t) for t in temps]
+        assert all(np.isfinite(f) for f in factors)
+        assert factors == sorted(factors, reverse=True)

@@ -159,3 +159,21 @@ class TestDelayModelAlias:
         )
         assert isinstance(model, FirstOrderBtiModel)
         assert model.stress_shift(hours(24.0)) > 0.0
+
+
+class TestPhysicsScalingExtremes:
+    """Regression: near-zero kelvin saturates instead of overflowing."""
+
+    def test_near_zero_kelvin_is_finite(self):
+        scaling = PhysicsScaling(k_prefactor=1.0, b_field_ev_per_volt=0.05)
+        # Raw exp(bV/kT) alone overflows below ~0.02 K; the combined
+        # exponent (bV - E0 < 0 here) underflows to 0.0 instead.
+        assert scaling.prefactor(1.2, 1e-6) == 0.0
+
+    def test_dominant_field_term_saturates_finite(self):
+        scaling = PhysicsScaling(
+            k_prefactor=1.0, e0_ev=0.01, b_field_ev_per_volt=0.5
+        )
+        value = scaling.prefactor(1.2, 1e-6)
+        assert np.isfinite(value)
+        assert value > 0.0

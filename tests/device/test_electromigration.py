@@ -81,3 +81,33 @@ class TestEmWearState:
     def test_negative_duration_rejected(self):
         with pytest.raises(ConfigurationError):
             EmWearState().stress(-1.0, 1.0, 300.0)
+
+
+class TestCryogenicExtremes:
+    """Regression: cryogenic extremes never produce NaN.
+
+    ``inf`` is this API's designed "effectively never fails" sentinel
+    (zero current returns it explicitly), so a millikelvin MTTF may
+    legitimately saturate there — but the clamped thermal factor must
+    never meet a vanishing current factor as ``inf * 0.0 -> NaN``.
+    """
+
+    def test_millikelvin_mttf_is_never_nan(self):
+        model = BlackModel()
+        mttf = model.mttf(model.reference_current_density, 1e-3)
+        assert mttf > 0.0
+        assert not mttf != mttf  # not NaN
+
+    def test_huge_current_at_millikelvin_stays_finite(self):
+        model = BlackModel()
+        # Raw exp: thermal factor inf, current factor ~0 -> inf*0 = NaN.
+        # Clamped it underflows to an honest 0.0 ("fails immediately").
+        mttf = model.mttf(model.reference_current_density * 1e200, 1e-3)
+        assert mttf >= 0.0
+        assert not mttf != mttf
+
+    def test_colder_never_shortens_life(self):
+        model = BlackModel()
+        j = model.reference_current_density
+        mttfs = [model.mttf(j, t) for t in (1e-3, 4.2, 77.0, celsius(25.0))]
+        assert mttfs == sorted(mttfs, reverse=True)

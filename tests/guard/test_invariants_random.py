@@ -1,0 +1,133 @@
+"""Property-style randomized invariant tests (seeded, deterministic).
+
+Each test drives a model through a seeded-random schedule with the
+ambient guard in raise mode: the assertion is partly explicit (the
+values stay in domain) and partly implicit (no
+:class:`~repro.errors.PhysicsViolationError` escapes, i.e. the runtime
+contracts agree the trajectory never left the physical envelope).
+"""
+
+import numpy as np
+
+from repro.bti.traps import CyclePhase, TrapParameters, TrapPopulation
+from repro.device.variation import ProcessVariation
+from repro.fpga.chip import FpgaChip
+from repro.fpga.ring_oscillator import StressMode
+from repro.units import celsius, hours, minutes
+
+N_SCHEDULES = 20
+
+
+def _population(seed: int) -> TrapPopulation:
+    return TrapPopulation(TrapParameters(mean_trap_count=40.0), n_owners=8, rng=seed)
+
+
+class TestOccupancyDomain:
+    def test_random_schedules_stay_in_unit_interval(self):
+        rng = np.random.default_rng(2024)
+        for trial in range(N_SCHEDULES):
+            pop = _population(seed=trial)
+            for _ in range(int(rng.integers(3, 10))):
+                pop.evolve(
+                    duration=float(rng.uniform(minutes(1.0), hours(48.0))),
+                    stress_voltage=float(rng.uniform(-0.5, 0.5)),
+                    temperature=float(rng.uniform(celsius(-40.0), celsius(150.0))),
+                    duty=float(rng.uniform(0.0, 1.0)),
+                    relax_voltage=float(rng.uniform(-0.3, 0.0)),
+                )
+                occupancy = pop.snapshot().occupancy
+                assert np.all(occupancy >= 0.0)
+                assert np.all(occupancy <= 1.0)
+
+    def test_per_owner_voltage_vectors_stay_in_domain(self):
+        rng = np.random.default_rng(7)
+        pop = _population(seed=99)
+        for _ in range(10):
+            pop.evolve(
+                duration=float(rng.uniform(minutes(10.0), hours(6.0))),
+                stress_voltage=rng.uniform(-0.5, 0.5, size=pop.n_owners),
+                temperature=float(rng.uniform(celsius(0.0), celsius(125.0))),
+            )
+            occupancy = pop.snapshot().occupancy
+            assert np.all((occupancy >= 0.0) & (occupancy <= 1.0))
+
+
+class TestCycleCompositionDomain:
+    def test_closed_form_never_leaves_domain(self):
+        rng = np.random.default_rng(4242)
+        for trial in range(N_SCHEDULES):
+            pop = _population(seed=1000 + trial)
+            phases = [
+                CyclePhase(
+                    duration=float(rng.uniform(minutes(1.0), hours(2.0))),
+                    stress_voltage=float(rng.uniform(-0.4, 0.4)),
+                    temperature=float(rng.uniform(celsius(20.0), celsius(120.0))),
+                    duty=float(rng.uniform(0.1, 1.0)),
+                )
+                for _ in range(int(rng.integers(1, 4)))
+            ]
+            pop.evolve_cycles(phases, n=int(rng.integers(1, 100_000)))
+            occupancy = pop.snapshot().occupancy
+            assert np.all((occupancy >= 0.0) & (occupancy <= 1.0))
+
+    def test_compressed_matches_stepped_within_domain(self):
+        phases = [
+            CyclePhase(
+                duration=hours(1.0),
+                stress_voltage=0.3,
+                temperature=celsius(110.0),
+            ),
+            CyclePhase(
+                duration=hours(1.0),
+                stress_voltage=-0.3,
+                temperature=celsius(110.0),
+            ),
+        ]
+        fast = _population(seed=5)
+        slow = _population(seed=5)
+        fast.evolve_cycles(phases, n=50)
+        for _ in range(50):
+            for phase in phases:
+                slow.evolve(
+                    phase.duration,
+                    phase.stress_voltage,
+                    phase.temperature,
+                    duty=phase.duty,
+                    relax_voltage=phase.relax_voltage,
+                )
+        np.testing.assert_allclose(
+            fast.snapshot().occupancy, slow.snapshot().occupancy, rtol=1e-9
+        )
+
+
+class TestFrequencyPositivity:
+    def test_random_valid_knobs_keep_frequency_positive(self):
+        rng = np.random.default_rng(31337)
+        for trial in range(8):
+            chip = FpgaChip(
+                f"prop-{trial}",
+                n_stages=25,
+                variation=ProcessVariation(),
+                seed=int(rng.integers(2**31)),
+            )
+            fresh = chip.oscillation_frequency()
+            assert fresh > 0.0
+            for _ in range(int(rng.integers(2, 6))):
+                if rng.random() < 0.6:
+                    chip.apply_stress(
+                        float(rng.uniform(minutes(30.0), hours(24.0))),
+                        temperature=float(rng.uniform(celsius(25.0), celsius(125.0))),
+                        supply_voltage=float(rng.uniform(0.9, 1.3)),
+                        mode=StressMode.DC if rng.random() < 0.5 else StressMode.AC,
+                    )
+                else:
+                    chip.apply_recovery(
+                        float(rng.uniform(minutes(30.0), hours(12.0))),
+                        temperature=float(rng.uniform(celsius(25.0), celsius(125.0))),
+                        supply_voltage=float(rng.uniform(-0.5, 0.0)),
+                    )
+                frequency = chip.oscillation_frequency()
+                assert frequency > 0.0
+                # Degradation never drives the chip faster than fresh.
+                assert frequency <= fresh * (1.0 + 1e-9)
+                assert chip.path_delay() >= chip.fresh_path_delay * (1.0 - 1e-9)

@@ -93,6 +93,17 @@ class TestCampaignCli:
         assert main(["campaign", "--chips", "1", "--quiet"]) == 0
         assert capsys.readouterr().err == ""
 
+    def test_campaign_guard_modes_run_clean(self, capsys):
+        for mode in ("raise", "clamp", "off"):
+            assert main(["campaign", "--chips", "1", "--quiet",
+                         "--guard-mode", mode]) == 0
+        capsys.readouterr()
+
+    def test_campaign_guard_mode_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--chips", "1", "--guard-mode", "maybe"])
+        assert "invalid choice" in capsys.readouterr().err
+
     def test_stats_prints_timing_and_metrics(self, capsys):
         assert main(["stats", "--chips", "1", "--quiet"]) == 0
         out = capsys.readouterr().out

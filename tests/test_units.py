@@ -1,9 +1,12 @@
 """Units and conversions."""
 
 
+import math
+
 import pytest
 
 from repro import units
+from repro.errors import ConfigurationError
 
 
 def test_celsius_to_kelvin():
@@ -16,8 +19,33 @@ def test_celsius_roundtrip():
 
 
 def test_celsius_below_absolute_zero_rejected():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         units.celsius(-300.0)
+    with pytest.raises(ConfigurationError):
+        units.celsius(-273.15)  # exactly absolute zero is unphysical too
+    with pytest.raises(ConfigurationError):
+        units.celsius(math.nan)
+
+
+def test_to_celsius_rejects_nonpositive_kelvin():
+    with pytest.raises(ConfigurationError):
+        units.to_celsius(0.0)
+    with pytest.raises(ConfigurationError):
+        units.to_celsius(-5.0)
+    with pytest.raises(ConfigurationError):
+        units.to_celsius(math.nan)
+    assert units.to_celsius(273.15) == pytest.approx(0.0)
+
+
+@pytest.mark.parametrize(
+    "helper", [units.hours, units.minutes, units.days, units.nanoseconds]
+)
+def test_duration_helpers_reject_negative(helper):
+    with pytest.raises(ConfigurationError):
+        helper(-1.0)
+    with pytest.raises(ConfigurationError):
+        helper(math.nan)
+    assert helper(0.0) == 0.0
 
 
 def test_hours_minutes_days():
