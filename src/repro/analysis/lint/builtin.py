@@ -7,6 +7,7 @@ RPR003      ``==``/``!=`` against a float literal
 RPR004      Celsius-looking literal passed to a kelvin parameter
 RPR005      ``tracer.span(...)`` opened outside a ``with`` block
 RPR006      raw ``exp`` (or division by one) on a guarded physics path
+RPR007      metric name that breaks the dotted-lowercase convention
 ==========  ====================================================
 
 Suppress a deliberate violation with ``# repro: noqa[RPR00X]`` on the
@@ -17,6 +18,7 @@ offending line, or record it in the committed baseline (see
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from repro.analysis.lint.findings import Finding, Severity
@@ -358,6 +360,72 @@ class UnguardedExpRule(Rule):
         )
 
 
+class MetricNameRule(Rule):
+    """RPR007: counter/gauge names must follow the metric convention.
+
+    Every metric is a dotted lowercase path —
+    ``<subsystem>.<noun>[.<verb>]`` like ``bti.trap_updates`` or
+    ``guard.violations.monotonic_occupancy`` — so the trace query
+    engine's family rollups (``bti.rate_cache.*``) and the stats CLI
+    sort stably.  A literal that breaks the pattern fragments the
+    namespace; a *dynamic* name (f-string, variable) creates an
+    unbounded metric family the rollups cannot pin — deliberate dynamic
+    families (the guard's per-contract violation counters) live in the
+    committed baseline.
+    """
+
+    rule_id = "RPR007"
+    title = "metric-naming"
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    #: Registry/tracer factory methods whose first argument is the name.
+    _FACTORIES = frozenset({"counter", "gauge", "histogram", "derived_gauge"})
+
+    #: dotted lowercase, at least two segments.
+    _NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+    def applies_to(self, path: str) -> bool:
+        """The obs layer itself forwards names it did not choose."""
+        return "/obs/" not in path and "analysis/lint/" not in path
+
+    def check(self, node: ast.Call, ctx: RuleContext) -> Iterator[Finding]:
+        """Flag malformed literal names and dynamic name expressions."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in self._FACTORIES):
+            return
+        receiver = SpanHygieneRule._receiver_name(func)
+        if not receiver.endswith(("tracer", "metrics", "registry")):
+            return
+        name_node: ast.AST | None = node.args[0] if node.args else None
+        if name_node is None:
+            for keyword in node.keywords:
+                if keyword.arg == "name":
+                    name_node = keyword.value
+                    break
+        if name_node is None:
+            return
+        if isinstance(name_node, ast.Constant) and isinstance(name_node.value, str):
+            if not self._NAME_PATTERN.match(name_node.value):
+                yield self.finding(
+                    node,
+                    ctx,
+                    f"metric name {name_node.value!r} breaks the "
+                    "<subsystem>.<noun>[.<verb>] convention",
+                    "use dotted lowercase with at least two segments, "
+                    "e.g. 'bti.trap_updates'",
+                )
+        else:
+            yield self.finding(
+                node,
+                ctx,
+                f"dynamic metric name passed to {func.attr}()",
+                "prefer a literal dotted name so family rollups stay "
+                "bounded; a deliberate dynamic family belongs in the "
+                "baseline with a comment at the call site",
+            )
+
+
 #: The default rule set `repro lint` runs.
 BUILTIN_RULES: tuple[Rule, ...] = (
     UnitLiteralRule(),
@@ -366,4 +434,5 @@ BUILTIN_RULES: tuple[Rule, ...] = (
     CelsiusKelvinRule(),
     SpanHygieneRule(),
     UnguardedExpRule(),
+    MetricNameRule(),
 )

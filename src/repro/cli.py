@@ -6,7 +6,13 @@ Usage::
     python -m repro info FIG4               # one experiment's description
     python -m repro run FIG4 [--seed N]     # regenerate an artefact
     python -m repro campaign [--csv out.csv] [--trace out.jsonl] [--quiet]
+    python -m repro campaign --report out.html   # + health report (HTML + JSON)
     python -m repro stats [--seed N]        # campaign timing + metric summary
+    python -m repro trace summary run.jsonl # inspect an exported trace
+    python -m repro trace diff a.jsonl b.jsonl
+    python -m repro report [--out out.html] # campaign health report
+    python -m repro report --experiments    # legacy markdown experiment report
+    python -m repro bench --check           # compare BENCH json vs history
     python -m repro calibration             # print the acceptance bands
     python -m repro lint [paths...]         # domain lint (RPR rules + baseline)
     python -m repro lint --experiments      # static experiment validation
@@ -15,6 +21,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import __version__
@@ -123,6 +130,17 @@ def _print_quarantine(result) -> None:
         )
 
 
+def _write_health_report(result, tracer, out: str, seed: int) -> None:
+    """Build and write the campaign health report (HTML + JSON sibling)."""
+    from repro.obs.query import TraceModel
+    from repro.report import build_campaign_report
+
+    model = TraceModel.from_tracer(tracer) if tracer is not None else None
+    report = build_campaign_report(result, model, seed=seed)
+    path = report.write(out)
+    print(f"health report written to {path} (+ {path.with_suffix('.json').name})")
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.lab.campaign import run_table1_campaign
     from repro.obs import JsonlExporter, ProgressReporter, Tracer
@@ -130,6 +148,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     tracer = None
     if args.trace:
         tracer = Tracer(exporter=JsonlExporter(args.trace))
+    elif args.report:
+        # The health report reads trace metrics; give it an in-memory tracer.
+        tracer = Tracer()
     progress = ProgressReporter(enabled=args.progress)
     print(f"running the Table 1 campaign on {args.chips} chips...")
     result = run_table1_campaign(seed=args.seed, n_chips=args.chips,
@@ -141,10 +162,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.csv:
         result.log.write_csv(args.csv)
         print(f"log written to {args.csv}")
+    if args.report:
+        _write_health_report(result, tracer, args.report, args.seed)
     if tracer is not None:
         n_spans = len(tracer.finished)
         tracer.close()
-        print(f"trace written to {args.trace} ({n_spans} spans)")
+        if args.trace:
+            print(f"trace written to {args.trace} ({n_spans} spans)")
     return 0
 
 
@@ -167,6 +191,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         "Per-span timing (campaign -> case -> phase -> measurement)"
     ).print()
     tracer.metrics_table("Campaign run metrics").print()
+    from repro.obs.query import TraceModel
+
+    model = TraceModel.from_tracer(tracer)
+    model.metric_family_table(TraceModel.HEALTH_FAMILIES).print()
     tracer.close()
     if args.trace:
         print(f"trace written to {args.trace}")
@@ -229,16 +257,98 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.experiments.report import build_report
+    if args.experiments:
+        from repro.experiments.report import build_report
 
-    text = build_report(seed=args.seed)
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(text)
-        print(f"report written to {args.out}")
-    else:
-        print(text)
+        text = build_report(seed=args.seed)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"report written to {args.out}")
+        else:
+            print(text)
+        return 0
+
+    from repro.lab.campaign import run_table1_campaign
+    from repro.obs import ProgressReporter, Tracer
+
+    tracer = Tracer()
+    progress = ProgressReporter(enabled=args.progress)
+    print(f"running the Table 1 campaign on {args.chips} chips (instrumented)...")
+    result = run_table1_campaign(seed=args.seed, n_chips=args.chips,
+                                 tracer=tracer, progress=progress,
+                                 workers=args.workers,
+                                 **_resilience_kwargs(args))
+    print(f"done: {len(result.log)} measurements over {len(result.chips)} chips")
+    _print_quarantine(result)
+    _write_health_report(result, tracer, args.out or "report.html", args.seed)
+    tracer.close()
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.profile import HotPathProfile
+    from repro.obs.query import TraceModel, diff_traces
+
+    if args.trace_command == "diff":
+        diff = diff_traces(
+            TraceModel.load(args.trace_a), TraceModel.load(args.trace_b)
+        )
+        diff.table(significant_only=not args.all).print()
+        significant = diff.significant()
+        print(f"significant: {len(significant)} of {len(diff.rows)} compared")
+        return 1 if significant and args.strict else 0
+
+    model = TraceModel.load(args.trace_file)
+    if args.trace_command == "summary":
+        model.top(n=args.top).print()
+        model.chip_table().print()
+        model.metric_family_table(TraceModel.HEALTH_FAMILIES).print()
+    elif args.trace_command == "top":
+        model.top(n=args.top, by=args.by, group=args.group).print()
+    elif args.trace_command == "tree":
+        print(model.tree_render(max_depth=args.max_depth,
+                                min_duration=args.min_duration))
+    elif args.trace_command == "flame":
+        for line in HotPathProfile(model).collapsed():
+            print(line)
+    elif args.trace_command == "profile":
+        profile = HotPathProfile(model)
+        profile.phase_table().print()
+        profile.throughput_table().print()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.report import bench
+
+    try:
+        with open(args.input, encoding="utf-8") as handle:
+            entry = _json.load(handle)
+    except FileNotFoundError:
+        print(f"error: benchmark result {args.input!r} not found — run "
+              "benchmarks/bench_obs_overhead.py first", file=sys.stderr)
+        return 2
+    verdict = bench.check(entry, history_dir=args.history,
+                          threshold=args.threshold, window=args.window)
+    regressed = False
+    if verdict is None:
+        print(f"no matching history in {args.history} for "
+              f"{entry.get('bench', '?')} — nothing to compare against")
+    else:
+        verdict.table().print()
+        regressed = not verdict.ok
+        if regressed:
+            names = ", ".join(v.metric for v in verdict.regressions)
+            print(f"WARNING: possible regression in {names} "
+                  "(warn-only; pass --strict to gate)")
+    if args.record:
+        path = bench.record(entry, history_dir=args.history, stamp=args.stamp)
+        print(f"recorded as entry #{bench.load_history(path)[-1]['sequence']} "
+              f"in {path}")
+    return 1 if regressed and args.strict else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -374,6 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser("campaign", help="run the full Table 1 campaign")
     campaign.add_argument("--csv", help="write the measurement log to CSV")
+    campaign.add_argument(
+        "--report",
+        metavar="HTML",
+        help="write the campaign health report here (JSON sibling alongside)",
+    )
     add_campaign_options(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
@@ -420,11 +535,132 @@ def build_parser() -> argparse.ArgumentParser:
     lint.set_defaults(func=_cmd_lint)
 
     report = sub.add_parser(
-        "report", help="run every experiment and write a markdown report"
+        "report",
+        help="run a campaign and write its health report (HTML + JSON); "
+        "--experiments writes the legacy markdown experiment report",
     )
-    report.add_argument("--out", help="output file (default: stdout)")
-    report.add_argument("--seed", type=int, default=0, help="campaign seed")
+    report.add_argument(
+        "--out",
+        help="output file (default: report.html; markdown mode: stdout)",
+    )
+    report.add_argument(
+        "--experiments",
+        action="store_true",
+        help="run every experiment and emit the markdown comparison report",
+    )
+    add_campaign_options(report)
     report.set_defaults(func=_cmd_report)
+
+    trace = sub.add_parser(
+        "trace", help="query an exported JSONL span trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def add_trace_file(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("trace_file", help="JSONL trace written by --trace")
+
+    t_summary = trace_sub.add_parser(
+        "summary", help="top spans, per-chip rollup and health metric families"
+    )
+    add_trace_file(t_summary)
+    t_summary.add_argument("--top", type=int, default=10, help="rows in the top table")
+
+    t_top = trace_sub.add_parser("top", help="hottest span groups")
+    add_trace_file(t_top)
+    t_top.add_argument("--top", type=int, default=10, help="rows to print")
+    t_top.add_argument(
+        "--by", choices=("self", "total"), default="self", help="ranking key"
+    )
+    t_top.add_argument(
+        "--group",
+        choices=("name", "path"),
+        default="name",
+        help="aggregate by span name or full root-to-span path",
+    )
+
+    t_tree = trace_sub.add_parser("tree", help="the span tree as indented text")
+    add_trace_file(t_tree)
+    t_tree.add_argument("--max-depth", type=int, help="prune below this depth")
+    t_tree.add_argument(
+        "--min-duration",
+        type=float,
+        default=0.0,
+        help="hide spans shorter than this many seconds",
+    )
+
+    t_flame = trace_sub.add_parser(
+        "flame", help="flamegraph collapsed stacks (frame;frame <usec>)"
+    )
+    add_trace_file(t_flame)
+
+    t_profile = trace_sub.add_parser(
+        "profile", help="per-phase self time and derived throughput"
+    )
+    add_trace_file(t_profile)
+
+    t_diff = trace_sub.add_parser(
+        "diff", help="compare two traces (exact / timing / rate categories)"
+    )
+    t_diff.add_argument("trace_a", help="baseline trace")
+    t_diff.add_argument("trace_b", help="candidate trace")
+    t_diff.add_argument(
+        "--all",
+        action="store_true",
+        help="show every compared row, not just significant ones",
+    )
+    t_diff.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when significant deltas exist",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench",
+        help="check a benchmark result against its rolling history baseline",
+    )
+    bench.add_argument(
+        "--input",
+        default="BENCH_campaign.json",
+        help="benchmark result JSON (default: BENCH_campaign.json)",
+    )
+    bench.add_argument(
+        "--history",
+        default="benchmarks/history",
+        help="history ledger directory (default: benchmarks/history)",
+    )
+    bench.add_argument(
+        "--record",
+        action="store_true",
+        help="append the result to the history ledger after checking",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the rolling baseline (default behaviour)",
+    )
+    bench.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on regression instead of warning",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change flagged as a regression (default: 0.10)",
+    )
+    bench.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="history entries in the rolling baseline (default: 8)",
+    )
+    bench.add_argument(
+        "--stamp",
+        help="provenance marker stored with --record (e.g. a git SHA)",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
@@ -440,6 +676,13 @@ def main(argv: list[str] | None = None) -> int:
         if bundle:
             print(f"repro bundle: {bundle}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # The reader closed stdout early (`repro trace flame | head`):
+        # not an error.  Detach stdout so the interpreter's shutdown
+        # flush does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -290,6 +290,8 @@ class Guard:
         self.violations += 1
         counter = self._counters.get(contract)
         if counter is None:
+            # Deliberate dynamic family (baselined RPR007): one counter per
+            # contract name, bounded by the fixed contract set.
             counter = self._tracer.counter(
                 f"guard.violations.{contract}",
                 f"physics contract {contract} violations",

@@ -43,6 +43,7 @@ from repro.lab.schedule import (
     standard_case,
 )
 from repro.obs import NULL_PROGRESS, NULL_TRACER, ProgressReporter, Tracer, get_tracer
+from repro.obs.profile import CaseThroughputSampler
 from repro.units import hours
 
 
@@ -70,13 +71,18 @@ def _run_case_phases(
 
     The single definition of the case-span discipline, shared by the
     sequential :class:`Campaign` methods and the parallel chip workers.
+    The throughput sampler turns the case's counter deltas into per-case
+    derived gauges (measurements/s, trap updates/s) — a no-op on the
+    null tracer.
     """
+    sampler = CaseThroughputSampler(tracer)
     with tracer.span("case", case=case_name, chip_id=bench.chip.chip_id) as span:
         sim_start = bench.chip.elapsed
         for phase in phases:
             bench.run_phase(phase, case_name, log)
         span.set("sim_advanced", bench.chip.elapsed - sim_start)
     cases_counter.inc()
+    sampler.finish(span)
 
 
 @dataclass
@@ -330,9 +336,7 @@ def _parallel_table1(
             index = future_to_index[future]
             results[index] = future.result()
             chips_done += 1
-            progress.line(
-                f"chip-{index + 1} schedule complete ({chips_done}/{n_chips} chips)"
-            )
+            progress.chip_done(f"chip-{index + 1}", chips_done, n_chips)
     chips: dict[str, FpgaChip] = {}
     fresh_delays: dict[str, float] = {}
     for chip, _, _, worker_tracer in results:
@@ -359,7 +363,9 @@ def _resilient_chip_schedule(
     retry: RetryPolicy | None,
     store: CheckpointStore | None,
     guard_config: GuardConfig | None = None,
-) -> tuple[FpgaChip, DataLog, DataLog, QuarantineReport | None, "Tracer | None"]:
+) -> tuple[
+    FpgaChip, DataLog, DataLog, QuarantineReport | None, int, "Tracer | None"
+]:
     """One chip's schedule with faults, retries and checkpointing.
 
     Seed handling is identical to :func:`_run_chip_schedule`, so with no
@@ -441,7 +447,8 @@ def _resilient_chip_schedule(
         completed.append(case_name)
         if store is not None:
             store.save_chip(chip, bench_stream, baseline_log, case_log, completed)
-    return chip, baseline_log, case_log, quarantine, (
+    retries_taken = getattr(bench, "retries_taken", 0)
+    return chip, baseline_log, case_log, quarantine, retries_taken, (
         worker_tracer if instrument else None
     )
 
@@ -487,24 +494,32 @@ def _resilient_table1(
             for index in range(n_chips)
         }
         chips_done = 0
+        retries_so_far = 0
+        quarantined_so_far = 0
         for future in as_completed(future_to_index):
             index = future_to_index[future]
             results[index] = future.result()
             chips_done += 1
             quarantine = results[index][3]
+            retries_so_far += results[index][4]
             if quarantine is not None:
-                progress.line(
-                    f"chip-{index + 1} QUARANTINED during {quarantine.case}: "
-                    f"{quarantine.reason} ({chips_done}/{n_chips} chips)"
-                )
-            else:
-                progress.line(
-                    f"chip-{index + 1} schedule complete ({chips_done}/{n_chips} chips)"
-                )
+                quarantined_so_far += 1
+            progress.chip_done(
+                f"chip-{index + 1}",
+                chips_done,
+                n_chips,
+                retries=retries_so_far,
+                quarantined=quarantined_so_far,
+                quarantine_reason=(
+                    f"during {quarantine.case}: {quarantine.reason}"
+                    if quarantine is not None
+                    else None
+                ),
+            )
     chips: dict[str, FpgaChip] = {}
     fresh_delays: dict[str, float] = {}
     quarantined: dict[str, QuarantineReport] = {}
-    for chip, _, _, quarantine, worker_tracer in results:
+    for chip, _, _, quarantine, _, worker_tracer in results:
         chips[chip.chip_id] = chip
         fresh_delays[chip.chip_id] = chip.fresh_path_delay
         if quarantine is not None:
@@ -512,8 +527,8 @@ def _resilient_table1(
         if worker_tracer is not None:
             tracer.absorb(worker_tracer)
     log = DataLog.merge(
-        [baseline_log for _, baseline_log, _, _, _ in results]
-        + [case_log for _, _, case_log, _, _ in results]
+        [baseline_log for _, baseline_log, _, _, _, _ in results]
+        + [case_log for _, _, case_log, _, _, _ in results]
     )
     return CampaignResult(
         log=log, chips=chips, fresh_delays=fresh_delays, quarantined=quarantined

@@ -112,6 +112,9 @@ class ResilientTestbench(VirtualTestbench):
         self.injector = injector
         self.retry = retry if retry is not None else RetryPolicy()
         self._last_good_count: int | None = None
+        #: Plain retry tally for live progress lines — counted even when
+        #: the tracer is the no-op default.
+        self.retries_taken = 0
         self._retries = self.tracer.counter(
             "lab.sample_retries", "readout bursts retried after a transient fault"
         )
@@ -200,6 +203,7 @@ class ResilientTestbench(VirtualTestbench):
                         f"{self.chip.chip_id} case {case}: sample failed "
                         f"{attempt} times, last error: {error}"
                     ) from error
+                self.retries_taken += 1
                 self._retries.inc()
                 wait = self.retry.backoff(attempt)
                 with self.tracer.span(

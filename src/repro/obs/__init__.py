@@ -23,12 +23,18 @@ no-op method call per event and nothing else (see
 from repro.obs.exporter import JsonlExporter, load_trace, span_tree
 from repro.obs.metrics import (
     Counter,
+    DerivedGauge,
     Gauge,
+    Histogram,
     MetricsRegistry,
     NULL_COUNTER,
+    NULL_DERIVED_GAUGE,
     NULL_GAUGE,
+    NULL_HISTOGRAM,
     NullCounter,
+    NullDerivedGauge,
     NullGauge,
+    NullHistogram,
 )
 from repro.obs.progress import NULL_PROGRESS, ProgressReporter
 from repro.obs.tracer import (
@@ -43,15 +49,21 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "DerivedGauge",
     "Gauge",
+    "Histogram",
     "JsonlExporter",
     "MetricsRegistry",
     "NULL_COUNTER",
+    "NULL_DERIVED_GAUGE",
     "NULL_GAUGE",
+    "NULL_HISTOGRAM",
     "NULL_PROGRESS",
     "NULL_TRACER",
     "NullCounter",
+    "NullDerivedGauge",
     "NullGauge",
+    "NullHistogram",
     "NullTracer",
     "ProgressReporter",
     "Span",

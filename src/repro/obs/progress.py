@@ -56,6 +56,13 @@ class ProgressReporter:
         print(f"[{self.elapsed:7.1f}s] {message}", file=self.stream, flush=True)
         self.n_lines += 1
 
+    @staticmethod
+    def _resilience_suffix(retries: int, quarantined: int) -> str:
+        """Live retry/quarantine tallies, shown only once either is nonzero."""
+        if retries == 0 and quarantined == 0:
+            return ""
+        return f", {retries} retries, {quarantined} quarantined"
+
     def case_done(
         self,
         chip_id: str,
@@ -64,11 +71,39 @@ class ProgressReporter:
         cases_total: int,
         chips_done: int,
         chips_total: int,
+        retries: int = 0,
+        quarantined: int = 0,
     ) -> None:
-        """Report one completed test case with campaign-level progress."""
+        """Report one completed test case with campaign-level progress.
+
+        ``retries``/``quarantined`` are running campaign totals; they
+        appear in the line as soon as either is nonzero, so the operator
+        sees a flaky bench live instead of in the final result.
+        """
         self.line(
             f"{chip_id:<8} {case:<10} done  "
-            f"({cases_done}/{cases_total} cases, {chips_done}/{chips_total} chips)"
+            f"({cases_done}/{cases_total} cases, {chips_done}/{chips_total} chips"
+            f"{self._resilience_suffix(retries, quarantined)})"
+        )
+
+    def chip_done(
+        self,
+        chip_id: str,
+        chips_done: int,
+        chips_total: int,
+        retries: int = 0,
+        quarantined: int = 0,
+        quarantine_reason: str | None = None,
+    ) -> None:
+        """Report one chip finishing (or being pulled from) its schedule."""
+        status = (
+            f"QUARANTINED: {quarantine_reason}"
+            if quarantine_reason is not None
+            else "schedule complete"
+        )
+        self.line(
+            f"{chip_id:<8} {status}  ({chips_done}/{chips_total} chips"
+            f"{self._resilience_suffix(retries, quarantined)})"
         )
 
 

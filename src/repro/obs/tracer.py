@@ -21,12 +21,18 @@ from typing import Iterator
 from repro.analysis.tables import Table
 from repro.obs.metrics import (
     Counter,
+    DerivedGauge,
     Gauge,
+    Histogram,
     MetricsRegistry,
     NULL_COUNTER,
+    NULL_DERIVED_GAUGE,
     NULL_GAUGE,
+    NULL_HISTOGRAM,
     NullCounter,
+    NullDerivedGauge,
     NullGauge,
+    NullHistogram,
 )
 
 
@@ -263,6 +269,17 @@ class Tracer:
         """Get-or-create a gauge on this tracer's registry."""
         return self.metrics.gauge(name, description)
 
+    def histogram(self, name: str, description: str = "",
+                  bounds=None) -> Histogram:
+        """Get-or-create a histogram on this tracer's registry."""
+        return self.metrics.histogram(name, description, bounds=bounds)
+
+    def derived_gauge(self, name: str, description: str,
+                      numerator: str, denominators) -> DerivedGauge:
+        """Get-or-create a derived gauge on this tracer's registry."""
+        return self.metrics.derived_gauge(name, description, numerator,
+                                          denominators)
+
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
@@ -307,11 +324,17 @@ class Tracer:
     def close(self) -> None:
         """Flush metrics to the exporter (if any) and close it."""
         if self.exporter is not None:
-            for name, metric in sorted(self.metrics.snapshot().items()):
-                kind = self.metrics.get(name).kind
-                self.exporter.metric(
-                    {"type": "metric", "name": name, "kind": kind, "value": metric}
-                )
+            for name, value in sorted(self.metrics.snapshot().items()):
+                metric = self.metrics.get(name)
+                record = {
+                    "type": "metric",
+                    "name": name,
+                    "kind": metric.kind,
+                    "value": value,
+                }
+                if hasattr(metric, "payload"):
+                    record.update(metric.payload())
+                self.exporter.metric(record)
             self.exporter.close()
             self.exporter = None
 
@@ -340,6 +363,16 @@ class NullTracer:
     def gauge(self, name: str, description: str = "") -> NullGauge:
         """The shared no-op gauge."""
         return NULL_GAUGE
+
+    def histogram(self, name: str, description: str = "",
+                  bounds=None) -> NullHistogram:
+        """The shared no-op histogram."""
+        return NULL_HISTOGRAM
+
+    def derived_gauge(self, name: str, description: str,
+                      numerator: str, denominators) -> NullDerivedGauge:
+        """The shared no-op derived gauge."""
+        return NULL_DERIVED_GAUGE
 
     def spans(self, name: str | None = None) -> list[Span]:
         """Always empty."""

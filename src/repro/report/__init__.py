@@ -1,0 +1,31 @@
+"""Campaign health reports and benchmark regression tracking.
+
+Split from :mod:`repro.obs` on purpose: ``obs`` is the low-level
+instrument/trace layer that must stay import-light on the hot path,
+while this package is the *consumer* side — it renders finished
+campaigns into human-facing artefacts (self-contained HTML + JSON) and
+keeps the benchmark ledger.
+"""
+
+from repro.report.bench import (
+    BenchCheck,
+    BenchVerdict,
+    check,
+    load_history,
+    record,
+    rolling_baseline,
+)
+from repro.report.builder import CampaignHealthReport, build_campaign_report
+from repro.report.svg import svg_line_chart
+
+__all__ = [
+    "BenchCheck",
+    "BenchVerdict",
+    "CampaignHealthReport",
+    "build_campaign_report",
+    "check",
+    "load_history",
+    "record",
+    "rolling_baseline",
+    "svg_line_chart",
+]

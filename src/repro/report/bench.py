@@ -1,0 +1,219 @@
+"""Append-only benchmark history with a rolling-baseline regression check.
+
+The overhead benchmark (``benchmarks/bench_obs_overhead.py``) writes one
+``BENCH_campaign.json`` per run; this module turns those one-off files
+into a trend:
+
+* :func:`record` appends the entry to ``benchmarks/history/<bench>.jsonl``
+  with a monotonically increasing sequence number (no wall-clock
+  timestamps — history must stay reproducible and the repo's lint
+  forbids wall clocks outside ``repro.obs``; callers may pass an
+  explicit ``stamp`` such as a git SHA);
+* :func:`rolling_baseline` computes the median of the last *N* entries
+  whose configuration (seed / chips / measurement count) matches the
+  candidate, so hardware drift moves the baseline slowly while a real
+  regression stands out immediately;
+* :func:`check` compares a candidate run against that baseline and
+  returns per-metric verdicts — **warn-only** by design: the CI step
+  prints the verdicts but never fails the build on a timing metric.
+
+Lower-is-better metrics (wall seconds) regress when they rise;
+higher-is-better metrics (measurements/s, sim-s per wall-s) regress when
+they fall.  Exact metrics (measurement counts) regress on any change —
+those indicate the workload itself shifted, not the machine.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.tables import Table
+from repro.errors import ConfigurationError
+
+#: Default location of the history ledger, relative to the repo root.
+HISTORY_DIR = Path("benchmarks") / "history"
+
+#: Keys that identify "the same workload" — entries with different
+#: config keys never share a baseline.
+CONFIG_KEYS = ("bench", "seed", "n_chips")
+
+#: metric -> direction; "down" = lower is better, "up" = higher is
+#: better, "exact" = any change is suspicious.
+METRIC_DIRECTIONS = {
+    "campaign_wall_s": "down",
+    "measurements_per_sec": "up",
+    "sim_seconds_per_wall_second": "up",
+    "measurements": "exact",
+    "ro_evaluations": "exact",
+    "trap_updates": "exact",
+}
+
+#: Relative change beyond which a timing metric is flagged.
+DEFAULT_THRESHOLD = 0.10
+
+#: Entries the rolling baseline looks back over.
+DEFAULT_WINDOW = 8
+
+
+def history_path(entry: dict, history_dir: str | Path = HISTORY_DIR) -> Path:
+    """Ledger file for one benchmark name."""
+    bench = entry.get("bench")
+    if not bench:
+        raise ConfigurationError("bench entry is missing its 'bench' name")
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in str(bench))
+    return Path(history_dir) / f"{safe}.jsonl"
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """All entries of one ledger, oldest first; missing file -> empty."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+def record(
+    entry: dict,
+    history_dir: str | Path = HISTORY_DIR,
+    stamp: str | None = None,
+) -> Path:
+    """Append one benchmark entry to its ledger, assigning ``sequence``.
+
+    ``stamp`` is an optional caller-supplied provenance marker (git SHA,
+    CI run id); it is stored verbatim, never derived from a clock.
+    """
+    path = history_path(entry, history_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    existing = load_history(path)
+    stored = dict(entry)
+    stored["sequence"] = (
+        max((int(e.get("sequence", 0)) for e in existing), default=0) + 1
+    )
+    if stamp is not None:
+        stored["stamp"] = stamp
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(stored, sort_keys=True) + "\n")
+    return path
+
+
+def _same_config(a: dict, b: dict) -> bool:
+    return all(a.get(key) == b.get(key) for key in CONFIG_KEYS)
+
+
+def rolling_baseline(
+    candidate: dict,
+    history: list[dict],
+    window: int = DEFAULT_WINDOW,
+) -> dict[str, float] | None:
+    """Median of each tracked metric over the last ``window`` matching runs.
+
+    Returns ``None`` when no history entry shares the candidate's
+    configuration — a first run has nothing to regress against.
+    """
+    matching = [e for e in history if _same_config(e, candidate)]
+    if not matching:
+        return None
+    recent = matching[-window:]
+    baseline: dict[str, float] = {}
+    for metric in METRIC_DIRECTIONS:
+        values = [float(e[metric]) for e in recent if metric in e]
+        if values:
+            baseline[metric] = float(statistics.median(values))
+    return baseline
+
+
+@dataclass(frozen=True)
+class BenchVerdict:
+    """One metric compared against the rolling baseline."""
+
+    metric: str
+    direction: str
+    baseline: float
+    candidate: float
+
+    @property
+    def rel_change(self) -> float:
+        """Signed relative change vs baseline (0 baseline -> 0)."""
+        if self.baseline == 0.0:  # exact sentinel: empty baseline  # repro: noqa[RPR003]
+            return 0.0
+        return (self.candidate - self.baseline) / self.baseline
+
+    def regressed(self, threshold: float = DEFAULT_THRESHOLD) -> bool:
+        """True when the change crosses the threshold the wrong way."""
+        if self.direction == "exact":
+            return self.candidate != self.baseline
+        if self.direction == "down":
+            return self.rel_change > threshold
+        return self.rel_change < -threshold
+
+
+@dataclass(frozen=True)
+class BenchCheck:
+    """The full regression check for one candidate run."""
+
+    verdicts: list[BenchVerdict]
+    threshold: float
+    window_size: int
+
+    @property
+    def regressions(self) -> list[BenchVerdict]:
+        return [v for v in self.verdicts if v.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def table(self) -> Table:
+        """One row per metric: baseline, candidate, delta %, verdict."""
+        table = Table(
+            f"Bench regression check (±{100 * self.threshold:.0f}% over "
+            f"last {self.window_size} matching runs)",
+            ["metric", "dir", "baseline", "candidate", "delta %", "verdict"],
+            fmt="{:,.2f}",
+        )
+        for v in self.verdicts:
+            table.add_row(
+                v.metric,
+                v.direction,
+                v.baseline,
+                v.candidate,
+                100.0 * v.rel_change,
+                "REGRESSED" if v.regressed(self.threshold) else "ok",
+            )
+        return table
+
+
+def check(
+    candidate: dict,
+    history_dir: str | Path = HISTORY_DIR,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+) -> BenchCheck | None:
+    """Compare a candidate entry against its rolling baseline.
+
+    ``None`` means "no matching history yet" — callers should record the
+    entry and move on rather than report a pass.
+    """
+    history = load_history(history_path(candidate, history_dir))
+    baseline = rolling_baseline(candidate, history, window=window)
+    if baseline is None:
+        return None
+    verdicts = [
+        BenchVerdict(
+            metric=metric,
+            direction=METRIC_DIRECTIONS[metric],
+            baseline=baseline[metric],
+            candidate=float(candidate[metric]),
+        )
+        for metric in METRIC_DIRECTIONS
+        if metric in baseline and metric in candidate
+    ]
+    return BenchCheck(verdicts=verdicts, threshold=threshold, window_size=window)

@@ -1,0 +1,90 @@
+"""HTML building blocks for the self-contained campaign health report.
+
+Everything here emits plain strings; the only styling is one inline
+``<style>`` block in :func:`page`, so the finished report is a single
+file that opens anywhere with no network access.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+from repro.analysis.tables import Table
+
+#: The whole report's stylesheet — inlined, never linked.
+STYLE = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 70em;
+       color: #222; line-height: 1.45; }
+h1 { border-bottom: 2px solid #1f77b4; padding-bottom: 0.2em; }
+h2 { margin-top: 1.6em; border-bottom: 1px solid #ccc; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #bbb; padding: 0.25em 0.7em; text-align: left; }
+th { background: #eef3f8; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+p.note { color: #555; font-size: 0.92em; }
+.ok { color: #2ca02c; font-weight: bold; }
+.bad { color: #d62728; font-weight: bold; }
+figure { margin: 1em 0; }
+figcaption { font-size: 0.92em; color: #555; }
+""".strip()
+
+
+def _cell(cell: object, fmt: str) -> tuple[str, bool]:
+    """(rendered text, is-numeric) for one table cell."""
+    if isinstance(cell, bool):
+        return ("yes" if cell else "no"), False
+    if isinstance(cell, float):
+        return fmt.format(cell), True
+    if isinstance(cell, int):
+        return f"{cell:,}", True
+    return escape(str(cell)), False
+
+
+def table_html(table: Table, caption: str | None = None) -> str:
+    """Render an :class:`~repro.analysis.tables.Table` as an HTML table.
+
+    Numeric cells get the ``num`` class (right-aligned tabular figures);
+    the table's title becomes the caption unless overridden.
+    """
+    lines = ["<table>"]
+    lines.append(f"<caption>{escape(caption or table.title)}</caption>")
+    lines.append(
+        "<tr>" + "".join(f"<th>{escape(str(c))}</th>" for c in table.columns) + "</tr>"
+    )
+    for row in table.rows:
+        cells = []
+        for cell in row:
+            text, numeric = _cell(cell, table.fmt)
+            cells.append(f'<td class="num">{text}</td>' if numeric else f"<td>{text}</td>")
+        lines.append("<tr>" + "".join(cells) + "</tr>")
+    lines.append("</table>")
+    return "\n".join(lines)
+
+
+def rows_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[object]],
+    fmt: str = "{:,.3f}",
+) -> str:
+    """Shorthand: build a Table from raw rows and render it to HTML."""
+    table = Table(title, list(columns), fmt=fmt)
+    for row in rows:
+        table.add_row(*row)
+    return table_html(table)
+
+
+def figure(svg: str, caption: str) -> str:
+    """Wrap an inline SVG chart in a captioned ``<figure>``."""
+    return f"<figure>{svg}<figcaption>{escape(caption)}</figcaption></figure>"
+
+
+def page(title: str, body_sections: Sequence[str]) -> str:
+    """The full self-contained HTML document."""
+    body = "\n".join(body_sections)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8"/>\n'
+        f"<title>{escape(title)}</title>\n"
+        f"<style>\n{STYLE}\n</style>\n</head>\n<body>\n"
+        f"<h1>{escape(title)}</h1>\n{body}\n</body>\n</html>\n"
+    )

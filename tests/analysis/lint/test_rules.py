@@ -180,3 +180,41 @@ class TestUnguardedExpRule:
     def test_suggestion_names_the_helpers(self):
         result = lint_source("y = np.exp(x)\n", self.GUARDED)
         assert "safe_exp" in result.findings[0].suggestion
+
+
+class TestMetricNameRule:
+    def test_well_formed_literal_passes(self):
+        assert _rule_ids('tracer.counter("bti.trap_updates", "updates")\n') == []
+        assert _rule_ids('self.metrics.gauge("campaign.progress")\n') == []
+        assert _rule_ids(
+            'tracer.histogram("profile.case.meas_per_s", "h")\n'
+        ) == []
+
+    def test_single_segment_name_flagged(self):
+        assert _rule_ids('tracer.counter("events")\n') == ["RPR007"]
+
+    def test_uppercase_and_hyphen_flagged(self):
+        assert _rule_ids('tracer.counter("Lab.Samples")\n') == ["RPR007"]
+        assert _rule_ids('tracer.counter("lab.sample-count")\n') == ["RPR007"]
+
+    def test_dynamic_name_flagged(self):
+        assert _rule_ids(
+            'tracer.counter(f"guard.violations.{contract}")\n'
+        ) == ["RPR007"]
+        assert _rule_ids("tracer.counter(name)\n") == ["RPR007"]
+
+    def test_name_keyword_is_checked(self):
+        assert _rule_ids('tracer.counter(name="BAD")\n') == ["RPR007"]
+
+    def test_non_metric_receivers_ignored(self):
+        assert _rule_ids('db.counter("whatever")\n') == []
+
+    def test_obs_layer_is_exempt(self):
+        assert _rule_ids(
+            "tracer.counter(name)\n", path="src/repro/obs/tracer.py"
+        ) == []
+
+    def test_derived_gauge_first_arg_checked(self):
+        assert _rule_ids(
+            'tracer.derived_gauge("bad", "", "a.b", ("a.b",))\n'
+        ) == ["RPR007"]

@@ -31,6 +31,6 @@ class TestReport:
         from repro.cli import main
 
         out = tmp_path / "report.md"
-        assert main(["report", "--out", str(out)]) == 0
+        assert main(["report", "--experiments", "--out", str(out)]) == 0
         assert out.exists()
         assert "Reproduction report" in out.read_text()

@@ -93,3 +93,50 @@ class TestValidation:
         times, shifts = parallel_result.delay_change_series("AS110DC24", chip_no=2)
         assert times.size > 0
         assert np.all(np.isfinite(shifts))
+
+
+class TestMergedHistogramsAndDerived:
+    """The new metric kinds must survive worker merges bit-identically."""
+
+    def test_histogram_payloads_match_sequential(self):
+        seq_tracer, par_tracer = Tracer(), Tracer()
+        run_table1_campaign(seed=7, n_chips=2, tracer=seq_tracer, workers=1)
+        run_table1_campaign(seed=7, n_chips=2, tracer=par_tracer, workers=2)
+        for name in ("profile.case.meas_per_s", "profile.case.trap_updates_per_s"):
+            seq_hist = seq_tracer.metrics.get(name)
+            par_hist = par_tracer.metrics.get(name)
+            # observation counts and bucket shape are deterministic;
+            # the observed rates themselves are wall-clock quantities
+            assert par_hist.count == seq_hist.count
+            assert len(par_hist.bucket_counts) == len(seq_hist.bucket_counts)
+            assert par_hist.count == sum(par_hist.bucket_counts)
+
+    def test_derived_gauge_reads_merged_counters(self):
+        tracer = Tracer()
+        run_table1_campaign(seed=7, n_chips=2, tracer=tracer, workers=2)
+        registry = tracer.metrics
+        lookups = (
+            registry.value("bti.rate_cache.hits")
+            + registry.value("bti.rate_cache.partial_hits")
+            + registry.value("bti.rate_cache.misses")
+        )
+        expected = (
+            registry.value("bti.rate_cache.hits") / lookups if lookups else 0.0
+        )
+        assert registry.value("bti.rate_cache.hit_rate") == expected
+
+    def test_absorb_merges_new_kinds_into_parent(self):
+        parent, child = Tracer(), Tracer()
+        parent.histogram("profile.case.meas_per_s").observe(10.0)
+        child.histogram("profile.case.meas_per_s").observe(30.0)
+        child.counter("bti.rate_cache.hits").inc(3.0)
+        child.counter("bti.rate_cache.misses").inc(1.0)
+        child.derived_gauge(
+            "bti.rate_cache.hit_rate", "", "bti.rate_cache.hits",
+            ("bti.rate_cache.hits", "bti.rate_cache.misses"),
+        )
+        parent.absorb(child)
+        hist = parent.metrics.get("profile.case.meas_per_s")
+        assert hist.count == 2
+        assert hist.sum == 40.0
+        assert parent.metrics.value("bti.rate_cache.hit_rate") == 0.75

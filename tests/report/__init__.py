@@ -1,0 +1,1 @@
+"""Tests for the campaign health report and bench history."""

@@ -1,0 +1,121 @@
+"""Bench history ledger and rolling-baseline regression check."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.report import bench
+
+
+def entry(**overrides):
+    base = {
+        "bench": "bench_obs_overhead.test_bench_campaign_baseline",
+        "seed": 0,
+        "n_chips": 5,
+        "measurements": 622,
+        "campaign_wall_s": 1.369,
+        "measurements_per_sec": 454.2,
+        "sim_seconds_per_wall_second": 563977.2,
+        "ro_evaluations": 1866,
+        "trap_updates": 921000,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestLedger:
+    def test_record_assigns_monotonic_sequence(self, tmp_path):
+        path = bench.record(entry(), history_dir=tmp_path)
+        bench.record(entry(), history_dir=tmp_path, stamp="abc123")
+        history = bench.load_history(path)
+        assert [e["sequence"] for e in history] == [1, 2]
+        assert history[1]["stamp"] == "abc123"
+        assert "stamp" not in history[0]
+
+    def test_ledger_is_append_only_jsonl(self, tmp_path):
+        path = bench.record(entry(), history_dir=tmp_path)
+        first = path.read_text()
+        bench.record(entry(), history_dir=tmp_path)
+        assert path.read_text().startswith(first)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_entries_never_carry_wall_clock_fields(self, tmp_path):
+        path = bench.record(entry(), history_dir=tmp_path)
+        (stored,) = bench.load_history(path)
+        assert "timestamp" not in stored
+        assert "time" not in stored
+
+    def test_missing_bench_name_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            bench.record({"seed": 0}, history_dir=tmp_path)
+
+
+class TestRollingBaseline:
+    def test_no_matching_config_returns_none(self):
+        history = [entry(n_chips=1, sequence=1)]
+        assert bench.rolling_baseline(entry(), history) is None
+        assert bench.rolling_baseline(entry(), []) is None
+
+    def test_median_over_window(self):
+        history = [entry(campaign_wall_s=w, sequence=i)
+                   for i, w in enumerate([9.0, 1.0, 2.0, 3.0])]
+        baseline = bench.rolling_baseline(entry(), history, window=3)
+        assert baseline["campaign_wall_s"] == 2.0  # 9.0 fell out of window
+
+
+class TestCheck:
+    def test_first_run_has_nothing_to_compare(self, tmp_path):
+        assert bench.check(entry(), history_dir=tmp_path) is None
+
+    def test_unchanged_run_is_ok(self, tmp_path):
+        bench.record(entry(), history_dir=tmp_path)
+        result = bench.check(entry(), history_dir=tmp_path)
+        assert result.ok
+        assert result.regressions == []
+
+    def test_slowed_run_is_flagged(self, tmp_path):
+        bench.record(entry(), history_dir=tmp_path)
+        slow = entry(
+            campaign_wall_s=1.369 * 1.5, measurements_per_sec=454.2 / 1.5
+        )
+        result = bench.check(slow, history_dir=tmp_path)
+        assert not result.ok
+        flagged = {v.metric for v in result.regressions}
+        assert flagged == {"campaign_wall_s", "measurements_per_sec"}
+
+    def test_faster_run_is_not_a_regression(self, tmp_path):
+        bench.record(entry(), history_dir=tmp_path)
+        fast = entry(
+            campaign_wall_s=1.369 / 2.0, measurements_per_sec=454.2 * 2.0
+        )
+        assert bench.check(fast, history_dir=tmp_path).ok
+
+    def test_workload_shift_is_exact_regression(self, tmp_path):
+        bench.record(entry(), history_dir=tmp_path)
+        shifted = entry(measurements=623)
+        result = bench.check(shifted, history_dir=tmp_path)
+        assert [v.metric for v in result.regressions] == ["measurements"]
+
+    def test_within_threshold_drift_is_ok(self, tmp_path):
+        bench.record(entry(), history_dir=tmp_path)
+        drift = entry(campaign_wall_s=1.369 * 1.05)
+        assert bench.check(drift, history_dir=tmp_path).ok
+
+    def test_table_marks_regressions(self, tmp_path):
+        bench.record(entry(), history_dir=tmp_path)
+        slow = entry(campaign_wall_s=1.369 * 2.0)
+        rendered = bench.check(slow, history_dir=tmp_path).table().render()
+        assert "REGRESSED" in rendered
+        assert "campaign_wall_s" in rendered
+
+
+class TestCommittedSeed:
+    def test_repo_history_matches_bench_json(self):
+        """The committed ledger must stay compatible with BENCH_campaign.json."""
+        with open("BENCH_campaign.json", encoding="utf-8") as handle:
+            candidate = json.load(handle)
+        result = bench.check(candidate, history_dir="benchmarks/history")
+        assert result is not None
+        assert result.ok

@@ -47,9 +47,9 @@ class TestCli:
             main(["--version"])
         assert excinfo.value.code == 0
 
-    def test_report_to_stdout(self, capsys, campaign_result):
+    def test_experiments_report_to_stdout(self, capsys, campaign_result):
         # campaign_result warms the seed-0 cache the report reuses.
-        assert main(["report"]) == 0
+        assert main(["report", "--experiments"]) == 0
         out = capsys.readouterr().out
         assert "# Reproduction report" in out
         assert "TAB1" in out
@@ -111,6 +111,165 @@ class TestCampaignCli:
         assert "measurement" in out
         assert "ro.evaluations" in out
         assert "campaign.sim_seconds_per_wall_second" in out
+
+    def test_stats_rolls_up_health_metric_families(self, capsys):
+        assert main(["stats", "--chips", "1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Metric rollup by family" in out
+        # pinned families render even when the run had no such events
+        assert "guard.violations" in out
+        assert "lab.faults" in out
+        assert "lab.sample_retries" in out
+        assert "campaign.quarantines" in out
+        assert "bti.rate_cache" in out
+
+    def test_campaign_report_flag_writes_health_report(self, tmp_path, capsys):
+        import json
+
+        out_html = tmp_path / "health.html"
+        assert main(["campaign", "--chips", "1", "--quiet",
+                     "--report", str(out_html)]) == 0
+        assert "health report written" in capsys.readouterr().out
+        assert out_html.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+        data = json.loads((tmp_path / "health.json").read_text())
+        assert data["meta"]["n_chips"] == 1
+        assert data["rate_cache"]["lookups"] > 0
+
+
+class TestTraceCli:
+    """The `repro trace` subcommands over a real exported trace."""
+
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("traces") / "t.jsonl"
+        assert main(["campaign", "--chips", "1", "--quiet",
+                     "--trace", str(path)]) == 0
+        return path
+
+    def test_summary(self, trace_file, capsys):
+        assert main(["trace", "summary", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "span groups by self time" in out
+        assert "Per-chip span rollup" in out
+        assert "Metric rollup by family" in out
+
+    def test_top_by_path(self, trace_file, capsys):
+        assert main(["trace", "top", str(trace_file), "--group", "path"]) == 0
+        assert "campaign;case;phase:stress" in capsys.readouterr().out
+
+    def test_tree_depth_limit(self, trace_file, capsys):
+        assert main(["trace", "tree", str(trace_file), "--max-depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out
+        assert "measurement" not in out
+
+    def test_flame_output_is_collapsed_stacks(self, trace_file, capsys):
+        assert main(["trace", "flame", str(trace_file)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            path, _, usec = line.rpartition(" ")
+            assert ";" in path or path == "campaign"
+            assert int(usec) > 0
+
+    def test_profile(self, trace_file, capsys):
+        assert main(["trace", "profile", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase self time" in out
+        assert "profile.case.meas_per_s" in out
+
+    def test_diff_same_seed_zero_significant(self, trace_file, tmp_path, capsys):
+        other = tmp_path / "other.jsonl"
+        assert main(["campaign", "--chips", "1", "--quiet",
+                     "--trace", str(other)]) == 0
+        assert main(["trace", "diff", str(trace_file), str(other)]) == 0
+        assert "significant: 0" in capsys.readouterr().out
+
+    def test_diff_strict_gates_on_structural_change(self, trace_file, tmp_path,
+                                                    capsys):
+        import json
+
+        mutated = tmp_path / "mutated.jsonl"
+        with open(trace_file, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        for record in records:
+            if record["type"] == "metric" and record["name"] == "lab.samples":
+                record["value"] += 1
+        with open(mutated, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        assert main(["trace", "diff", str(trace_file), str(mutated),
+                     "--strict"]) == 1
+        assert "lab.samples" in capsys.readouterr().out
+
+
+class TestReportCli:
+    def test_report_writes_html_and_json(self, tmp_path, capsys):
+        import json
+
+        out_html = tmp_path / "r.html"
+        assert main(["report", "--chips", "1", "--quiet",
+                     "--out", str(out_html)]) == 0
+        assert "health report written" in capsys.readouterr().out
+        html = out_html.read_text(encoding="utf-8")
+        assert "<svg" in html
+        assert "<script" not in html
+        data = json.loads((tmp_path / "r.json").read_text())
+        assert sorted(data) == ["chips", "guard_violations", "meta",
+                                "quarantined", "rate_cache", "resilience"]
+
+
+class TestBenchCli:
+    def _entry(self, tmp_path, **overrides):
+        import json
+
+        entry = json.loads(open("BENCH_campaign.json", encoding="utf-8").read())
+        entry.update(overrides)
+        path = tmp_path / "candidate.json"
+        path.write_text(json.dumps(entry))
+        return path
+
+    def test_no_history_is_informational(self, tmp_path, capsys):
+        candidate = self._entry(tmp_path)
+        assert main(["bench", "--input", str(candidate),
+                     "--history", str(tmp_path / "h")]) == 0
+        assert "no matching history" in capsys.readouterr().out
+
+    def test_record_then_check_ok(self, tmp_path, capsys):
+        candidate = self._entry(tmp_path)
+        history = tmp_path / "h"
+        assert main(["bench", "--input", str(candidate),
+                     "--history", str(history), "--record"]) == 0
+        assert main(["bench", "--check", "--input", str(candidate),
+                     "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "Bench regression check" in out
+        assert "REGRESSED" not in out
+
+    def test_slowed_run_warns_but_exits_zero(self, tmp_path, capsys):
+        import json
+
+        base = self._entry(tmp_path)
+        history = tmp_path / "h"
+        assert main(["bench", "--input", str(base),
+                     "--history", str(history), "--record"]) == 0
+        entry = json.loads(base.read_text())
+        slow = self._entry(
+            tmp_path,
+            campaign_wall_s=entry["campaign_wall_s"] * 1.5,
+            measurements_per_sec=entry["measurements_per_sec"] / 1.5,
+        )
+        assert main(["bench", "--check", "--input", str(slow),
+                     "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: possible regression" in out
+        assert main(["bench", "--check", "--strict", "--input", str(slow),
+                     "--history", str(history)]) == 1
+        capsys.readouterr()
+
+    def test_missing_input_is_an_error(self, tmp_path, capsys):
+        assert main(["bench", "--input", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
 
 
 class TestLintCli:
