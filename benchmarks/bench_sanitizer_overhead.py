@@ -1,0 +1,84 @@
+"""Determinism sanitizer — phase hashing must be close to free.
+
+``repro campaign --sanitize`` hashes every chip's trap/RNG/DataLog state
+at each phase boundary.  The hashes are only useful if they can stay on
+in CI, so the budget mirrors the observability layer's: a sanitized
+campaign may cost at most 5 % more wall clock than the same run with the
+null sanitizer.  Every run also refreshes ``BENCH_sanitizer.json`` so
+future PRs that touch the hashing path have a trajectory to beat.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.lab.campaign import run_table1_campaign
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_sanitizer.json"
+
+#: Maximum tolerated wall-clock overhead of --sanitize vs off.
+OVERHEAD_BUDGET = 0.05
+
+#: Chips used for the overhead A/B (smaller than the full bench, repeated).
+OVERHEAD_CHIPS = 2
+OVERHEAD_REPEATS = 4
+
+
+def _timed_run(sanitize: bool) -> float:
+    start = time.perf_counter()
+    run_table1_campaign(seed=0, n_chips=OVERHEAD_CHIPS, sanitize=sanitize)
+    return time.perf_counter() - start
+
+
+def test_bench_sanitizer_overhead(once):
+    """Sanitizing a campaign must cost < 5 % over the null sanitizer.
+
+    The A/B runs are interleaved (off, on, off, ...) and the fastest of
+    each side compared, so CPU warm-up and frequency scaling bias
+    neither side.
+    """
+
+    def measure() -> tuple[float, float]:
+        _timed_run(False)  # warm-up, discarded
+        off = float("inf")
+        on = float("inf")
+        for _ in range(OVERHEAD_REPEATS):
+            off = min(off, _timed_run(False))
+            on = min(on, _timed_run(True))
+        return off, on
+
+    off, on = once(measure)
+    overhead = on / off - 1.0
+    print(f"sanitizer off: {off:.3f} s   sanitizer on: {on:.3f} s")
+    print(f"sanitizer overhead: {100.0 * overhead:+.2f} % "
+          f"(budget {100.0 * OVERHEAD_BUDGET:.0f} %)")
+    assert overhead < OVERHEAD_BUDGET
+
+
+def test_bench_sanitizer_baseline(once):
+    """Time the sanitized five-chip campaign and refresh BENCH_sanitizer.json."""
+
+    def timed_campaign():
+        start = time.perf_counter()
+        result = run_table1_campaign(seed=0, sanitize=True)
+        return time.perf_counter() - start, result
+
+    wall_s, result = once(timed_campaign)
+    baseline = {
+        "bench": "bench_sanitizer_overhead.test_bench_sanitizer_baseline",
+        "seed": 0,
+        "n_chips": len(result.chips),
+        "measurements": len(result.log),
+        "phase_hashes": len(result.state_hashes),
+        "campaign_wall_s": round(wall_s, 3),
+        "measurements_per_sec": round(len(result.log) / wall_s, 1),
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"sanitized campaign: {wall_s:.3f} s wall, "
+          f"{baseline['phase_hashes']} phase hashes")
+    print(f"baseline written to {BASELINE_PATH}")
+    # Per-chip baseline plus every schedule phase, incl. chip 5's
+    # re-stress and 12 h recovery (AR110N12).
+    assert baseline["phase_hashes"] == 16
+    assert baseline["measurements"] > 500

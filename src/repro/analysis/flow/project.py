@@ -1,0 +1,276 @@
+"""Project model: every module parsed once, with bindings and imports.
+
+The per-file lint engine sees one AST at a time; the flow passes need to
+answer questions that span files — "which module does this name come
+from?", "is this call target a class defined elsewhere in the tree?".
+:class:`Project` loads every Python file under the analysis roots,
+derives its dotted module name from the ``__init__.py`` chain, and
+records a *binding table* per module: what each top-level name refers to
+(an imported module, an imported symbol, a local function/class, or a
+module-level object and the class that constructed it).
+
+Everything here is pure ``ast`` — nothing is imported or executed, so
+analyzing a module with deliberate violations (the test fixtures) is
+safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted name of an expression ("np.random.default_rng")."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call):
+        parts.append(dotted_name(node.func) + "()")
+    return ".".join(reversed(parts))
+
+
+@dataclass(frozen=True)
+class Binding:
+    """What one top-level name in a module refers to.
+
+    ``kind`` is one of ``module`` (an imported module; ``target`` is its
+    dotted name), ``symbol`` (a ``from m import x``; ``target`` is
+    ``m.x``), ``function`` / ``class`` (defined here; ``target`` is the
+    qualified name), or ``object`` (a module-level assignment; ``target``
+    is the bare name of the constructing class when the right-hand side
+    is a recognizable ``SomeClass(...)`` call, else empty).
+    """
+
+    kind: str
+    target: str = ""
+    line: int = 0
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the analyzed project."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source_lines: list[str]
+    bindings: dict[str, Binding] = field(default_factory=dict)
+
+    @property
+    def tail(self) -> str:
+        """The last dotted segment ("campaign" for "repro.lab.campaign")."""
+        return self.name.rpartition(".")[2]
+
+
+def _module_name(file_path: Path) -> str:
+    """Dotted module name derived from the ``__init__.py`` chain.
+
+    ``src/repro/lab/campaign.py`` becomes ``repro.lab.campaign`` because
+    every directory from ``repro`` down carries an ``__init__.py``; a
+    loose file in a plain directory (the test fixtures) is a top-level
+    module named after its stem.
+    """
+    parts = [file_path.stem] if file_path.stem != "__init__" else []
+    directory = file_path.parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        directory = directory.parent
+    return ".".join(parts) if parts else file_path.stem
+
+
+def _constructor_name(value: ast.AST) -> str:
+    """Bare class name when ``value`` looks like ``SomeClass(...)``."""
+    if not isinstance(value, ast.Call):
+        return ""
+    tail = dotted_name(value.func).rpartition(".")[2]
+    # Heuristic shared with the merge registry: constructors are
+    # CapWords, plain calls are not.
+    return tail if tail[:1].isupper() else ""
+
+
+def _bind_imports(module: ModuleInfo, node: ast.stmt) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".", 1)[0]
+            target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+            module.bindings[name] = Binding("module", target, node.lineno)
+    elif isinstance(node, ast.ImportFrom):
+        base = node.module or ""
+        if node.level:
+            # Resolve ``from .sibling import x`` against this module.
+            package = module.name.rsplit(".", node.level)[0]
+            base = f"{package}.{base}" if base else package
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            name = alias.asname or alias.name
+            module.bindings[name] = Binding(
+                "symbol", f"{base}.{alias.name}", node.lineno
+            )
+
+
+def _bind_toplevel(module: ModuleInfo) -> None:
+    """Fill the binding table from the module's top-level statements."""
+    for node in module.tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            _bind_imports(module, node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.bindings[node.name] = Binding(
+                "function", f"{module.name}.{node.name}", node.lineno
+            )
+        elif isinstance(node, ast.ClassDef):
+            module.bindings[node.name] = Binding(
+                "class", f"{module.name}.{node.name}", node.lineno
+            )
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = getattr(node, "value", None)
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                elements = target.elts if isinstance(target, ast.Tuple) else [target]
+                for element in elements:
+                    if isinstance(element, ast.Name):
+                        module.bindings.setdefault(
+                            element.id,
+                            Binding(
+                                "object",
+                                _constructor_name(value) if value else "",
+                                node.lineno,
+                            ),
+                        )
+
+
+class Project:
+    """Every module under the analysis roots, parsed and cross-indexed."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        #: module name -> project modules it imports (resolved edges only).
+        self.imports: dict[str, set[str]] = {}
+        for info in modules.values():
+            self.imports[info.name] = self._import_edges(info)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def load(cls, paths: Sequence[str | Path], root: str | Path | None = None) -> "Project":
+        """Parse every ``*.py`` under ``paths`` into a project model.
+
+        ``root`` (default: the current directory) anchors the
+        repo-relative paths findings are reported against — the same
+        convention as :func:`repro.analysis.lint.engine.lint_paths`, so
+        deep findings share the baseline's path space.  Files that do
+        not parse are skipped here; the per-file engine already reports
+        them as ``RPR000``.
+        """
+        root = Path(root if root is not None else ".").resolve()
+        modules: dict[str, ModuleInfo] = {}
+        for file_path in _python_files(paths):
+            resolved = file_path.resolve()
+            try:
+                relative = resolved.relative_to(root).as_posix()
+            except ValueError:
+                relative = resolved.as_posix()
+            source = file_path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=relative)
+            except SyntaxError:
+                continue
+            info = ModuleInfo(
+                name=_module_name(resolved),
+                path=relative,
+                tree=tree,
+                source_lines=source.splitlines(),
+            )
+            _bind_toplevel(info)
+            modules[info.name] = info
+        return cls(modules)
+
+    def _import_edges(self, info: ModuleInfo) -> set[str]:
+        edges: set[str] = set()
+        for binding in info.bindings.values():
+            if binding.kind == "module" and binding.target in self.modules:
+                edges.add(binding.target)
+            elif binding.kind == "symbol":
+                owner = binding.target.rpartition(".")[0]
+                if binding.target in self.modules:
+                    edges.add(binding.target)
+                elif owner in self.modules:
+                    edges.add(owner)
+        return edges
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def sorted_modules(self) -> list[ModuleInfo]:
+        """Modules in name order — the deterministic iteration order."""
+        return [self.modules[name] for name in sorted(self.modules)]
+
+    def resolve(self, module: ModuleInfo, name: str) -> Binding | None:
+        """Resolve a (possibly dotted) name seen in ``module``.
+
+        Follows one ``symbol`` hop into the defining module, so
+        ``from repro.lab.datalog import DataLog`` resolves to that
+        module's ``class`` binding.  Returns ``None`` for builtins and
+        third-party names.
+        """
+        head, _, tail = name.partition(".")
+        binding = module.bindings.get(head)
+        if binding is None:
+            return None
+        if binding.kind == "module":
+            target = self.modules.get(binding.target)
+            if target is None or not tail:
+                return binding
+            return self.resolve(target, tail)
+        if binding.kind == "symbol":
+            owner, _, symbol = binding.target.rpartition(".")
+            target = self.modules.get(owner)
+            if target is not None and symbol in target.bindings:
+                resolved = target.bindings[symbol]
+                if tail and resolved.kind == "class":
+                    # Method access through an imported class name.
+                    return resolved
+                return resolved if not tail else None
+            if binding.target in self.modules and tail:
+                return self.resolve(self.modules[binding.target], tail)
+            return binding
+        return binding
+
+    def importers_of(self, name: str) -> list[str]:
+        """Project modules that import the module called ``name``."""
+        return sorted(m for m, edges in self.imports.items() if name in edges)
+
+
+def _python_files(paths: Sequence[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        target = Path(raw)
+        if target.is_file():
+            candidates: Iterable[Path] = [target]
+        elif target.is_dir():
+            candidates = sorted(
+                p for p in target.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            raise ConfigurationError(f"flow analysis target {target} does not exist")
+        for path in candidates:
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(path)
+    return files

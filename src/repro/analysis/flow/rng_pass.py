@@ -1,0 +1,288 @@
+"""RPR2xx — RNG stream ownership across the project.
+
+The repo's determinism contract gives every stream exactly one owner: a
+chip or bench derives its child stream from the campaign master and
+nothing else ever draws from it.  Three ways that contract breaks, and
+the rule that catches each:
+
+==========  ==========================================================
+RPR201      a stream escapes its owning scope — created at module level,
+            written to a module global, or stored on a class attribute,
+            where every importer shares (and advances) it
+RPR202      one stream is consumed by both the campaign path and the
+            fault-injection path, which PR 4 deliberately separated so
+            a fault plan never perturbs clean-chip records
+RPR203      a function draws from a stream that was not threaded through
+            its parameters (a free/global variable), so its output
+            depends on call order elsewhere in the program
+==========  ==========================================================
+
+All three are cross-file properties: single-file lint (RPR002) sees an
+unseeded ``default_rng()``, but a correctly-seeded stream shared through
+a module global looks locally fine in every file that touches it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.flow.callgraph import CallGraph, FunctionInfo
+from repro.analysis.flow.project import ModuleInfo, Project, dotted_name
+from repro.analysis.flow.values import (
+    RNG_DRAW_METHODS,
+    RNG_FACTORIES,
+    RNG_PARAM_RE,
+    FunctionScope,
+)
+from repro.analysis.lint.findings import Finding, Severity
+
+#: Module tail segments that belong to the fault-injection path.
+FAULT_SEGMENTS = ("fault",)
+
+#: Module tail segments that belong to the campaign/measurement path.
+CAMPAIGN_SEGMENTS = ("campaign", "measurement", "chip", "bench")
+
+
+def _finding(rule_id: str, path: str, line: int, message: str, suggestion: str) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        message=message,
+        suggestion=suggestion,
+    )
+
+
+def _is_rng_creation(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func).rpartition(".")[2] in RNG_FACTORIES
+    )
+
+
+def _module_side(module_name: str) -> str | None:
+    """Which determinism domain a module belongs to, if any."""
+    tail = module_name.rpartition(".")[2]
+    if any(segment in tail for segment in FAULT_SEGMENTS):
+        return "fault"
+    if any(segment in tail for segment in CAMPAIGN_SEGMENTS):
+        return "campaign"
+    return None
+
+
+def _check_module_level(module: ModuleInfo, findings: list[Finding]) -> None:
+    """RPR201: streams created at module scope are shared by construction."""
+    for node in module.tree.body:
+        value = getattr(node, "value", None)
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)) or value is None:
+            continue
+        if not _is_rng_creation(value):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                findings.append(
+                    _finding(
+                        "RPR201",
+                        module.path,
+                        node.lineno,
+                        f"module-global RNG stream {target.id!r} is shared by "
+                        "every importer",
+                        "create the stream where it is owned (a chip, bench or "
+                        "campaign) and thread it through parameters",
+                    )
+                )
+
+
+class _FunctionRngChecker:
+    """Runs the RPR201/202/203 checks over one function body."""
+
+    def __init__(
+        self,
+        project: Project,
+        graph: CallGraph,
+        module: ModuleInfo,
+        info: FunctionInfo,
+        findings: list[Finding],
+    ) -> None:
+        self.project = project
+        self.graph = graph
+        self.module = module
+        self.info = info
+        self.findings = findings
+        self.scope = FunctionScope(info.node)
+        #: stream name -> {side: first line it was consumed on that side}.
+        self.consumers: dict[str, dict[str, int]] = {}
+
+    def run(self) -> None:
+        for node in self.scope._body_nodes():
+            if isinstance(node, ast.Assign):
+                self._check_escape(node)
+            elif isinstance(node, ast.Call):
+                self._check_draw(node)
+                self._check_cross_path(node)
+        self._emit_cross_path()
+
+    # -------------------------------------------------------------- #
+    # RPR201 — escapes
+    # -------------------------------------------------------------- #
+
+    def _check_escape(self, node: ast.Assign) -> None:
+        if not self.scope.is_rng_expr(node.value):
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id in self.scope.global_names:
+                self.findings.append(
+                    _finding(
+                        "RPR201",
+                        self.module.path,
+                        node.lineno,
+                        f"RNG stream escapes {self.info.bare_name}() into "
+                        f"module global {target.id!r}",
+                        "return the stream to the caller instead of publishing "
+                        "it through module state",
+                    )
+                )
+            elif isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ):
+                receiver = target.value.id
+                if receiver == "self":
+                    continue  # instance-owned streams are the blessed pattern
+                binding = self.project.resolve(self.module, receiver)
+                if binding is not None and binding.kind == "class":
+                    self.findings.append(
+                        _finding(
+                            "RPR201",
+                            self.module.path,
+                            node.lineno,
+                            f"RNG stream escapes {self.info.bare_name}() into "
+                            f"class attribute {receiver}.{target.attr}",
+                            "store the stream on the instance (self.*) so each "
+                            "object owns its own state",
+                        )
+                    )
+
+    # -------------------------------------------------------------- #
+    # RPR203 — draws from non-threaded streams
+    # -------------------------------------------------------------- #
+
+    def _check_draw(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in RNG_DRAW_METHODS):
+            return
+        receiver = func.value
+        if not isinstance(receiver, ast.Name):
+            return  # self._rng / obj.rng draws are owner-mediated
+        origin = self.scope.origin_of(receiver.id)
+        if origin in ("param", "local"):
+            return
+        # A free name is only an RNG finding when we have positive
+        # evidence it is a stream: a conventional name, or a module
+        # binding whose value was an RNG factory call.
+        looks_rng = bool(RNG_PARAM_RE.search(receiver.id))
+        binding = self.module.bindings.get(receiver.id)
+        if binding is not None and binding.kind == "object":
+            value_line = binding.line
+            looks_rng = looks_rng or self._module_binding_is_rng(receiver.id)
+        else:
+            value_line = 0
+        if not looks_rng and binding is None:
+            return
+        if not looks_rng:
+            return
+        # No line number in the message: fingerprints must survive the
+        # definition moving (the baseline contract).
+        where = "a module global" if value_line else "an enclosing scope"
+        self.findings.append(
+            _finding(
+                "RPR203",
+                self.module.path,
+                node.lineno,
+                f"{self.info.bare_name}() draws from RNG stream "
+                f"{receiver.id!r} captured from {where}, not threaded "
+                "through its parameters",
+                "accept the stream as a parameter so callers control "
+                "(and tests can replay) the draw order",
+            )
+        )
+
+    def _module_binding_is_rng(self, name: str) -> bool:
+        for node in self.module.tree.body:
+            value = getattr(node, "value", None)
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)) or value is None:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return _is_rng_creation(value)
+        return False
+
+    # -------------------------------------------------------------- #
+    # RPR202 — campaign/fault cross-consumption
+    # -------------------------------------------------------------- #
+
+    def _check_cross_path(self, node: ast.Call) -> None:
+        callee = self._callee_module(node)
+        if callee is None:
+            return
+        side = _module_side(callee)
+        if side is None:
+            return
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            if isinstance(arg, ast.Name) and self.scope.origin_of(arg.id) is not None:
+                if not self.scope.is_rng_expr(arg):
+                    continue
+                sides = self.consumers.setdefault(arg.id, {})
+                sides.setdefault(side, node.lineno)
+
+    def _callee_module(self, node: ast.Call) -> str | None:
+        """The project module a call target resolves into, if any."""
+        name = dotted_name(node.func)
+        if not name:
+            return None
+        binding = self.project.resolve(self.module, name)
+        if binding is None or binding.kind not in ("function", "class"):
+            # ``obj.method(...)``: fall back to the unique project class
+            # defining that method.
+            if isinstance(node.func, ast.Attribute):
+                owners = {
+                    self.graph.functions[q].module
+                    for q in self.graph.methods_by_name.get(node.func.attr, ())
+                }
+                if len(owners) == 1:
+                    return next(iter(owners))
+            return None
+        return binding.target.rpartition(".")[0]
+
+    def _emit_cross_path(self) -> None:
+        for name in sorted(self.consumers):
+            sides = self.consumers[name]
+            if "fault" in sides and "campaign" in sides:
+                line = max(sides.values())
+                self.findings.append(
+                    _finding(
+                        "RPR202",
+                        self.module.path,
+                        line,
+                        f"RNG stream {name!r} is consumed by both the campaign "
+                        "path and the fault-injection path in "
+                        f"{self.info.bare_name}()",
+                        "spawn independent child streams so fault plans never "
+                        "perturb clean-chip records",
+                    )
+                )
+
+
+def run_rng_pass(project: Project, graph: CallGraph) -> list[Finding]:
+    """The RPR2xx findings for a loaded project, in deterministic order."""
+    findings: list[Finding] = []
+    for module in project.sorted_modules():
+        _check_module_level(module, findings)
+    for qualname in sorted(graph.functions):
+        info = graph.functions[qualname]
+        module = project.modules[info.module]
+        _FunctionRngChecker(project, graph, module, info, findings).run()
+    findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
+    return findings

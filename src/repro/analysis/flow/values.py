@@ -1,0 +1,192 @@
+"""Value tracking for RNG streams within one function scope.
+
+The RNG pass needs to know, for every name used inside a function,
+whether it (probably) holds a ``numpy.random.Generator`` /
+``SeedSequence`` and where that stream came from: created locally,
+threaded in through a parameter, or captured from an enclosing scope.
+:class:`FunctionScope` computes that with two deliberately simple fixed
+point passes over the function body — no interprocedural inference, the
+same altitude as the rest of the flow layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.flow.project import dotted_name
+
+#: Call tails that create a new RNG stream.
+RNG_FACTORIES = frozenset({"default_rng", "SeedSequence"})
+
+#: Generator methods that consume (advance) the stream.  ``spawn`` is
+#: included: it advances the parent's state exactly like a draw.
+RNG_DRAW_METHODS = frozenset(
+    {
+        "binomial",
+        "choice",
+        "exponential",
+        "gamma",
+        "integers",
+        "lognormal",
+        "normal",
+        "permutation",
+        "poisson",
+        "random",
+        "shuffle",
+        "spawn",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: Parameter names that conventionally carry an RNG stream.
+RNG_PARAM_RE = re.compile(r"(^|_)(rng|stream|seed_seq|seedsequence|generator)s?$")
+
+#: Annotation substrings that mark a parameter as stream-typed.
+_RNG_ANNOTATIONS = ("Generator", "SeedSequence")
+
+
+def is_rng_param(arg: ast.arg) -> bool:
+    """Whether a parameter conventionally carries an RNG stream."""
+    if RNG_PARAM_RE.search(arg.arg):
+        return True
+    if arg.annotation is not None:
+        text = ast.unparse(arg.annotation)
+        return any(marker in text for marker in _RNG_ANNOTATIONS)
+    return False
+
+
+@dataclass
+class FunctionScope:
+    """RNG-relevant names of one function body.
+
+    ``rng_names`` maps each stream-holding name to its origin:
+    ``"param"`` (threaded in), ``"local"`` (created or derived here) or
+    ``"free"`` (read from an enclosing scope — the suspicious case).
+    """
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: set[str] = field(default_factory=set)
+    locals: set[str] = field(default_factory=set)
+    rng_names: dict[str, str] = field(default_factory=dict)
+    global_names: set[str] = field(default_factory=set)
+    nonlocal_names: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        args = self.node.args
+        every = [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+        self.params = {arg.arg for arg in every}
+        for arg in every:
+            if is_rng_param(arg):
+                self.rng_names[arg.arg] = "param"
+        self._collect()
+
+    # ------------------------------------------------------------------ #
+    # body analysis
+    # ------------------------------------------------------------------ #
+
+    def _body_nodes(self) -> list[ast.AST]:
+        """Every node of the body, nested function/class bodies excluded."""
+        nodes: list[ast.AST] = []
+
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                nodes.append(child)
+                visit(child)
+
+        visit(self.node)
+        return nodes
+
+    def _collect(self) -> None:
+        nodes = self._body_nodes()
+        for node in nodes:
+            if isinstance(node, ast.Global):
+                self.global_names.update(node.names)
+            elif isinstance(node, ast.Nonlocal):
+                self.nonlocal_names.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    for name in _target_names(target):
+                        self.locals.add(name)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self.locals.update(_target_names(node.target))
+            elif isinstance(node, ast.comprehension):
+                self.locals.update(_target_names(node.target))
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                self.locals.update(_target_names(node.optional_vars))
+        # Names declared global/nonlocal are not locals even when written.
+        self.locals -= self.global_names | self.nonlocal_names
+        # Fixed point: an assignment from an RNG-valued expression makes
+        # its targets RNG-valued too; two sweeps close chains like
+        # ``streams = master.spawn(2); chip_stream = streams[0]``.
+        for _ in range(2):
+            changed = False
+            for node in nodes:
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not self.is_rng_expr(node.value):
+                    continue
+                for target in node.targets:
+                    for name in _target_names(target):
+                        origin = "local" if name in self.locals else "free"
+                        if self.rng_names.get(name) != origin:
+                            self.rng_names[name] = origin
+                            changed = True
+            if not changed:
+                break
+
+    # ------------------------------------------------------------------ #
+    # classification
+    # ------------------------------------------------------------------ #
+
+    def is_rng_expr(self, node: ast.AST) -> bool:
+        """Whether an expression (probably) evaluates to an RNG stream."""
+        if isinstance(node, ast.Name):
+            return node.id in self.rng_names or bool(RNG_PARAM_RE.search(node.id))
+        if isinstance(node, ast.Subscript):
+            return self.is_rng_expr(node.value)
+        if isinstance(node, ast.Call):
+            tail = dotted_name(node.func).rpartition(".")[2]
+            if tail in RNG_FACTORIES:
+                return True
+            if tail == "spawn" and isinstance(node.func, ast.Attribute):
+                return self.is_rng_expr(node.func.value)
+        return False
+
+    def origin_of(self, name: str) -> str | None:
+        """``"param"``/``"local"``/``"free"`` for a stream name, else None."""
+        origin = self.rng_names.get(name)
+        if origin is not None:
+            return origin
+        if name in self.params:
+            return "param"
+        if name in self.locals:
+            return "local"
+        return None
+
+
+def _target_names(target: ast.AST) -> list[str]:
+    """Plain names bound by an assignment target (tuples flattened)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []

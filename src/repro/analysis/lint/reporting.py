@@ -34,7 +34,7 @@ def render_text(
         lines.append(
             f"{entry.get('path')}:{entry.get('line')}: stale baseline entry "
             f"{entry.get('rule')} ({entry.get('message')}) — rerun with "
-            "--write-baseline to prune"
+            "--prune-baseline to drop it"
         )
     lines.append(
         _summary(diff.new, len(diff.baselined), len(suppressed), len(diff.stale))

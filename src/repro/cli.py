@@ -15,7 +15,10 @@ Usage::
     python -m repro bench --check           # compare BENCH json vs history
     python -m repro calibration             # print the acceptance bands
     python -m repro lint [paths...]         # domain lint (RPR rules + baseline)
+    python -m repro lint --deep             # + cross-module flow passes
+    python -m repro lint --prune-baseline   # drop stale baseline entries
     python -m repro lint --experiments      # static experiment validation
+    python -m repro campaign --sanitize     # hash chip state per phase
 """
 
 from __future__ import annotations
@@ -118,7 +121,21 @@ def _resilience_kwargs(args: argparse.Namespace) -> dict:
         kwargs["resume"] = True
     elif args.checkpoint is not None:
         kwargs["checkpoint"] = args.checkpoint
+    if getattr(args, "sanitize", False):
+        kwargs["sanitize"] = True
     return kwargs
+
+
+def _print_sanitizer(result) -> None:
+    """One line of sanitizer output: digest count + final digest per chip."""
+    if not result.state_hashes:
+        return
+    final: dict[str, str] = {}
+    for key in sorted(result.state_hashes):
+        chip_id = key.partition("/")[0]
+        final[chip_id] = result.state_hashes[key]
+    summary = " ".join(f"{chip}={digest}" for chip, digest in sorted(final.items()))
+    print(f"sanitizer: {len(result.state_hashes)} phase hashes; final {summary}")
 
 
 def _print_quarantine(result) -> None:
@@ -159,6 +176,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                  **_resilience_kwargs(args))
     print(f"done: {len(result.log)} measurements over {len(result.chips)} chips")
     _print_quarantine(result)
+    _print_sanitizer(result)
     if args.csv:
         result.log.write_csv(args.csv)
         print(f"log written to {args.csv}")
@@ -186,6 +204,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                                  **_resilience_kwargs(args))
     print(f"done: {len(result.log)} measurements over {len(result.chips)} chips")
     _print_quarantine(result)
+    _print_sanitizer(result)
     print()
     tracer.summary_table(
         "Per-span timing (campaign -> case -> phase -> measurement)"
@@ -222,6 +241,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     from repro.analysis.lint import (
         Baseline,
+        BaselineDiff,
         apply_baseline,
         lint_paths,
         load_baseline,
@@ -236,6 +256,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         suppressed: list = []
     else:
         result = lint_paths(args.paths or ["src"])
+        if args.deep:
+            from repro.analysis.flow import analyze_paths
+
+            deep = analyze_paths(args.paths or ["src"])
+            result.findings.extend(deep.findings)
+            result.suppressed.extend(deep.suppressed)
+            result.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
         findings = result.findings
         suppressed = result.suppressed
     if args.write_baseline:
@@ -251,6 +278,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         baseline = load_baseline(args.baseline)
     diff = apply_baseline(findings, baseline)
+    if args.prune_baseline and not args.no_baseline and os.path.exists(args.baseline):
+        write_baseline(args.baseline, diff.baselined)
+        print(
+            f"pruned {len(diff.stale)} stale entr"
+            f"{'ies' if len(diff.stale) != 1 else 'y'} from {args.baseline} "
+            f"({len(diff.baselined)} kept)"
+        )
+        diff = BaselineDiff(new=diff.new, baselined=diff.baselined, stale=[])
     renderer = render_json if args.format == "json" else render_text
     print(renderer(diff, suppressed))
     return 1 if diff.new else 0
@@ -297,7 +332,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         diff.table(significant_only=not args.all).print()
         significant = diff.significant()
         print(f"significant: {len(significant)} of {len(diff.rows)} compared")
-        return 1 if significant and args.strict else 0
+        divergent = []
+        if diff.hash_rows:
+            divergent = diff.hash_divergent()
+            if divergent or args.all:
+                diff.hash_table().print()
+            first = diff.first_divergence()
+            if first is not None:
+                print(
+                    f"first state divergence: {first.chip_id} seq {first.seq} "
+                    f"({first.case} / {first.phase}): "
+                    f"{first.a or '-'} vs {first.b or '-'}"
+                )
+            else:
+                print(
+                    f"state hashes: all {len(diff.hash_rows)} phase digests match"
+                )
+        return 1 if (significant or divergent) and args.strict else 0
 
     model = TraceModel.load(args.trace_file)
     if args.trace_command == "summary":
@@ -467,6 +518,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="directory receiving raise-mode repro bundles "
             "(default: guard-dumps)",
         )
+        parser.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="hash per-chip state (records, trap occupancy, bench RNG) "
+            "at every phase boundary; digests land in state_hash trace "
+            "spans and must be identical across sequential/parallel runs "
+            "of one seed",
+        )
         verbosity = parser.add_mutually_exclusive_group()
         verbosity.add_argument(
             "--progress",
@@ -531,6 +590,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="accept all current findings into the baseline file and exit",
+    )
+    lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="additionally run the cross-module flow passes (RNG stream "
+        "ownership RPR2xx, thread-shared state RPR3xx)",
+    )
+    lint.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline file without its stale entries "
+        "(fingerprints matching no current finding)",
     )
     lint.set_defaults(func=_cmd_lint)
 
@@ -669,7 +740,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        code = args.func(args)
+        # Flush inside the try: small outputs (`repro lint | head`) may
+        # still sit in the stdio buffer, and the EPIPE would otherwise
+        # surface as an unhandled error during interpreter shutdown.
+        sys.stdout.flush()
+        return code
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         bundle = getattr(error, "bundle_path", None)

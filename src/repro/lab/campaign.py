@@ -35,6 +35,7 @@ from repro.lab.resilience import (
     ResilientTestbench,
     RetryPolicy,
 )
+from repro.lab.sanitizer import NULL_SANITIZER, DeterminismSanitizer
 from repro.lab.schedule import (
     CHIP_SEQUENCES,
     TestCase,
@@ -66,6 +67,7 @@ def _run_case_phases(
     case_name: str,
     phases: tuple[TestPhase, ...] | list[TestPhase],
     log: DataLog,
+    sanitizer=NULL_SANITIZER,
 ) -> None:
     """Execute one case's phases on a bench inside a ``case`` span.
 
@@ -73,13 +75,17 @@ def _run_case_phases(
     sequential :class:`Campaign` methods and the parallel chip workers.
     The throughput sampler turns the case's counter deltas into per-case
     derived gauges (measurements/s, trap updates/s) — a no-op on the
-    null tracer.
+    null tracer.  With a live ``sanitizer`` every finished phase is
+    hashed (records + trap + RNG state) into a ``state_hash`` span
+    nested under the case span.
     """
     sampler = CaseThroughputSampler(tracer)
     with tracer.span("case", case=case_name, chip_id=bench.chip.chip_id) as span:
         sim_start = bench.chip.elapsed
         for phase in phases:
+            phase_start = len(log)
             bench.run_phase(phase, case_name, log)
+            sanitizer.record_phase(tracer, bench, case_name, phase, log, phase_start)
         span.set("sim_advanced", bench.chip.elapsed - sim_start)
     cases_counter.inc()
     sampler.finish(span)
@@ -95,12 +101,16 @@ class CampaignResult:
     ``quarantined`` flags chips pulled from the bench mid-campaign (chip
     dropout, retries exhausted) — their measurements up to the failure are
     kept in ``log``, and the campaign completes on the survivors.
+    ``state_hashes`` is populated only under ``sanitize=True``: one
+    digest per ``chip/seq`` phase boundary, identical across sequential
+    and parallel runs of the same seed.
     """
 
     log: DataLog
     chips: dict[str, FpgaChip]
     fresh_delays: dict[str, float] = field(default_factory=dict)
     quarantined: dict[str, QuarantineReport] = field(default_factory=dict)
+    state_hashes: dict[str, str] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -171,6 +181,10 @@ class Campaign:
         chip gets its own :class:`~repro.guard.Guard` instance so
         violation counts and budgets are per chip.  ``None`` leaves the
         chips on the ambient guard.
+    sanitizer:
+        A :class:`~repro.lab.sanitizer.DeterminismSanitizer` to hash
+        per-chip state at phase boundaries; defaults to the inert
+        ``NULL_SANITIZER``.
     """
 
     def __init__(
@@ -181,11 +195,13 @@ class Campaign:
         seed: int | None = 0,
         tracer=None,
         guard: GuardConfig | None = None,
+        sanitizer=None,
     ) -> None:
         if n_chips <= 0:
             raise ScheduleError(f"n_chips must be positive, got {n_chips}")
         master = np.random.default_rng(seed)
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.sanitizer = sanitizer if sanitizer is not None else NULL_SANITIZER
         self.log = DataLog()
         self.chips: dict[str, FpgaChip] = {}
         self.benches: dict[str, VirtualTestbench] = {}
@@ -221,7 +237,13 @@ class Campaign:
         """Execute a case's phases on its chip, appending to the shared log."""
         bench = self.benches[self.chip_id(case.chip_no)]
         _run_case_phases(
-            self.tracer, self._cases_run, bench, case.name, case.phases, self.log
+            self.tracer,
+            self._cases_run,
+            bench,
+            case.name,
+            case.phases,
+            self.log,
+            self.sanitizer,
         )
 
     def run_baseline(self) -> None:
@@ -235,12 +257,16 @@ class Campaign:
                 f"BASELINE-{chip_id}",
                 [phase],
                 self.log,
+                self.sanitizer,
             )
 
     def result(self) -> CampaignResult:
         """Bundle the current state into a :class:`CampaignResult`."""
         return CampaignResult(
-            log=self.log, chips=dict(self.chips), fresh_delays=dict(self.fresh_delays)
+            log=self.log,
+            chips=dict(self.chips),
+            fresh_delays=dict(self.fresh_delays),
+            state_hashes=dict(self.sanitizer.hashes) if self.sanitizer.enabled else {},
         )
 
 
@@ -253,7 +279,8 @@ def _run_chip_schedule(
     bench_stream: np.random.Generator,
     instrument: bool,
     guard_config: GuardConfig | None = None,
-) -> tuple[FpgaChip, DataLog, DataLog, "Tracer | None"]:
+    sanitize: bool = False,
+) -> tuple[FpgaChip, DataLog, DataLog, "Tracer | None", dict[str, str]]:
     """One chip's full Table 1 schedule, self-contained for a worker.
 
     Seed handling mirrors :class:`Campaign.__init__` exactly — the chip
@@ -261,9 +288,12 @@ def _run_chip_schedule(
     ``bench_stream`` — so the records produced here are bit-identical to
     the sequential path.  Baseline and case records are returned as
     separate shards because the sequential log interleaves them
-    (all baselines first, then the case sequences).
+    (all baselines first, then the case sequences).  The worker owns its
+    sanitizer the same way it owns its tracer; the digests it returns
+    cover only this chip, so merging them is collision-free.
     """
     worker_tracer = Tracer() if instrument else NULL_TRACER
+    sanitizer = DeterminismSanitizer() if sanitize else NULL_SANITIZER
     chip = FpgaChip(
         f"chip-{chip_no}",
         tech=TECH_40NM,
@@ -286,13 +316,26 @@ def _run_chip_schedule(
             f"BASELINE-{chip.chip_id}",
             [baseline_phase()],
             baseline_log,
+            sanitizer,
         )
     for name in case_names:
         case = standard_case(name, chip_no)
         _run_case_phases(
-            worker_tracer, cases_counter, bench, case.name, case.phases, case_log
+            worker_tracer,
+            cases_counter,
+            bench,
+            case.name,
+            case.phases,
+            case_log,
+            sanitizer,
         )
-    return chip, baseline_log, case_log, worker_tracer if instrument else None
+    return (
+        chip,
+        baseline_log,
+        case_log,
+        worker_tracer if instrument else None,
+        dict(sanitizer.hashes) if sanitize else {},
+    )
 
 
 def _parallel_table1(
@@ -304,6 +347,7 @@ def _parallel_table1(
     workers: int,
     sequences: dict[int, tuple[str, ...]],
     guard_config: GuardConfig | None = None,
+    sanitize: bool = False,
 ) -> CampaignResult:
     """Fan the chips out to worker threads and merge deterministically.
 
@@ -328,6 +372,7 @@ def _parallel_table1(
                 streams[index][1],
                 tracer.enabled,
                 guard_config,
+                sanitize,
             ): index
             for index in range(n_chips)
         }
@@ -339,16 +384,20 @@ def _parallel_table1(
             progress.chip_done(f"chip-{index + 1}", chips_done, n_chips)
     chips: dict[str, FpgaChip] = {}
     fresh_delays: dict[str, float] = {}
-    for chip, _, _, worker_tracer in results:
+    state_hashes: dict[str, str] = {}
+    for chip, _, _, worker_tracer, worker_hashes in results:
         chips[chip.chip_id] = chip
         fresh_delays[chip.chip_id] = chip.fresh_path_delay
         if worker_tracer is not None:
             tracer.absorb(worker_tracer)
+        state_hashes.update(worker_hashes)
     log = DataLog.merge(
-        [baseline_log for _, baseline_log, _, _ in results]
-        + [case_log for _, _, case_log, _ in results]
+        [baseline_log for _, baseline_log, _, _, _ in results]
+        + [case_log for _, _, case_log, _, _ in results]
     )
-    return CampaignResult(log=log, chips=chips, fresh_delays=fresh_delays)
+    return CampaignResult(
+        log=log, chips=chips, fresh_delays=fresh_delays, state_hashes=state_hashes
+    )
 
 
 def _resilient_chip_schedule(
@@ -363,8 +412,15 @@ def _resilient_chip_schedule(
     retry: RetryPolicy | None,
     store: CheckpointStore | None,
     guard_config: GuardConfig | None = None,
+    sanitize: bool = False,
 ) -> tuple[
-    FpgaChip, DataLog, DataLog, QuarantineReport | None, int, "Tracer | None"
+    FpgaChip,
+    DataLog,
+    DataLog,
+    QuarantineReport | None,
+    int,
+    "Tracer | None",
+    dict[str, str],
 ]:
     """One chip's schedule with faults, retries and checkpointing.
 
@@ -380,6 +436,7 @@ def _resilient_chip_schedule(
     lands in quarantine and the campaign completes on the survivors.
     """
     worker_tracer = Tracer() if instrument else NULL_TRACER
+    sanitizer = DeterminismSanitizer() if sanitize else NULL_SANITIZER
     chip = FpgaChip(
         f"chip-{chip_no}",
         tech=TECH_40NM,
@@ -427,7 +484,7 @@ def _resilient_chip_schedule(
             continue
         try:
             _run_case_phases(
-                worker_tracer, cases_counter, bench, case_name, phases, log
+                worker_tracer, cases_counter, bench, case_name, phases, log, sanitizer
             )
         except (ChipDropoutError, RetryExhaustedError) as error:
             # Graceful degradation: keep the records taken so far, flag
@@ -448,8 +505,14 @@ def _resilient_chip_schedule(
         if store is not None:
             store.save_chip(chip, bench_stream, baseline_log, case_log, completed)
     retries_taken = getattr(bench, "retries_taken", 0)
-    return chip, baseline_log, case_log, quarantine, retries_taken, (
-        worker_tracer if instrument else None
+    return (
+        chip,
+        baseline_log,
+        case_log,
+        quarantine,
+        retries_taken,
+        worker_tracer if instrument else None,
+        dict(sanitizer.hashes) if sanitize else {},
     )
 
 
@@ -465,6 +528,7 @@ def _resilient_table1(
     retry: RetryPolicy | None,
     store: CheckpointStore | None,
     guard_config: GuardConfig | None = None,
+    sanitize: bool = False,
 ) -> CampaignResult:
     """Fan chips out with fault/retry/checkpoint support and merge.
 
@@ -490,6 +554,7 @@ def _resilient_table1(
                 retry,
                 store,
                 guard_config,
+                sanitize,
             ): index
             for index in range(n_chips)
         }
@@ -519,19 +584,25 @@ def _resilient_table1(
     chips: dict[str, FpgaChip] = {}
     fresh_delays: dict[str, float] = {}
     quarantined: dict[str, QuarantineReport] = {}
-    for chip, _, _, quarantine, _, worker_tracer in results:
+    state_hashes: dict[str, str] = {}
+    for chip, _, _, quarantine, _, worker_tracer, worker_hashes in results:
         chips[chip.chip_id] = chip
         fresh_delays[chip.chip_id] = chip.fresh_path_delay
         if quarantine is not None:
             quarantined[chip.chip_id] = quarantine
         if worker_tracer is not None:
             tracer.absorb(worker_tracer)
+        state_hashes.update(worker_hashes)
     log = DataLog.merge(
-        [baseline_log for _, baseline_log, _, _, _, _ in results]
-        + [case_log for _, _, case_log, _, _, _ in results]
+        [baseline_log for _, baseline_log, _, _, _, _, _ in results]
+        + [case_log for _, _, case_log, _, _, _, _ in results]
     )
     return CampaignResult(
-        log=log, chips=chips, fresh_delays=fresh_delays, quarantined=quarantined
+        log=log,
+        chips=chips,
+        fresh_delays=fresh_delays,
+        quarantined=quarantined,
+        state_hashes=state_hashes,
     )
 
 
@@ -563,6 +634,7 @@ def run_table1_campaign(
     checkpoint: "str | None" = None,
     resume: bool = False,
     guard: GuardConfig | None = None,
+    sanitize: bool = False,
 ) -> CampaignResult:
     """Run the full Table 1 schedule and return the result.
 
@@ -593,6 +665,13 @@ def run_table1_campaign(
     mode a chip that exhausts its violation budget is quarantined exactly
     like a dropout; in raise mode the first violation aborts the campaign
     with a replayable repro bundle.
+
+    ``sanitize`` turns on the determinism sanitizer: every chip's state
+    (records, trap occupancy, bench RNG) is hashed at each phase
+    boundary into ``CampaignResult.state_hashes`` and, when a tracer is
+    live, into ``state_hash`` spans that ``repro trace diff`` compares —
+    sequential and ``workers=N`` runs of one seed must produce identical
+    digests.
     """
     tracer = tracer if tracer is not None else get_tracer()
     progress = progress if progress is not None else NULL_PROGRESS
@@ -632,13 +711,26 @@ def run_table1_campaign(
                 retry,
                 store,
                 guard,
+                sanitize=sanitize,
             )
         elif workers > 1:
             result = _parallel_table1(
-                seed, n_chips, include_baseline, tracer, progress, workers, sequences
+                seed,
+                n_chips,
+                include_baseline,
+                tracer,
+                progress,
+                workers,
+                sequences,
+                sanitize=sanitize,
             )
         else:
-            campaign = Campaign(n_chips=n_chips, seed=seed, tracer=tracer)
+            campaign = Campaign(
+                n_chips=n_chips,
+                seed=seed,
+                tracer=tracer,
+                sanitizer=DeterminismSanitizer() if sanitize else None,
+            )
             total_cases = sum(len(names) for names in sequences.values())
             if include_baseline:
                 campaign.run_baseline()

@@ -83,6 +83,11 @@ class VirtualTestbench:
             "datalog.records", "measurement records appended to campaign logs"
         )
 
+    @property
+    def rng_state(self):
+        """The bench RNG's bit-generator state (for determinism hashing)."""
+        return self._rng.bit_generator.state
+
     def _delivered_temperature(self) -> float:
         """Chamber temperature (kelvin) the chip sees right now.
 

@@ -394,6 +394,29 @@ class DiffRow:
         return self.delta / self.a
 
 
+@dataclass(frozen=True)
+class HashRow:
+    """One sanitizer ``state_hash`` span compared between trace A and B.
+
+    ``seq`` is the chip-local phase index, so (chip_id, seq) identifies
+    the same simulated phase in both runs regardless of worker
+    scheduling.  An empty digest means the run recorded no hash for that
+    phase (e.g. one side ran without ``--sanitize``).
+    """
+
+    chip_id: str
+    seq: int
+    case: str
+    phase: str
+    a: str
+    b: str
+
+    @property
+    def match(self) -> bool:
+        """Whether both runs produced the same digest for this phase."""
+        return self.a == self.b
+
+
 @dataclass
 class TraceDiff:
     """All compared rows between two traces, plus significance rules."""
@@ -401,6 +424,9 @@ class TraceDiff:
     rows: list[DiffRow]
     time_rel: float = 0.5
     time_abs: float = 0.5
+    #: Sanitizer digests compared per (chip, phase seq); empty unless
+    #: both traces carry ``state_hash`` spans.
+    hash_rows: list[HashRow] = field(default_factory=list)
 
     def significant(self) -> list[DiffRow]:
         """Rows that represent a real difference between the runs.
@@ -419,6 +445,42 @@ class TraceDiff:
                 if abs(row.delta) > self.time_abs and abs(row.rel) > self.time_rel:
                     flagged.append(row)
         return flagged
+
+    def hash_divergent(self) -> list[HashRow]:
+        """Hash rows where the two runs disagree, in (seq, chip) order."""
+        return sorted(
+            (row for row in self.hash_rows if not row.match),
+            key=lambda row: (row.seq, row.chip_id),
+        )
+
+    def first_divergence(self) -> HashRow | None:
+        """The earliest phase (by chip-local seq) whose state diverged.
+
+        Hashes are rolling, so every phase after the true divergence also
+        mismatches — the first row is where the bug lives.
+        """
+        divergent = self.hash_divergent()
+        return divergent[0] if divergent else None
+
+    def hash_table(self) -> Table:
+        """Render the sanitizer digest comparison."""
+        divergent = self.hash_divergent()
+        table = Table(
+            f"State hashes — {len(divergent)} divergent of "
+            f"{len(self.hash_rows)} compared",
+            ["chip", "seq", "case", "phase", "A", "B", "match"],
+        )
+        for row in sorted(self.hash_rows, key=lambda r: (r.chip_id, r.seq)):
+            table.add_row(
+                row.chip_id,
+                f"{row.seq}",
+                row.case,
+                row.phase,
+                row.a or "-",
+                row.b or "-",
+                "yes" if row.match else "NO",
+            )
+        return table
 
     def table(self, significant_only: bool = False) -> Table:
         """Render the diff (optionally just the significant rows)."""
@@ -442,6 +504,39 @@ class TraceDiff:
         return table
 
 
+def _state_hash_index(model: TraceModel) -> dict[tuple[str, int], tuple[str, str, str]]:
+    """(chip_id, seq) -> (case, phase, digest) from ``state_hash`` spans."""
+    index: dict[tuple[str, int], tuple[str, str, str]] = {}
+    for span in model.spans_named("state_hash"):
+        key = (str(span.attrs.get("chip_id", "-")), int(span.attrs.get("seq", 0)))
+        index[key] = (
+            str(span.attrs.get("case", "")),
+            str(span.attrs.get("phase", "")),
+            str(span.attrs.get("state", "")),
+        )
+    return index
+
+
+def _hash_rows(a: TraceModel, b: TraceModel) -> list[HashRow]:
+    index_a = _state_hash_index(a)
+    index_b = _state_hash_index(b)
+    rows: list[HashRow] = []
+    for key in sorted(set(index_a) | set(index_b)):
+        case_a, phase_a, digest_a = index_a.get(key, ("", "", ""))
+        case_b, phase_b, digest_b = index_b.get(key, ("", "", ""))
+        rows.append(
+            HashRow(
+                chip_id=key[0],
+                seq=key[1],
+                case=case_a or case_b,
+                phase=phase_a or phase_b,
+                a=digest_a,
+                b=digest_b,
+            )
+        )
+    return rows
+
+
 def _metric_category(name: str, kind: str) -> str:
     """How a metric should be compared between runs."""
     if kind in ("gauge", "derived"):
@@ -463,7 +558,10 @@ def diff_traces(
     Two seeded runs of the same campaign produce identical exact rows
     (span counts, counter values) and near-identical timing rows, so the
     diff reports zero significant deltas; a structural change (more
-    spans, different counters) or a large slowdown is flagged.
+    spans, different counters) or a large slowdown is flagged.  Traces
+    carrying sanitizer ``state_hash`` spans additionally get per-phase
+    digest rows (:meth:`TraceDiff.first_divergence` pinpoints where two
+    runs' chip state first disagreed).
     """
     rows: list[DiffRow] = []
     groups_a = a.aggregate("name")
@@ -490,4 +588,6 @@ def diff_traces(
                 b.metric_value(name),
             )
         )
-    return TraceDiff(rows, time_rel=time_rel, time_abs=time_abs)
+    return TraceDiff(
+        rows, time_rel=time_rel, time_abs=time_abs, hash_rows=_hash_rows(a, b)
+    )

@@ -1,0 +1,32 @@
+"""Deliberate RPR2xx violations: RNG streams that escape their owner.
+
+This module is a lint fixture — it is parsed by the flow analyzer in
+tests, never imported or executed.  Every violation below is
+intentional; the tests assert each one is caught with a stable
+fingerprint.
+"""
+
+import numpy as np
+
+# RPR201: a module-global stream is shared (and advanced) by every
+# importer — draw order anywhere changes results everywhere.
+SHARED_STREAM = np.random.default_rng(1234)
+
+_installed = None
+
+
+def install_stream(seed):
+    """RPR201: the freshly created stream escapes into module state."""
+    global _installed
+    _installed = np.random.default_rng(seed)
+    return _installed
+
+
+def sample_noise(n):
+    """RPR203: draws from a stream that was never threaded through."""
+    return SHARED_STREAM.normal(size=n)
+
+
+def sample_owned(rng, n):
+    """Clean counterpart: the stream arrives as a parameter."""
+    return rng.normal(size=n)

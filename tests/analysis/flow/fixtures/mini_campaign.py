@@ -1,0 +1,6 @@
+"""Campaign side of the RPR202 fixture rig (parsed, never run)."""
+
+
+def run_case(rng, label="case"):
+    """One measurement drawn from the stream handed in."""
+    return (label, rng.normal())

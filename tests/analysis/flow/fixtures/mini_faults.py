@@ -1,0 +1,6 @@
+"""Fault-injection side of the RPR202 fixture rig (parsed, never run)."""
+
+
+def plan_faults(rng, n_cases=3):
+    """Draw fault times from the stream handed in."""
+    return [rng.integers(0, 100) for _ in range(n_cases)]

@@ -1,0 +1,22 @@
+"""Driver of the RPR202 fixture rig: one stream feeds both paths.
+
+Parsed by the flow analyzer in tests, never imported or executed.
+"""
+
+from mini_campaign import run_case
+from mini_faults import plan_faults
+
+
+def drive(master_rng):
+    """RPR202: the same stream feeds fault planning AND measurement."""
+    faults = plan_faults(master_rng)
+    record = run_case(master_rng)
+    return faults, record
+
+
+def drive_clean(master_rng):
+    """Clean counterpart: independent child streams per path."""
+    children = master_rng.spawn(2)
+    faults = plan_faults(children[0])
+    record = run_case(children[1])
+    return faults, record

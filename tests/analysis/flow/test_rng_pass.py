@@ -1,0 +1,83 @@
+"""RPR2xx: RNG stream ownership violations in the fixture rig."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return analyze_paths([FIXTURES], root=REPO_ROOT).findings
+
+
+def _rule_lines(findings, rule_id, path_tail):
+    return [
+        f.line
+        for f in findings
+        if f.rule_id == rule_id and f.path.endswith(path_tail)
+    ]
+
+
+class TestRngOwnership:
+    def test_module_global_stream_is_rpr201(self, findings):
+        lines = _rule_lines(findings, "RPR201", "leaky_rng.py")
+        flagged = [
+            f for f in findings
+            if f.rule_id == "RPR201" and "SHARED_STREAM" in f.message
+        ]
+        assert flagged and flagged[0].line in lines
+
+    def test_global_escape_is_rpr201(self, findings):
+        flagged = [
+            f for f in findings
+            if f.rule_id == "RPR201" and "_installed" in f.message
+        ]
+        assert len(flagged) == 1
+        assert "install_stream" in flagged[0].message
+
+    def test_free_draw_is_rpr203(self, findings):
+        flagged = [f for f in findings if f.rule_id == "RPR203"]
+        assert len(flagged) == 1
+        assert "sample_noise" in flagged[0].message
+        assert "SHARED_STREAM" in flagged[0].message
+
+    def test_parameter_threaded_draw_is_clean(self, findings):
+        assert not any("sample_owned" in f.message for f in findings)
+
+
+class TestCrossPathConsumption:
+    def test_shared_master_stream_is_rpr202(self, findings):
+        flagged = [f for f in findings if f.rule_id == "RPR202"]
+        assert len(flagged) == 1
+        assert flagged[0].path.endswith("rig.py")
+        assert "master_rng" in flagged[0].message
+        assert "drive" in flagged[0].message
+
+    def test_spawned_children_are_clean(self, findings):
+        assert not any("drive_clean" in f.message for f in findings)
+
+
+class TestFingerprintStability:
+    def test_two_runs_produce_identical_fingerprints(self, findings):
+        again = analyze_paths([FIXTURES], root=REPO_ROOT).findings
+        assert [f.fingerprint for f in findings] == [f.fingerprint for f in again]
+
+    def test_fingerprints_survive_line_shifts(self, tmp_path):
+        # The fingerprint excludes line numbers, so prepending comments
+        # (which moves every finding) keeps baselines stable.
+        source = (FIXTURES / "leaky_rng.py").read_text(encoding="utf-8")
+        target = tmp_path / "leaky_rng.py"
+        target.write_text(source, encoding="utf-8")
+        original = {
+            f.fingerprint for f in analyze_paths([target], root=tmp_path).findings
+        }
+        target.write_text("# shifted\n# shifted\n" + source, encoding="utf-8")
+        shifted = {
+            f.fingerprint for f in analyze_paths([target], root=tmp_path).findings
+        }
+        assert original and original == shifted

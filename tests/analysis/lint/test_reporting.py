@@ -28,13 +28,15 @@ class TestTextReport:
         text = render_text(diff, result.suppressed)
         assert "0 findings" in text and "1 suppressed" in text
 
-    def test_stale_entries_mention_write_baseline(self):
+    def test_stale_entries_mention_prune_baseline(self):
         diff = BaselineDiff(
             new=[],
             baselined=[],
             stale=[{"rule": "RPR001", "path": "a.py", "line": 3, "message": "m"}],
         )
-        assert "--write-baseline" in render_text(diff)
+        text = render_text(diff)
+        assert "stale baseline entry" in text
+        assert "--prune-baseline" in text
 
 
 class TestJsonReport:

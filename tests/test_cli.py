@@ -327,3 +327,110 @@ class TestLintCli:
         bad.write_text("not json")
         assert main(["lint", str(tree), "--baseline", str(bad)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestDeepLintCli:
+    """`repro lint --deep`: cross-module passes through the CLI."""
+
+    FIXTURES = "tests/analysis/flow/fixtures"
+
+    def test_repo_is_deep_clean_end_to_end(self, capsys):
+        assert main(["lint", "--deep"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_deep_surfaces_fixture_violations(self, capsys):
+        code = main(["lint", self.FIXTURES, "--deep", "--no-baseline"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RPR201" in out
+        assert "RPR202" in out
+        assert "RPR305" in out
+
+    def test_shallow_run_misses_cross_module_findings(self, capsys):
+        # The same tree without --deep: the violations are invisible to
+        # single-file lint, which is the point of the deep pass.
+        assert main(["lint", self.FIXTURES, "--no-baseline"]) == 0
+        assert "RPR2" not in capsys.readouterr().out
+
+    def test_stale_baseline_warns_then_prunes(self, tmp_path, capsys):
+        tree = tmp_path / "pkg"
+        tree.mkdir()
+        target = tree / "dirty.py"
+        target.write_text("d = 3600.0\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(tree), "--write-baseline",
+                     "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+        target.write_text("x = 1\n")  # the finding is fixed; entry goes stale
+        assert main(["lint", str(tree), "--baseline", str(baseline)]) == 0
+        warned = capsys.readouterr().out
+        assert "stale" in warned
+        assert "--prune-baseline" in warned
+
+        assert main(["lint", str(tree), "--baseline", str(baseline),
+                     "--prune-baseline"]) == 0
+        pruned = capsys.readouterr().out
+        assert "pruned 1 stale entry" in pruned
+
+        assert main(["lint", str(tree), "--baseline", str(baseline)]) == 0
+        assert "stale" not in capsys.readouterr().out
+
+
+class TestPipedLintOutput:
+    """`repro lint | head` must exit cleanly when the reader hangs up."""
+
+    def test_broken_pipe_is_not_a_traceback(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        tree = tmp_path / "pkg"
+        tree.mkdir()
+        (tree / "dirty.py").write_text("d = 3600.0\n" * 50)
+
+        read_end, write_end = os.pipe()
+        os.close(read_end)  # guarantees EPIPE on the first large write
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "lint", str(tree),
+                 "--no-baseline"],
+                stdout=write_end, stderr=subprocess.PIPE, env=env,
+            )
+        finally:
+            os.close(write_end)
+        assert b"Traceback" not in proc.stderr
+        assert b"BrokenPipeError" not in proc.stderr
+
+
+class TestSanitizerCli:
+    """`repro campaign --sanitize` and the hash-aware trace diff."""
+
+    def test_campaign_sanitize_prints_final_hashes(self, capsys):
+        assert main(["campaign", "--chips", "2", "--quiet",
+                     "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer: 5 phase hashes" in out
+        assert "chip-1=" in out and "chip-2=" in out
+
+    def test_sanitized_traces_diff_clean(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            assert main(["campaign", "--chips", "2", "--quiet",
+                         "--sanitize", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "all 5 phase digests match" in out
+
+    def test_parallel_sanitized_trace_matches_sequential(self, tmp_path, capsys):
+        seq, par = tmp_path / "seq.jsonl", tmp_path / "par.jsonl"
+        assert main(["campaign", "--chips", "2", "--quiet",
+                     "--sanitize", "--trace", str(seq)]) == 0
+        assert main(["campaign", "--chips", "2", "--quiet", "--workers", "2",
+                     "--sanitize", "--trace", str(par)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(seq), str(par)]) == 0
+        assert "all 5 phase digests match" in capsys.readouterr().out
