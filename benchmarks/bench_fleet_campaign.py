@@ -1,0 +1,115 @@
+"""PERF — batched fleet engine vs the sequential campaign baseline.
+
+Two legs:
+
+* **bit-identity** — the 5-chip exact-fidelity fleet must reproduce the
+  sequential ``run_table1_campaign`` record stream bit-for-bit (the
+  facade contract that lets the whole lab stack run against the batch);
+* **throughput** — a 200-chip binned-fidelity lot must clear 20x the
+  sequential baseline's measurements/s (454.2/s in the seed ledger).
+  The run refreshes ``BENCH_fleet_campaign.json`` at the repo root and
+  folds the headline numbers into ``BENCH_campaign.json`` next to the
+  sequential baseline, so both trajectories live in one file.
+
+Run directly for a smoke check (CI does)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet_campaign.py -q
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.lab.campaign import run_table1_campaign
+from repro.lab.fleet import run_fleet_campaign
+from repro.obs import Tracer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FLEET_BASELINE_PATH = REPO_ROOT / "BENCH_fleet_campaign.json"
+CAMPAIGN_BASELINE_PATH = REPO_ROOT / "BENCH_campaign.json"
+
+#: Chips in the throughput leg — large enough that per-batch setup
+#: amortises, small enough for a CI smoke.
+N_CHIPS = 200
+
+#: The sequential baseline this engine must beat (BENCH_campaign.json
+#: seed entry) and the acceptance multiple.
+SEQUENTIAL_MEAS_PER_SEC = 454.2
+SPEEDUP_FLOOR = 20.0
+
+
+def test_bench_fleet_bit_identity(once):
+    """5-chip exact fleet == sequential campaign, record for record."""
+
+    def measure():
+        sequential = run_table1_campaign(seed=0)
+        fleet = run_fleet_campaign(seed=0, n_chips=5, fidelity="exact",
+                                   sanitize=True)
+        return sequential, fleet
+
+    sequential, fleet = once(measure)
+    assert list(sequential.log) == list(fleet.log)
+    assert sequential.fresh_delays == fleet.fresh_delays
+    print(f"5-chip fleet bit-identical to sequential "
+          f"({len(fleet.log)} records, {len(fleet.state_hashes)} phase hashes)")
+
+
+def test_bench_fleet_campaign(once):
+    """Time the 200-chip binned lot and refresh the fleet baseline files."""
+
+    def timed_fleet():
+        tracer = Tracer()
+        start = time.perf_counter()
+        result = run_fleet_campaign(seed=0, n_chips=N_CHIPS,
+                                    fidelity="binned", collect="summary",
+                                    tracer=tracer)
+        return time.perf_counter() - start, result, tracer
+
+    wall_s, result, tracer = once(timed_fleet)
+    meas_per_sec = result.total_measurements / wall_s
+    sim_seconds = tracer.spans("campaign")[0].sim_advanced
+    speedup = meas_per_sec / SEQUENTIAL_MEAS_PER_SEC
+
+    entry = {
+        "bench": "bench_fleet_campaign.test_bench_fleet_campaign",
+        "seed": 0,
+        "n_chips": N_CHIPS,
+        "fidelity": result.fidelity,
+        "shards": result.shards,
+        "measurements": result.total_measurements,
+        "campaign_wall_s": round(wall_s, 3),
+        "measurements_per_sec": round(meas_per_sec, 1),
+        "sim_seconds": round(sim_seconds, 1),
+        "sim_seconds_per_wall_second": round(sim_seconds / wall_s, 1),
+        "speedup_vs_sequential": round(speedup, 1),
+    }
+    FLEET_BASELINE_PATH.write_text(json.dumps(entry, indent=2) + "\n")
+
+    # Fold the headline into the sequential baseline file (flat keys the
+    # rolling-baseline check ignores), preserving the existing entry.
+    try:
+        campaign_entry = json.loads(CAMPAIGN_BASELINE_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        campaign_entry = {}
+    campaign_entry.update(
+        {
+            "fleet_n_chips": N_CHIPS,
+            "fleet_fidelity": result.fidelity,
+            "fleet_measurements_per_sec": entry["measurements_per_sec"],
+            "fleet_speedup_vs_sequential": entry["speedup_vs_sequential"],
+        }
+    )
+    CAMPAIGN_BASELINE_PATH.write_text(json.dumps(campaign_entry, indent=2) + "\n")
+
+    print(f"fleet campaign: {N_CHIPS} chips, {result.total_measurements} "
+          f"measurements in {wall_s:.2f} s wall "
+          f"({entry['measurements_per_sec']:,} meas/s, "
+          f"{speedup:.1f}x sequential)")
+    print(f"baselines written to {FLEET_BASELINE_PATH.name} and "
+          f"{CAMPAIGN_BASELINE_PATH.name}")
+    assert result.total_measurements > 20_000
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fleet throughput {meas_per_sec:.0f} meas/s is below "
+        f"{SPEEDUP_FLOOR:.0f}x the {SEQUENTIAL_MEAS_PER_SEC} meas/s "
+        f"sequential baseline"
+    )

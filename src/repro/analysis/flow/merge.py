@@ -39,6 +39,29 @@ DEFAULT_MERGES: tuple[MergeRule, ...] = (
     MergeRule("Gauge", "MetricsRegistry.merge", "merged value is the child's"),
     MergeRule("Histogram", "Histogram.merge_from", "counts/sums/buckets add exactly"),
     MergeRule("DerivedGauge", "MetricsRegistry.merge", "ratio of merged operands"),
+    # Fleet engine (repro.lab.fleet): each shard owns a contiguous chip
+    # range, so its state never crosses workers; the parent reassembles
+    # shard outputs in chip order, which makes the merge scheduling-free.
+    MergeRule(
+        "FleetBench",
+        "run_fleet_campaign",
+        "per-chip logs keyed by chip index; shard outputs concatenate in chip order",
+    ),
+    MergeRule(
+        "FleetChipSummary",
+        "run_fleet_campaign",
+        "immutable digest; shard lists concatenate in chip order",
+    ),
+    MergeRule(
+        "FleetTraps",
+        "run_fleet_campaign",
+        "struct-of-arrays trap state is shard-private (contiguous chip range)",
+    ),
+    MergeRule(
+        "BinnedFleetTraps",
+        "run_fleet_campaign",
+        "binned occupancy grid is shard-private (contiguous chip range)",
+    ),
 )
 
 

@@ -301,9 +301,30 @@ class TrapPopulation:
         )
         return capture, emission
 
+    def _canonical_bias(self, per_owner: np.ndarray | float) -> np.ndarray:
+        """Normalise a bias argument to its canonical array form.
+
+        Accepted shapes are a scalar / 0-d array (uniform bias), a
+        length-1 vector (also a uniform bias — the shape a batched
+        broadcast or an ``np.atleast_1d`` caller naturally produces) and
+        a full ``(n_owners,)`` pattern.  0-d and ``(1,)`` collapse to the
+        same canonical 0-d array so the scalar and array paths share one
+        cache key and one expansion rule; anything else is a shape bug.
+        """
+        arr = np.asarray(per_owner, dtype=float)
+        if arr.ndim == 0:
+            return arr
+        if arr.shape == (1,) and self.n_owners != 1:
+            return arr.reshape(())
+        if arr.shape != (self.n_owners,):
+            raise ConfigurationError(
+                f"per-owner vector must have shape ({self.n_owners},), got {arr.shape}"
+            )
+        return arr
+
     @staticmethod
-    def _bias_key(per_owner: np.ndarray | float) -> tuple[tuple[int, ...], bytes]:
-        """Hashable fingerprint of a per-owner (or scalar) voltage pattern."""
+    def _bias_key(per_owner: np.ndarray) -> tuple[tuple[int, ...], bytes]:
+        """Hashable fingerprint of a *canonical* voltage pattern."""
         arr = np.asarray(per_owner, dtype=float)
         return (arr.shape, arr.tobytes())
 
@@ -321,13 +342,9 @@ class TrapPopulation:
         if base is not None:
             return base
         p = self.params
-        arr = np.asarray(per_owner_voltage, dtype=float)
+        arr = self._canonical_bias(per_owner_voltage)
         if arr.ndim == 0:
             v_owner = np.full(self.n_owners, float(arr))
-        elif arr.shape != (self.n_owners,):
-            raise ConfigurationError(
-                f"per-owner vector must have shape ({self.n_owners},), got {arr.shape}"
-            )
         else:
             v_owner = arr
         vfac_c = safe_exp_array(
@@ -356,10 +373,12 @@ class TrapPopulation:
         Returned arrays are read-only and may be shared with the cache;
         callers must not mutate them.
         """
+        stress_voltage = self._canonical_bias(stress_voltage)
         key_s = self._bias_key(stress_voltage)
         if duty >= 1.0:  # callers validate duty <= 1.0, so this is pure DC
             comb_key = (key_s, None, 1.0)
         else:
+            relax_voltage = self._canonical_bias(relax_voltage)
             comb_key = (key_s, self._bias_key(relax_voltage), duty)
         full_key = (comb_key, float(temperature))
         cached = self._full_cache.get(full_key)
@@ -409,13 +428,9 @@ class TrapPopulation:
 
     def _expand(self, per_owner: np.ndarray | float) -> np.ndarray:
         """Broadcast a per-owner vector (or scalar) to per-trap."""
-        arr = np.asarray(per_owner, dtype=float)
+        arr = self._canonical_bias(per_owner)
         if arr.ndim == 0:
             return np.full(self.n_traps, float(arr))
-        if arr.shape != (self.n_owners,):
-            raise ConfigurationError(
-                f"per-owner vector must have shape ({self.n_owners},), got {arr.shape}"
-            )
         return arr[self.owner]
 
     def evolve(

@@ -76,6 +76,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         schedule_table().print()
         print(f"measurements recorded: {len(result.log)}")
+    elif descriptor.exp_id == "TAB1F":
+        from repro.experiments.table1_fleet import distribution_table
+
+        distribution_table(result).print()
+        print(f"measurements recorded: {result.total_measurements}")
     elif descriptor.exp_id == "TAB3":
         result.stress_table().print()
         result.recovery_table().print()
@@ -134,7 +139,10 @@ def _print_sanitizer(result) -> None:
     for key in sorted(result.state_hashes):
         chip_id = key.partition("/")[0]
         final[chip_id] = result.state_hashes[key]
-    summary = " ".join(f"{chip}={digest}" for chip, digest in sorted(final.items()))
+    shown = sorted(final.items())[:8]
+    summary = " ".join(f"{chip}={digest}" for chip, digest in shown)
+    if len(final) > len(shown):
+        summary += f" ... (+{len(final) - len(shown)} more chips)"
     print(f"sanitizer: {len(result.state_hashes)} phase hashes; final {summary}")
 
 
@@ -158,10 +166,83 @@ def _write_health_report(result, tracer, out: str, seed: int) -> None:
     print(f"health report written to {path} (+ {path.with_suffix('.json').name})")
 
 
+def _write_fleet_report(result, tracer, out: str, seed: int) -> None:
+    """Build and write the fleet distribution report (HTML + JSON sibling)."""
+    from repro.obs.query import TraceModel
+    from repro.report import build_fleet_report
+
+    model = TraceModel.from_tracer(tracer) if tracer is not None else None
+    report = build_fleet_report(result, model, seed=seed)
+    path = report.write(out)
+    print(f"fleet report written to {path} (+ {path.with_suffix('.json').name})")
+
+
+def _cmd_fleet_campaign(args: argparse.Namespace) -> int:
+    """The --fleet branch of `repro campaign`: batched wafer-lot run."""
+    from repro.errors import ConfigurationError
+    from repro.lab.fleet import run_fleet_campaign
+    from repro.obs import JsonlExporter, ProgressReporter, Tracer
+
+    unsupported = {
+        "--fault-seed": args.fault_seed,
+        "--retries": args.retries,
+        "--retry-backoff": args.retry_backoff,
+        "--checkpoint": args.checkpoint,
+        "--resume": args.resume,
+        "--guard-mode": args.guard_mode,
+    }
+    offending = [flag for flag, value in unsupported.items() if value is not None]
+    if offending:
+        raise ConfigurationError(
+            f"{', '.join(offending)} not supported with --fleet; the fleet "
+            "engine runs the plain Table 1 schedule (use the per-chip "
+            "campaign for fault/guard/checkpoint drills)"
+        )
+    tracer = None
+    if args.trace:
+        tracer = Tracer(exporter=JsonlExporter(args.trace))
+    elif args.report:
+        tracer = Tracer()
+    progress = ProgressReporter(enabled=args.progress)
+    print(
+        f"running the Table 1 fleet campaign on {args.fleet} chips "
+        f"({args.fidelity} fidelity, {args.shard} shard(s))..."
+    )
+    result = run_fleet_campaign(
+        seed=args.seed,
+        n_chips=args.fleet,
+        fidelity=args.fidelity,
+        shards=args.shard,
+        sanitize=args.sanitize,
+        collect=args.collect,
+        tracer=tracer,
+        progress=progress,
+    )
+    print(
+        f"done: {result.total_measurements} measurements over "
+        f"{len(result.summaries)} chips "
+        f"(fidelity {result.fidelity}, {len(result.log)} records kept)"
+    )
+    _print_sanitizer(result)
+    if args.csv:
+        result.log.write_csv(args.csv)
+        print(f"log written to {args.csv}")
+    if args.report:
+        _write_fleet_report(result, tracer, args.report, args.seed)
+    if tracer is not None:
+        n_spans = len(tracer.finished)
+        tracer.close()
+        if args.trace:
+            print(f"trace written to {args.trace} ({n_spans} spans)")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.lab.campaign import run_table1_campaign
     from repro.obs import JsonlExporter, ProgressReporter, Tracer
 
+    if args.fleet is not None:
+        return _cmd_fleet_campaign(args)
     tracer = None
     if args.trace:
         tracer = Tracer(exporter=JsonlExporter(args.trace))
@@ -546,7 +627,43 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--report",
         metavar="HTML",
-        help="write the campaign health report here (JSON sibling alongside)",
+        help="write the campaign health report here (JSON sibling alongside); "
+        "with --fleet this is the distribution/outlier report instead",
+    )
+    campaign.add_argument(
+        "--fleet",
+        type=int,
+        metavar="N",
+        help="run the Table 1 schedule over an N-chip lot through the "
+        "batched fleet engine instead of the per-chip bench "
+        "(bit-identical to the sequential campaign in exact fidelity)",
+    )
+    campaign.add_argument(
+        "--shard",
+        type=int,
+        default=1,
+        metavar="K",
+        help="fan the fleet out to K worker processes over contiguous "
+        "chip ranges; the merged result is bit-identical to --shard 1 "
+        "(default: 1; only with --fleet)",
+    )
+    campaign.add_argument(
+        "--fidelity",
+        choices=["auto", "exact", "binned"],
+        default="auto",
+        help="fleet physics fidelity: 'exact' matches the scalar chip "
+        "bit-for-bit, 'binned' pools traps on a (tau_c, tau_e) grid for "
+        "population scale, 'auto' picks exact for small lots "
+        "(default: auto; only with --fleet)",
+    )
+    campaign.add_argument(
+        "--collect",
+        choices=["records", "summary"],
+        default="records",
+        help="'records' keeps the full measurement log, 'summary' keeps "
+        "phase-boundary records only (memory-bounded 10k-chip runs; "
+        "per-chip summaries always cover the full stream) "
+        "(default: records; only with --fleet)",
     )
     add_campaign_options(campaign)
     campaign.set_defaults(func=_cmd_campaign)

@@ -20,6 +20,7 @@ from repro.experiments import (
     fig9,
     fig10,
     table1,
+    table1_fleet,
     table2,
     table3,
     table4,
@@ -72,6 +73,14 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
             "Test-case schedule: 5 chips, accelerated stress + recovery",
             table1.run,
             "benchmarks/bench_table1_campaign.py",
+        ),
+        ExperimentDescriptor(
+            "TAB1F",
+            "Table 1 (fleet)",
+            "Table 1 schedule tiled over a wafer lot: degradation "
+            "distributions and outlier chips",
+            table1_fleet.run,
+            "benchmarks/bench_fleet_campaign.py",
         ),
         ExperimentDescriptor(
             "FIG4",

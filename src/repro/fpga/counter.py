@@ -44,6 +44,22 @@ class ReadoutCounter:
         """Largest representable count."""
         return (1 << self.bits) - 1
 
+    def _check_overflow(self, highest: int) -> None:
+        """Refuse any count past the register width.
+
+        The single overflow gate shared by the scalar, burst and fleet
+        readout paths: a hardware counter would silently wrap ``count mod
+        2**bits`` and alias a fast oscillator to a bogus low frequency,
+        so every virtual path must raise the same typed
+        :class:`~repro.errors.CounterOverflowError`
+        (a :class:`~repro.errors.MeasurementError`) instead.
+        """
+        if highest > self.max_count:
+            raise CounterOverflowError(
+                f"count {highest} exceeds the {self.bits}-bit counter range; "
+                f"raise fref above {self.fref} Hz"
+            )
+
     def ideal_count(self, fosc: float) -> int:
         """Noise-free count for an oscillator frequency (paper Eq. 14 inverted)."""
         if fosc <= 0.0:
@@ -64,11 +80,7 @@ class ReadoutCounter:
             count += int(rng.integers(-self.noise_counts, self.noise_counts + 1))
         if count < 0:
             count = 0
-        if count > self.max_count:
-            raise CounterOverflowError(
-                f"count {count} exceeds the {self.bits}-bit counter range; "
-                f"raise fref above {self.fref} Hz"
-            )
+        self._check_overflow(count)
         return count
 
     def read_many(
@@ -90,12 +102,7 @@ class ReadoutCounter:
                 -self.noise_counts, self.noise_counts + 1, size=n_reads
             )
         np.maximum(counts, 0, out=counts)
-        highest = int(counts.max())
-        if highest > self.max_count:
-            raise CounterOverflowError(
-                f"count {highest} exceeds the {self.bits}-bit counter range; "
-                f"raise fref above {self.fref} Hz"
-            )
+        self._check_overflow(int(counts.max()))
         return counts
 
     def frequency(self, count: int) -> float:

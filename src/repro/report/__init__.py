@@ -16,6 +16,7 @@ from repro.report.bench import (
     rolling_baseline,
 )
 from repro.report.builder import CampaignHealthReport, build_campaign_report
+from repro.report.fleet import build_fleet_report
 from repro.report.svg import svg_line_chart
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "BenchVerdict",
     "CampaignHealthReport",
     "build_campaign_report",
+    "build_fleet_report",
     "check",
     "load_history",
     "record",

@@ -1,0 +1,278 @@
+"""Fleet campaign report: wafer-lot distribution and outlier statistics.
+
+The per-chip health report (:mod:`repro.report.builder`) draws one
+degradation curve per chip — readable at 5 chips, useless at 10,000.
+This module is its population-scale counterpart: it folds the
+:class:`~repro.lab.fleet.FleetChipSummary` digests into distribution
+statistics (per schedule position and lot-wide), flags outlier chips,
+and renders histograms instead of trajectories.  Same contract as the
+health report: everything lands in a JSON dict first and the HTML is a
+rendering of that dict, so the two artefacts can never disagree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.series import Series
+from repro.analysis.stats import bootstrap_ci, summary
+from repro.lab.fleet import FleetCampaignResult
+from repro.obs.query import TraceModel
+from repro.report import html as H
+from repro.report.builder import CampaignHealthReport
+from repro.report.svg import svg_line_chart
+
+#: Chips further than this many robust sigma equivalents from their
+#: schedule group's median are reported as outliers.
+OUTLIER_SIGMA = 3.0
+
+#: At most this many outlier rows land in the report tables.
+MAX_OUTLIER_ROWS = 20
+
+#: Percentiles reported for every distribution.
+PERCENTILES = (1.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0)
+
+_METRICS = (
+    ("stress_degradation_pct", "worst stress-end degradation %"),
+    ("residual_degradation_pct", "post-recovery residual degradation %"),
+)
+
+_THROUGHPUT = "campaign.fleet_measurements_per_second"
+
+
+def _distribution(values: list[float]) -> dict:
+    """Summary statistics + percentiles + 95% CI for one metric."""
+    if not values:
+        return {"n": 0}
+    stats = summary(values)
+    arr = np.asarray(values, dtype=float)
+    entry = {
+        "n": stats.n,
+        "mean": stats.mean,
+        "std": stats.std,
+        "min": stats.minimum,
+        "max": stats.maximum,
+        "percentiles": {
+            f"p{pct:g}": float(np.percentile(arr, pct)) for pct in PERCENTILES
+        },
+    }
+    if stats.n >= 2:
+        low, high = bootstrap_ci(values)
+        entry["ci95"] = [low, high]
+    return entry
+
+
+#: Scale factor turning a median absolute deviation into a sigma
+#: equivalent for normal data.
+_MAD_TO_SIGMA = 1.4826
+
+
+def _outliers(result: FleetCampaignResult, metric: str) -> list[dict]:
+    """Chips beyond ``OUTLIER_SIGMA`` robust deviations on ``metric``.
+
+    Two deliberate choices: the fence is computed per schedule position
+    (chip_no), not lot-wide — the five Table 1 sequences produce five
+    different typical degradations, and a lot-wide fence would flag
+    every chip on the harshest sequence instead of genuinely unusual
+    silicon — and the spread is the median absolute deviation scaled to
+    a sigma equivalent, so an extreme chip cannot widen its own fence.
+    """
+    by_no: dict[int, list[float]] = {}
+    for chip in result.summaries:
+        by_no.setdefault(chip.chip_no, []).append(getattr(chip, metric))
+    fences = {}
+    for chip_no, values in by_no.items():
+        arr = np.asarray(values, dtype=float)
+        center = float(np.median(arr))
+        spread = _MAD_TO_SIGMA * float(np.median(np.abs(arr - center)))
+        fences[chip_no] = (center, spread)
+    rows = []
+    for chip in result.summaries:
+        center, spread = fences[chip.chip_no]
+        if spread <= 0.0:
+            continue
+        value = getattr(chip, metric)
+        z = (value - center) / spread
+        if abs(z) >= OUTLIER_SIGMA:
+            rows.append(
+                {
+                    "chip_id": chip.chip_id,
+                    "chip_no": chip.chip_no,
+                    "value": value,
+                    "group_median": center,
+                    "z_score": z,
+                }
+            )
+    rows.sort(key=lambda row: -abs(row["z_score"]))
+    return rows[:MAX_OUTLIER_ROWS]
+
+
+def _histogram_series(result: FleetCampaignResult, metric: str) -> list[Series]:
+    """Per-schedule-position histograms of ``metric`` as plottable series."""
+    by_no: dict[int, list[float]] = {}
+    for chip in result.summaries:
+        by_no.setdefault(chip.chip_no, []).append(getattr(chip, metric))
+    lo = min(min(v) for v in by_no.values())
+    hi = max(max(v) for v in by_no.values())
+    if hi <= lo:
+        hi = lo + 1e-9
+    bins = max(10, min(60, len(result.summaries) // 20))
+    edges = np.linspace(lo, hi, bins + 1)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    series = []
+    for chip_no in sorted(by_no):
+        counts, _ = np.histogram(np.asarray(by_no[chip_no], dtype=float), bins=edges)
+        series.append(Series(f"chip no. {chip_no}", centers, counts.astype(float)))
+    return series
+
+
+def build_fleet_report(
+    result: FleetCampaignResult,
+    model: TraceModel | None = None,
+    title: str = "Fleet campaign report",
+    seed: int | None = None,
+) -> CampaignHealthReport:
+    """Assemble the distribution report from a fleet campaign result."""
+    model = model if model is not None else TraceModel([], {})
+
+    meta = {
+        "title": title,
+        "seed": seed,
+        "n_chips": len(result.summaries),
+        "fidelity": result.fidelity,
+        "shards": result.shards,
+        "complete": result.complete,
+        "measurements": result.total_measurements,
+        "collected_records": len(result.log),
+        "measurements_per_second": model.metric_value(_THROUGHPUT),
+    }
+
+    distributions = {}
+    for metric, _label in _METRICS:
+        values = [getattr(chip, metric) for chip in result.summaries]
+        by_no: dict[int, list[float]] = {}
+        for chip in result.summaries:
+            by_no.setdefault(chip.chip_no, []).append(getattr(chip, metric))
+        distributions[metric] = {
+            "lot": _distribution(values),
+            "by_chip_no": {
+                str(chip_no): _distribution(by_no[chip_no])
+                for chip_no in sorted(by_no)
+            },
+        }
+
+    outliers = {metric: _outliers(result, metric) for metric, _ in _METRICS}
+
+    data = {
+        "meta": meta,
+        "distributions": distributions,
+        "outliers": outliers,
+    }
+    return CampaignHealthReport(data, _render_html(data, result))
+
+
+def _distribution_rows(groups: dict[str, dict]) -> list[list[object]]:
+    rows = []
+    for name, entry in groups.items():
+        if entry.get("n", 0) == 0:
+            rows.append([name, 0, "-", "-", "-", "-", "-", "-"])
+            continue
+        pct = entry["percentiles"]
+        rows.append(
+            [
+                name,
+                entry["n"],
+                entry["mean"],
+                entry["std"],
+                pct["p1"],
+                pct["p50"],
+                pct["p99"],
+                entry["max"],
+            ]
+        )
+    return rows
+
+
+def _render_html(data: dict, result: FleetCampaignResult) -> str:
+    meta = data["meta"]
+    sections: list[str] = []
+
+    sections.append("<h2>Fleet</h2>")
+    throughput = meta["measurements_per_second"]
+    sections.append(
+        H.rows_table(
+            "Fleet summary",
+            ["quantity", "value"],
+            [
+                ["chips", meta["n_chips"]],
+                ["fidelity", meta["fidelity"]],
+                ["shards", meta["shards"]],
+                ["measurements", meta["measurements"]],
+                ["records kept", meta["collected_records"]],
+                [
+                    "measurements per wall second",
+                    f"{throughput:,.0f}" if throughput else "-",
+                ],
+                ["seed", meta["seed"] if meta["seed"] is not None else "-"],
+            ],
+        )
+    )
+
+    for metric, label in _METRICS:
+        dist = data["distributions"][metric]
+        sections.append(f"<h2>Distribution: {H.escape(label)}</h2>")
+        groups = {"lot": dist["lot"]}
+        groups.update(
+            {
+                f"chip no. {chip_no}": entry
+                for chip_no, entry in dist["by_chip_no"].items()
+            }
+        )
+        sections.append(
+            H.rows_table(
+                f"{label} — population statistics",
+                ["group", "n", "mean", "std", "p1", "median", "p99", "max"],
+                _distribution_rows(groups),
+            )
+        )
+        if len(result.summaries) >= 2:
+            chart = svg_line_chart(
+                _histogram_series(result, metric),
+                title=f"{label} histogram",
+                x_label="degradation %",
+                y_label="chips per bin",
+            )
+            sections.append(
+                H.figure(
+                    chart,
+                    f"{label}: one curve per Table 1 schedule position "
+                    f"({meta['n_chips']:,} chips total)",
+                )
+            )
+
+        rows = data["outliers"][metric]
+        sections.append(f"<h3>Outliers (&gt; {OUTLIER_SIGMA:g}&sigma;)</h3>")
+        if rows:
+            sections.append(
+                H.rows_table(
+                    f"{label} — outlier chips",
+                    ["chip", "chip no.", "value %", "group median %", "z-score"],
+                    [
+                        [
+                            row["chip_id"],
+                            row["chip_no"],
+                            row["value"],
+                            row["group_median"],
+                            row["z_score"],
+                        ]
+                        for row in rows
+                    ],
+                )
+            )
+        else:
+            sections.append(
+                '<p class="note">No chip beyond the sigma fence '
+                "within its schedule group.</p>"
+            )
+
+    return H.page(meta["title"], sections)

@@ -13,8 +13,8 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         expected = {
-            "FIG1", "FIG2", "FIG3", "TAB1", "FIG4", "FIG5", "TAB2", "TAB3",
-            "FIG6", "FIG7", "FIG8", "TAB4", "TAB5", "FIG9", "FIG10",
+            "FIG1", "FIG2", "FIG3", "TAB1", "TAB1F", "FIG4", "FIG5", "TAB2",
+            "TAB3", "FIG6", "FIG7", "FIG8", "TAB4", "TAB5", "FIG9", "FIG10",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,75 @@
+"""Counter overflow must behave identically on every readout path.
+
+A hardware 16-bit counter silently wraps ``count mod 2**16`` and aliases
+a fast oscillator to a bogus low frequency.  The virtual instrument
+refuses instead — and the refusal must be *one* behaviour shared by the
+scalar :meth:`read`, the burst :meth:`read_many` and (through them) the
+fleet's inline readout: the same typed
+:class:`~repro.errors.CounterOverflowError` at the same threshold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CounterOverflowError, MeasurementError
+from repro.fpga.counter import ReadoutCounter
+
+#: fosc that lands exactly on max_count at fref=500 (65535 * 2 * 500).
+AT_LIMIT = 65_535_000.0
+
+
+class TestUnifiedOverflow:
+    def test_scalar_and_burst_raise_the_same_type(self):
+        counter = ReadoutCounter(fref=500.0, bits=16, noise_counts=0)
+        over = AT_LIMIT + 1000.0
+        with pytest.raises(CounterOverflowError):
+            counter.read(over, rng=0)
+        with pytest.raises(CounterOverflowError):
+            counter.read_many(over, 3, rng=0)
+
+    def test_overflow_error_is_a_measurement_error(self):
+        # The retry layer catches MeasurementError; the overflow must be
+        # re-readable (fault-injected droop can push fosc past the range
+        # transiently), so the subtype relation is load-bearing.
+        assert issubclass(CounterOverflowError, MeasurementError)
+
+    def test_threshold_is_exactly_max_count(self):
+        counter = ReadoutCounter(fref=500.0, bits=16, noise_counts=0)
+        assert counter.read(AT_LIMIT, rng=0) == counter.max_count
+        counts = counter.read_many(AT_LIMIT, 3, rng=0)
+        assert counts.max() == counter.max_count
+
+    def test_noise_can_push_a_boundary_count_over(self):
+        # ideal == max_count: a +1 noise draw overflows; both paths must
+        # agree draw-for-draw on one seed.
+        counter = ReadoutCounter(fref=500.0, bits=16, noise_counts=5)
+        scalar_fail = burst_fail = False
+        try:
+            rng = np.random.default_rng(2)
+            for _ in range(64):
+                counter.read(AT_LIMIT, rng=rng)
+        except CounterOverflowError:
+            scalar_fail = True
+        try:
+            counter.read_many(AT_LIMIT, 64, rng=np.random.default_rng(2))
+        except CounterOverflowError:
+            burst_fail = True
+        assert scalar_fail and burst_fail
+
+    def test_burst_stream_identical_to_sequential_reads(self):
+        counter = ReadoutCounter(fref=500.0, noise_counts=5)
+        fosc = 3.2e6
+        burst = counter.read_many(fosc, 16, rng=np.random.default_rng(9))
+        rng = np.random.default_rng(9)
+        sequential = [counter.read(fosc, rng=rng) for _ in range(16)]
+        np.testing.assert_array_equal(burst, sequential)
+
+    def test_clamp_floor_shared_by_both_paths(self):
+        # Near-zero fosc: negative noisy counts clamp to 0 on both paths.
+        counter = ReadoutCounter(fref=500.0, noise_counts=5)
+        fosc = 1000.0  # ideal count 1
+        burst = counter.read_many(fosc, 64, rng=np.random.default_rng(3))
+        rng = np.random.default_rng(3)
+        sequential = [counter.read(fosc, rng=rng) for _ in range(64)]
+        assert burst.min() == 0
+        np.testing.assert_array_equal(burst, sequential)
