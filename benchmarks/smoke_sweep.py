@@ -1,0 +1,131 @@
+"""SMOKE — dependability sweep: degrade gracefully, resume bit-identically.
+
+Drives the full ``repro.dependability`` stack the way CI exercises it:
+
+* a 2 faultload x 2 guard-mode grid (8 cells with the two alpha settings)
+  runs under **process isolation** with one *injected* crash in a cell
+  that would otherwise pass;
+* the sweep must **complete on the survivors** — the crashed cell and the
+  guard-off upset cells are recorded as degraded, never raised;
+* one surviving cell's record is then deleted and the sweep **resumed**:
+  only that cell re-runs, and its deterministic stats digest must be
+  bit-identical to the first pass;
+* the headline numbers land in ``BENCH_sweep.json`` for the rolling
+  history check (``repro bench --input BENCH_sweep.json``).
+
+Run directly (CI does)::
+
+    PYTHONPATH=src python -m pytest benchmarks/smoke_sweep.py -q
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.dependability import (
+    LifetimeSettings,
+    SweepRunner,
+    SweepSpec,
+    analyze_sweep,
+)
+from repro.report import build_dependability_report
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = ROOT / "BENCH_sweep.json"
+
+SEED = 7
+
+#: The cell the crash is injected into: cell-0000 is the zero-faultload
+#: clamp cell, which completes cleanly when not sabotaged.
+CRASHED_CELL = "cell-0000"
+
+
+def smoke_spec() -> SweepSpec:
+    """The CI smoke grid: 2 fault rates x 2 guard modes (x 2 alphas)."""
+    return SweepSpec(
+        name="smoke-sweep",
+        engine="table1",
+        n_chips=2,
+        fault_rates=(0.0, 24.0),
+        upset_probs=(0.25,),
+        guard_modes=("clamp", "off"),
+        alphas=(1.0, 4.0),
+        seeds=(SEED,),
+        lifetime=LifetimeSettings(budget_fraction=0.005, horizon_hours=24.0),
+    )
+
+
+def test_smoke_sweep(tmp_path):
+    spec = smoke_spec()
+    directory = tmp_path / "sweep"
+
+    start = time.perf_counter()
+    runner = SweepRunner(
+        spec,
+        directory,
+        isolation="process",
+        timeout_s=300.0,
+        cell_retries=1,
+        inject={CRASHED_CELL: "crash"},
+    )
+    result = runner.run()
+    wall_s = time.perf_counter() - start
+
+    # Graceful degradation: the sweep completed with every cell recorded.
+    assert len(result.outcomes) == spec.n_cells == 8
+    by_id = {outcome.cell_id: outcome for outcome in result.outcomes}
+    crashed = by_id[CRASHED_CELL]
+    assert not crashed.ok and "worker died" in crashed.error
+    survivors = [outcome for outcome in result.outcomes if outcome.ok]
+    assert survivors, "sweep must complete on the surviving cells"
+    # The guard-off cells under upsets fail by design (NaN upsets abort
+    # an unguarded campaign); every clamp cell except the sabotaged one
+    # must survive.
+    for cell, outcome in zip(result.cells, result.outcomes):
+        if cell.guard_mode == "clamp" and cell.cell_id != CRASHED_CELL:
+            assert outcome.ok, f"{cell.cell_id} degraded: {outcome.error}"
+
+    # Resume: delete one surviving cell's record, re-run only that cell,
+    # and require a bit-identical stats digest.
+    victim = survivors[0]
+    (directory / "cells" / f"{victim.cell_id}.json").unlink()
+    resumed = SweepRunner.resume(
+        directory,
+        isolation="process",
+        timeout_s=300.0,
+        cell_retries=1,
+        inject={CRASHED_CELL: "crash"},
+    )
+    resumed_by_id = {outcome.cell_id: outcome for outcome in resumed.outcomes}
+    assert resumed_by_id[victim.cell_id].digest == victim.digest
+    for outcome in survivors:
+        assert resumed_by_id[outcome.cell_id].digest == outcome.digest
+
+    # The report must render CIs and the Pareto frontier from this grid.
+    analysis = analyze_sweep(resumed)
+    report = build_dependability_report(analysis)
+    frontier = [p for p in report.data["pareto"] if p["on_frontier"]]
+    assert frontier, "smoke sweep must yield a non-empty Pareto frontier"
+    assert report.data["confidence"]["cell_failure_rate_wilson95"]
+    report.write(tmp_path / "sweep-report.html")
+
+    entry = {
+        "bench": "smoke_sweep.test_smoke_sweep",
+        "seed": SEED,
+        "n_chips": spec.n_chips,
+        "cells": len(result.outcomes),
+        "ok_cells": len(survivors),
+        "degraded_cells": len(result.outcomes) - len(survivors),
+        "pareto_points": len(report.data["pareto"]),
+        "frontier_points": len(frontier),
+        "sweep_wall_s": round(wall_s, 3),
+    }
+    BENCH_PATH.write_text(json.dumps(entry, indent=2) + "\n")
+
+    print(
+        f"smoke sweep: {entry['ok_cells']}/{entry['cells']} cells completed "
+        f"({entry['degraded_cells']} degraded, incl. injected crash) in "
+        f"{wall_s:.2f} s; resume of {victim.cell_id} bit-identical; "
+        f"{len(frontier)} frontier point(s)"
+    )
+    print(f"baseline written to {BENCH_PATH.name}")

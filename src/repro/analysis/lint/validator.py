@@ -268,13 +268,14 @@ def validate_experiments(
     waveforms: Mapping[str, object] | None = None,
     extra_phases: Iterable[tuple[str, object]] | None = None,
     repo_root: str | Path | None = ".",
+    sweep_specs: Iterable[object] | None = None,
 ) -> list[Finding]:
     """Statically validate the experiment registry and lab schedules.
 
     With no arguments this checks the real registry, Table 1 schedule,
-    recovery knobs and stress waveforms; every parameter is injectable
-    for testing.  Returns findings (empty when everything is sane); no
-    simulation is executed.
+    recovery knobs, stress waveforms and the DEPEND demo sweep spec
+    (RPR105/RPR106); every parameter is injectable for testing.  Returns
+    findings (empty when everything is sane); no simulation is executed.
     """
     from repro.bti.conditions import AC_FIFTY_FIFTY, DC
     from repro.core.knobs import ACCELERATED_KNOBS, PASSIVE_KNOBS
@@ -309,4 +310,12 @@ def validate_experiments(
         findings += _validate_phase(label, phase, chamber)
     findings += _validate_knobs(knobs, chamber)
     findings += _validate_waveforms(waveforms)
+    if sweep_specs is None:
+        from repro.dependability.spec import demo_spec
+
+        sweep_specs = (demo_spec(),)
+    from repro.dependability.spec import validate_sweep_spec
+
+    for spec in sweep_specs:
+        findings += validate_sweep_spec(spec)
     return findings

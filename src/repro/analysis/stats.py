@@ -36,6 +36,35 @@ def summary(values) -> Summary:
     )
 
 
+def wilson_ci(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The interval of choice for the small-``n`` proportions dependability
+    sweeps produce (2 quarantined of 5 chips, 1 failed cell of 24): unlike
+    the normal approximation it never leaves [0, 1] and stays honest at
+    k = 0 or k = n.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes must be within [0, {trials}], got {successes}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    from statistics import NormalDist
+
+    z = NormalDist().inv_cdf(0.5 + confidence / 2.0)
+    n = float(trials)
+    p = successes / n
+    denominator = 1.0 + z * z / n
+    centre = (p + z * z / (2.0 * n)) / denominator
+    margin = (z / denominator) * np.sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n))
+    return float(max(0.0, centre - margin)), float(min(1.0, centre + margin))
+
+
 def bootstrap_ci(
     values,
     confidence: float = 0.95,

@@ -13,6 +13,9 @@ Usage::
     python -m repro report [--out out.html] # campaign health report
     python -m repro report --experiments    # legacy markdown experiment report
     python -m repro bench --check           # compare BENCH json vs history
+    python -m repro sweep run spec.json --dir sweep/   # dependability sweep
+    python -m repro sweep resume --dir sweep/          # finish unfinished cells
+    python -m repro sweep report --dir sweep/ --out sweep.html
     python -m repro calibration             # print the acceptance bands
     python -m repro lint [paths...]         # domain lint (RPR rules + baseline)
     python -m repro lint --deep             # + cross-module flow passes
@@ -89,19 +92,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resilience_kwargs(args: argparse.Namespace) -> dict:
+def _resilience_kwargs(args: argparse.Namespace, n_chips: int | None = None) -> dict:
     """Translate the campaign CLI's resilience flags into run kwargs."""
     from repro.lab.campaign import table1_horizon
     from repro.lab.faults import FaultPlan
     from repro.lab.resilience import RetryPolicy
 
+    count = n_chips if n_chips is not None else args.chips
     kwargs: dict = {}
     if args.fault_seed is not None:
-        chip_ids = [f"chip-{i + 1}" for i in range(args.chips)]
+        chip_ids = [f"chip-{i + 1}" for i in range(count)]
         kwargs["faults"] = FaultPlan.generate(
             args.fault_seed,
             chip_ids,
-            table1_horizon(args.chips),
+            table1_horizon(count),
             rate_per_day=args.fault_rate,
             dropout_probability=args.dropout_prob,
             upset_probability=args.upset_prob,
@@ -178,26 +182,19 @@ def _write_fleet_report(result, tracer, out: str, seed: int) -> None:
 
 
 def _cmd_fleet_campaign(args: argparse.Namespace) -> int:
-    """The --fleet branch of `repro campaign`: batched wafer-lot run."""
-    from repro.errors import ConfigurationError
+    """The --fleet branch of `repro campaign`: batched wafer-lot run.
+
+    Resilience flags are passed straight through to
+    :func:`~repro.lab.fleet.run_fleet_campaign`, which raises a typed
+    :class:`~repro.errors.ConfigurationError` naming any option the fleet
+    engine does not support (retry loops, checkpoints, rate-driven fault
+    kinds, guard budgets) — the CLI no longer second-guesses the contract.
+    """
     from repro.lab.fleet import run_fleet_campaign
     from repro.obs import JsonlExporter, ProgressReporter, Tracer
 
-    unsupported = {
-        "--fault-seed": args.fault_seed,
-        "--retries": args.retries,
-        "--retry-backoff": args.retry_backoff,
-        "--checkpoint": args.checkpoint,
-        "--resume": args.resume,
-        "--guard-mode": args.guard_mode,
-    }
-    offending = [flag for flag, value in unsupported.items() if value is not None]
-    if offending:
-        raise ConfigurationError(
-            f"{', '.join(offending)} not supported with --fleet; the fleet "
-            "engine runs the plain Table 1 schedule (use the per-chip "
-            "campaign for fault/guard/checkpoint drills)"
-        )
+    kwargs = _resilience_kwargs(args, n_chips=args.fleet)
+    kwargs.pop("sanitize", None)  # passed explicitly below
     tracer = None
     if args.trace:
         tracer = Tracer(exporter=JsonlExporter(args.trace))
@@ -217,6 +214,7 @@ def _cmd_fleet_campaign(args: argparse.Namespace) -> int:
         collect=args.collect,
         tracer=tracer,
         progress=progress,
+        **kwargs,
     )
     print(
         f"done: {result.total_measurements} measurements over "
@@ -481,6 +479,98 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"recorded as entry #{bench.load_history(path)[-1]['sequence']} "
               f"in {path}")
     return 1 if regressed and args.strict else 0
+
+
+def _load_sweep_spec(path: str):
+    """Read a sweep spec file; the literal ``demo`` means the built-in demo."""
+    from repro.dependability import SweepSpec, demo_spec
+    from repro.errors import ConfigurationError
+
+    if path == "demo":
+        return demo_spec()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read sweep spec {path!r}: {exc}") from exc
+    return SweepSpec.from_json(text)
+
+
+def _write_sweep_report(analysis, out: str) -> None:
+    """Build and write the dependability report (HTML + JSON sibling)."""
+    from repro.report import build_dependability_report
+
+    report = build_dependability_report(analysis)
+    path = report.write(out)
+    print(f"dependability report written to {path} (+ {path.with_suffix('.json').name})")
+
+
+def _print_sweep_summary(result) -> None:
+    ok, degraded = result.ok_cells, result.degraded_cells
+    print(
+        f"sweep {result.spec.name!r}: {len(ok)}/{len(result.outcomes)} cells "
+        f"completed" + ("" if not degraded else f", {len(degraded)} degraded")
+    )
+    for outcome in degraded:
+        print(f"  degraded: {outcome.cell_id} ({outcome.status}) — {outcome.error}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.dependability import SweepRunner, SweepStore, analyze_sweep
+
+    if args.sweep_command == "init":
+        from repro.dependability import validate_sweep_spec
+
+        spec = _load_sweep_spec(args.spec)
+        findings = validate_sweep_spec(spec)
+        if findings:
+            for finding in findings:
+                print(f"{finding.rule_id}: {finding.message}", file=sys.stderr)
+            return 1
+        SweepStore(args.dir).initialise(spec)
+        print(
+            f"sweep {spec.name!r} initialised in {args.dir}: "
+            f"{spec.n_cells} cells ({spec.engine} engine, digest {spec.digest()})"
+        )
+        return 0
+
+    if args.sweep_command == "report":
+        analysis = analyze_sweep(args.dir)
+        analysis.table().print()
+        _write_sweep_report(analysis, args.out or "sweep-report.html")
+        return 0
+
+    # run | resume
+    from repro.obs import JsonlExporter, ProgressReporter, Tracer
+
+    tracer = Tracer(exporter=JsonlExporter(args.trace)) if args.trace else None
+    progress = ProgressReporter(enabled=args.progress)
+    runner_kwargs = dict(
+        timeout_s=args.timeout,
+        cell_retries=args.cell_retries,
+        isolation=args.isolation,
+        tracer=tracer,
+        progress=progress,
+    )
+    if args.sweep_command == "resume":
+        print(f"resuming sweep in {args.dir} (unfinished cells only)...")
+        result = SweepRunner.resume(args.dir, **runner_kwargs)
+    else:
+        spec = _load_sweep_spec(args.spec)
+        print(
+            f"running sweep {spec.name!r}: {spec.n_cells} cells "
+            f"({spec.engine} engine, {args.isolation} isolation)..."
+        )
+        runner = SweepRunner(spec, args.dir, **runner_kwargs)
+        result = runner.run()
+    _print_sweep_summary(result)
+    if args.report:
+        _write_sweep_report(analyze_sweep(result), args.report)
+    if tracer is not None:
+        n_spans = len(tracer.finished)
+        tracer.close()
+        print(f"trace written to {args.trace} ({n_spans} spans)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -849,6 +939,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="provenance marker stored with --record (e.g. a git SHA)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="dependability sweeps: faultload matrices with graceful degradation",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def add_sweep_dir(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--dir",
+            default="sweep",
+            metavar="DIR",
+            help="sweep progress directory (default: sweep)",
+        )
+
+    def add_sweep_run_options(parser: argparse.ArgumentParser) -> None:
+        add_sweep_dir(parser)
+        parser.add_argument(
+            "--timeout",
+            type=float,
+            default=600.0,
+            metavar="SECONDS",
+            help="wall-clock budget per cell attempt (default: 600)",
+        )
+        parser.add_argument(
+            "--cell-retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="attempts per cell before recording it as failed (default: 2)",
+        )
+        parser.add_argument(
+            "--isolation",
+            choices=["process", "inline"],
+            default="process",
+            help="'process' forks a crash/timeout-proof worker per cell, "
+            "'inline' runs in-process (default: process)",
+        )
+        parser.add_argument(
+            "--report",
+            metavar="HTML",
+            help="write the dependability report here after the sweep "
+            "(JSON sibling alongside)",
+        )
+        parser.add_argument("--trace", help="write a JSONL span trace to this file")
+        verbosity = parser.add_mutually_exclusive_group()
+        verbosity.add_argument(
+            "--progress",
+            dest="progress",
+            action="store_true",
+            default=True,
+            help="print per-cell progress lines (default)",
+        )
+        verbosity.add_argument(
+            "--quiet",
+            dest="progress",
+            action="store_false",
+            help="suppress progress lines",
+        )
+
+    s_init = sweep_sub.add_parser(
+        "init", help="validate a sweep spec and initialise its directory"
+    )
+    s_init.add_argument(
+        "spec", help="sweep spec JSON file, or 'demo' for the built-in demo sweep"
+    )
+    add_sweep_dir(s_init)
+
+    s_run = sweep_sub.add_parser(
+        "run", help="run every cell of a sweep spec (resumable, crash-safe)"
+    )
+    s_run.add_argument(
+        "spec", help="sweep spec JSON file, or 'demo' for the built-in demo sweep"
+    )
+    add_sweep_run_options(s_run)
+
+    s_resume = sweep_sub.add_parser(
+        "resume", help="finish the unfinished cells of an interrupted sweep"
+    )
+    add_sweep_run_options(s_resume)
+
+    s_report = sweep_sub.add_parser(
+        "report", help="analyze a sweep directory and write its report"
+    )
+    add_sweep_dir(s_report)
+    s_report.add_argument(
+        "--out", help="output HTML file (default: sweep-report.html)"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -1,0 +1,103 @@
+"""Lifetime-vs-throughput Pareto frontiers over the recovery knobs.
+
+The paper's knobs trade against each other: a small alpha sleeps more
+(better rejuvenation, longer lifetime) but delivers less work per cycle
+(throughput ``alpha / (1 + alpha)``).  This module groups a sweep's cells
+by their (alpha, Vdda, Ta) coordinate and extracts the non-dominated set
+maximising *both* projected active lifetime and throughput — the
+configurations worth considering; everything else is dominated by a knob
+setting that is at least as good on both axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dependability.analyzer import SweepAnalysis
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One (alpha, Vdda, Ta) coordinate's aggregated trade-off point.
+
+    ``lifetime_hours`` is the mean projected active lifetime over the
+    coordinate's completed cells; censored projections (budget never
+    crossed within the horizon) enter at the horizon, so they can only
+    *understate* the point — a censored point on the frontier is really
+    on it.  ``censored`` counts them.
+    """
+
+    alpha: float
+    sleep_voltage: float
+    sleep_temperature_c: float
+    lifetime_hours: float
+    throughput: float
+    cells: int
+    censored: int
+    on_frontier: bool = False
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True when at least as good on both axes and better on one."""
+        at_least = (
+            self.lifetime_hours >= other.lifetime_hours
+            and self.throughput >= other.throughput
+        )
+        better = (
+            self.lifetime_hours > other.lifetime_hours
+            or self.throughput > other.throughput
+        )
+        return at_least and better
+
+
+def pareto_frontier(analysis: SweepAnalysis) -> tuple[ParetoPoint, ...]:
+    """All knob coordinates with lifetime data, frontier members flagged.
+
+    Returns every aggregated point (sorted by throughput, then lifetime)
+    with ``on_frontier`` set on the non-dominated ones, so reports can
+    plot the dominated cloud *and* the frontier line from one call.
+    Cells that degraded or ran with lifetime projection disabled
+    contribute nothing; an empty tuple means no frontier is available.
+    """
+    groups: dict[tuple[float, float, float], list] = {}
+    for row in analysis.ok_rows:
+        stats = row.outcome.stats
+        if "throughput_active_fraction" not in stats:
+            continue  # lifetime projection disabled for this cell
+        groups.setdefault(row.cell.knob_key, []).append(row)
+
+    points = []
+    for (alpha, voltage, temperature), rows in sorted(groups.items()):
+        horizon = rows[0].cell.lifetime.horizon_hours
+        lifetimes = [
+            row.lifetime_hours if row.lifetime_hours is not None else horizon
+            for row in rows
+        ]
+        censored = sum(1 for row in rows if row.lifetime_hours is None)
+        points.append(
+            ParetoPoint(
+                alpha=alpha,
+                sleep_voltage=voltage,
+                sleep_temperature_c=temperature,
+                lifetime_hours=sum(lifetimes) / len(lifetimes),
+                throughput=rows[0].throughput,
+                cells=len(rows),
+                censored=censored,
+            )
+        )
+
+    flagged = tuple(
+        ParetoPoint(
+            alpha=point.alpha,
+            sleep_voltage=point.sleep_voltage,
+            sleep_temperature_c=point.sleep_temperature_c,
+            lifetime_hours=point.lifetime_hours,
+            throughput=point.throughput,
+            cells=point.cells,
+            censored=point.censored,
+            on_frontier=not any(
+                other.dominates(point) for other in points if other is not point
+            ),
+        )
+        for point in sorted(points, key=lambda p: (p.throughput, p.lifetime_hours))
+    )
+    return flagged

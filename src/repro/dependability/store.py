@@ -1,0 +1,156 @@
+"""Crash-safe persistence for sweep progress.
+
+Layout under the sweep directory::
+
+    sweep.json            # spec + digest + grid size  (atomic write)
+    cells/cell-0000.json  # one file per finished cell (atomic write)
+    cells/cell-0001.json
+    ...
+
+Every write goes through :func:`repro.lab.resilience.atomic_write_json`
+(tmp + fsync + rename), so a SIGKILL at any instant leaves either the
+previous committed state or the new one — never a torn file.  Orphaned
+``*.tmp`` files from an interrupted write are discarded with a warning
+when the store is (re)opened, mirroring :class:`CheckpointStore`.
+
+A cell file records the *outcome* — including failures and timeouts —
+so resume knows exactly which cells remain.  Only infrastructure
+problems (missing manifest, spec digest mismatch) raise
+:class:`~repro.errors.SweepError`; a bad individual cell file is
+skipped with a warning and the cell simply re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+
+from repro.errors import SweepError
+from repro.lab.resilience import atomic_write_json, discard_orphan_tmp
+from repro.dependability.spec import SweepSpec
+
+SWEEP_VERSION = 1
+
+
+class SweepStore:
+    """Persistent progress ledger for one sweep directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.cells_dir = self.directory / "cells"
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        discard_orphan_tmp(self.directory)
+        discard_orphan_tmp(self.cells_dir)
+
+    def _manifest_path(self) -> Path:
+        return self.directory / "sweep.json"
+
+    # -- manifest ---------------------------------------------------------
+
+    def initialise(self, spec: SweepSpec) -> None:
+        """Write the sweep manifest for a fresh run.
+
+        Refuses to clobber a manifest for a *different* spec — that is a
+        resume-into-the-wrong-directory mistake, not a fresh start.
+        """
+        manifest_path = self._manifest_path()
+        if manifest_path.exists():
+            existing = self._read_manifest()
+            if existing["spec_digest"] != spec.digest():
+                raise SweepError(
+                    f"{self.directory} already holds sweep "
+                    f"{existing.get('name', '?')!r} with a different spec "
+                    f"(digest {existing['spec_digest']} != {spec.digest()}); "
+                    "use a fresh directory or resume with the original spec"
+                )
+            return  # same spec: idempotent, keep finished cells
+        atomic_write_json(
+            manifest_path,
+            {
+                "version": SWEEP_VERSION,
+                "name": spec.name,
+                "spec": spec.to_dict(),
+                "spec_digest": spec.digest(),
+                "n_cells": spec.n_cells,
+            },
+        )
+
+    def _read_manifest(self) -> dict:
+        manifest_path = self._manifest_path()
+        if not manifest_path.exists():
+            raise SweepError(
+                f"{self.directory} has no sweep.json manifest — nothing to resume"
+            )
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SweepError(f"unreadable sweep manifest {manifest_path}: {exc}") from exc
+        if manifest.get("version") != SWEEP_VERSION:
+            raise SweepError(
+                f"sweep manifest version {manifest.get('version')!r} is not "
+                f"the supported version {SWEEP_VERSION}"
+            )
+        return manifest
+
+    def load_spec(self) -> SweepSpec:
+        """Reload the spec a directory was initialised with."""
+        manifest = self._read_manifest()
+        spec = SweepSpec.from_dict(manifest["spec"])
+        if spec.digest() != manifest["spec_digest"]:
+            raise SweepError(
+                f"sweep manifest {self._manifest_path()} is internally "
+                "inconsistent (spec does not match its recorded digest)"
+            )
+        return spec
+
+    def check_spec(self, spec: SweepSpec) -> None:
+        """Assert ``spec`` matches what the directory was initialised with."""
+        manifest = self._read_manifest()
+        if manifest["spec_digest"] != spec.digest():
+            raise SweepError(
+                f"spec digest {spec.digest()} does not match the sweep "
+                f"directory's {manifest['spec_digest']}; resuming with a "
+                "modified spec would silently mix incompatible cells"
+            )
+
+    # -- cells ------------------------------------------------------------
+
+    def _cell_path(self, cell_id: str) -> Path:
+        return self.cells_dir / f"{cell_id}.json"
+
+    def write_cell(self, cell_id: str, payload: dict) -> None:
+        """Atomically persist one finished cell outcome."""
+        atomic_write_json(self._cell_path(cell_id), payload)
+
+    def load_cells(self) -> dict[str, dict]:
+        """All persisted cell outcomes, keyed by cell id.
+
+        A corrupt cell file (torn by a crash predating the atomic-write
+        discipline, or hand-edited) is skipped with a warning so resume
+        degrades to re-running that cell instead of refusing to start.
+        """
+        outcomes: dict[str, dict] = {}
+        for path in sorted(self.cells_dir.glob("cell-*.json")):
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                warnings.warn(
+                    f"{path}: skipping unreadable cell file ({exc}); "
+                    "the cell will be re-run on resume",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(payload, dict) or "cell_id" not in payload:
+                warnings.warn(
+                    f"{path}: skipping malformed cell file (no cell_id); "
+                    "the cell will be re-run on resume",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            outcomes[payload["cell_id"]] = payload
+        return outcomes

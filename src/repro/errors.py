@@ -48,6 +48,16 @@ class CheckpointError(ReproError):
     """A campaign checkpoint directory is missing, corrupt or incompatible."""
 
 
+class SweepError(ReproError):
+    """A dependability sweep directory is missing, corrupt or incompatible.
+
+    Raised for infrastructure problems of the sweep itself (bad manifest,
+    spec mismatch on resume).  A *cell* that fails or times out is never
+    an exception — it is recorded in the sweep manifest and the sweep
+    degrades gracefully onto the surviving cells.
+    """
+
+
 class FittingError(ReproError):
     """Model parameter extraction failed to converge or was ill-posed."""
 

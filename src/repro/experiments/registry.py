@@ -9,6 +9,7 @@ from typing import Callable
 from repro.errors import ConfigurationError
 from repro.obs import get_tracer
 from repro.experiments import (
+    depend,
     fig1,
     fig2,
     fig3,
@@ -144,6 +145,14 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
             "Active:sleep ratio invariance (alpha = 4)",
             table5.run,
             "benchmarks/bench_table5_alpha_ratio.py",
+        ),
+        ExperimentDescriptor(
+            "DEPEND",
+            "Dependability sweep",
+            "Faultload matrix with graceful degradation: failure-rate "
+            "intervals and the recovery-knob Pareto frontier",
+            depend.run,
+            "benchmarks/smoke_sweep.py",
         ),
         ExperimentDescriptor(
             "FIG9",

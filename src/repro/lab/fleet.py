@@ -39,6 +39,7 @@ from repro.fpga.counter import ReadoutCounter
 from repro.fpga.fleet import FleetChip
 from repro.fpga.ring_oscillator import StressMode
 from repro.lab.campaign import CampaignResult
+from repro.lab.faults import FaultInjector, FaultKind, FaultPlan
 from repro.lab.clock_generator import ClockGenerator
 from repro.lab.datalog import DataLog, MeasurementRecord
 from repro.lab.power_supply import DcPowerSupply
@@ -61,6 +62,14 @@ DEFAULT_BATCH = {"exact": 64, "binned": 512}
 #: Fleet lots larger than this default to the binned fidelity under
 #: ``fidelity="auto"``; at or below it they stay exact (bit-identical).
 AUTO_EXACT_LIMIT = 8
+
+#: Fault kinds the batched fleet path can inject.  Instrument faults
+#: (thermal drift, supply droop, relay chatter, readout faults) and chip
+#: dropouts need the scalar bench's per-chip delivered-value hooks and
+#: quarantine machinery — use :func:`~repro.lab.campaign.run_table1_campaign`
+#: for those.  Trap-state upsets act directly on the batched trap arrays,
+#: so they work at fleet scale in both fidelities.
+FLEET_SUPPORTED_FAULT_KINDS = frozenset({FaultKind.TRAP_UPSET})
 
 
 def fleet_chip_no(index: int) -> int:
@@ -108,11 +117,15 @@ class FleetBench:
         tracer=None,
         reads_per_sample: int = 3,
         sampling_overhead: float = 3.0,
+        injectors=None,
     ) -> None:
         if len(rngs) != fleet.n_chips:
             raise ConfigurationError("one bench RNG per fleet chip is required")
+        if injectors is not None and len(injectors) != fleet.n_chips:
+            raise ConfigurationError("one fault injector (or None) per fleet chip")
         self.fleet = fleet
         self.rngs = list(rngs)
+        self.injectors = list(injectors) if injectors is not None else None
         self.tracer = tracer if tracer is not None else get_tracer()
         self.chamber = ThermalChamber()
         self.supply = DcPowerSupply()
@@ -198,6 +211,7 @@ class FleetBench:
             tolerance = 1e-9 * phase.duration
             while phase.duration - elapsed > tolerance:
                 chunk = min(phase.sampling_interval, phase.duration - elapsed)
+                self._inject_due_upsets(lo, hi)
                 temperatures = np.array(
                     [self.chamber.actual_temperature(rng) for rng in self.rngs[lo:hi]]
                 )
@@ -218,6 +232,24 @@ class FleetBench:
                     elapsed = phase.duration
                 self._sample_group(phase, chips, case_names, logs, elapsed)
             span.set("sim_advanced", float(self.fleet.elapsed[lo]) - sim_start)
+
+    def _inject_due_upsets(self, lo: int, hi: int) -> None:
+        """Land any due trap-state upsets before the next batched evolve.
+
+        Mirrors the scalar ``ResilientBench._apply_chunk`` semantics: the
+        bogus occupancy sits in the trap arrays until the next chunk's
+        evolve, where the guard contract catches it (raise mode) or clamps
+        it back into domain (clamp mode).
+        """
+        if self.injectors is None:
+            return
+        for index in range(lo, hi):
+            injector = self.injectors[index]
+            if injector is None:
+                continue
+            upset = injector.pop_upset(float(self.fleet.elapsed[index]))
+            if upset is not None:
+                self.fleet.inject_trap_upset_chip(index, upset.magnitude)
 
     def _sample_group(
         self, phase: TestPhase, chips: slice, case_names, logs, phase_elapsed: float
@@ -396,6 +428,8 @@ def _run_fleet_range(
     bins_per_decade: float,
     sanitize: bool,
     collect: str,
+    faults: FaultPlan | None = None,
+    guard=None,
     tracer=None,
     progress=NULL_PROGRESS,
 ):
@@ -435,9 +469,23 @@ def _run_fleet_range(
             [chip_seeds[index] for index in order],
             fidelity=fidelity,
             bins_per_decade=bins_per_decade,
+            guard=guard,
             tracer=tracer,
         )
-        bench = FleetBench(fleet, [bench_streams[index] for index in order], tracer=tracer)
+        injectors = None
+        if faults is not None:
+            injectors = [
+                FaultInjector(faults, f"chip-{index + 1}", tracer=tracer)
+                if faults.for_chip(f"chip-{index + 1}")
+                else None
+                for index in order
+            ]
+        bench = FleetBench(
+            fleet,
+            [bench_streams[index] for index in order],
+            tracer=tracer,
+            injectors=injectors,
+        )
         logs: list[list] = [[] for _ in order]
         baselines: list[list] = [[] for _ in order]
         for position, index in enumerate(order):
@@ -518,6 +566,11 @@ def run_fleet_campaign(
     bins_per_decade: float = 3.0,
     tracer=None,
     progress=None,
+    faults: FaultPlan | None = None,
+    retry=None,
+    checkpoint=None,
+    resume: bool = False,
+    guard=None,
 ) -> FleetCampaignResult:
     """Run Table 1 over an ``n_chips`` lot through the fleet engine.
 
@@ -529,6 +582,21 @@ def run_fleet_campaign(
     any shard count.  ``collect="summary"`` keeps only phase-boundary
     records per chip (memory-bounded 10k-chip runs); summaries and
     hashes always cover the full measurement stream.
+
+    Resilience support is a strict subset of the scalar campaign's, and
+    every unsupported option raises :class:`ConfigurationError` instead
+    of being silently ignored:
+
+    * ``faults``: only :data:`FLEET_SUPPORTED_FAULT_KINDS` (trap-state
+      upsets, which act directly on the batched trap arrays).  Instrument
+      faults and chip dropouts need the scalar bench.
+    * ``guard``: a :class:`~repro.guard.contracts.GuardConfig` whose
+      ``violation_budget`` is ``None`` — fleet chips share one batched
+      guard, so per-chip budgets/quarantine cannot be enforced here.
+    * ``retry`` / ``checkpoint`` / ``resume``: never supported — the
+      fleet path has no per-chip retry loop or snapshot store.
+    * ``faults``/``guard`` cannot be combined with ``shards > 1`` (the
+      shard cut would need per-worker plan plumbing).
     """
     if n_chips <= 0:
         raise ScheduleError(f"n_chips must be positive, got {n_chips}")
@@ -536,6 +604,48 @@ def run_fleet_campaign(
         raise ScheduleError(f"shards must be at least 1, got {shards}")
     if collect not in ("records", "summary"):
         raise ConfigurationError(f"collect must be 'records' or 'summary', got {collect!r}")
+    if retry is not None:
+        raise ConfigurationError(
+            "run_fleet_campaign does not support retry=: the fleet path has "
+            "no per-chip readout retry loop; use run_table1_campaign"
+        )
+    if checkpoint is not None:
+        raise ConfigurationError(
+            "run_fleet_campaign does not support checkpoint=: fleet runs "
+            "have no snapshot store; use run_table1_campaign"
+        )
+    if resume:
+        raise ConfigurationError(
+            "run_fleet_campaign does not support resume=True: fleet runs "
+            "have no snapshot store to resume from; use run_table1_campaign"
+        )
+    if faults is not None:
+        unsupported = sorted(
+            {event.kind.value for event in faults.events}
+            - {kind.value for kind in FLEET_SUPPORTED_FAULT_KINDS}
+        )
+        if unsupported:
+            supported = sorted(kind.value for kind in FLEET_SUPPORTED_FAULT_KINDS)
+            raise ConfigurationError(
+                f"run_fleet_campaign faults= plan contains unsupported fault "
+                f"kinds {unsupported}; the fleet path supports only "
+                f"{supported} (use run_table1_campaign for the rest)"
+            )
+        if shards > 1:
+            raise ConfigurationError(
+                "run_fleet_campaign does not support faults= with shards > 1"
+            )
+    if guard is not None:
+        if getattr(guard, "violation_budget", None) is not None:
+            raise ConfigurationError(
+                "run_fleet_campaign does not support guard= with a "
+                "violation_budget: fleet chips share one batched guard, so "
+                "per-chip budgets cannot be enforced; use run_table1_campaign"
+            )
+        if shards > 1:
+            raise ConfigurationError(
+                "run_fleet_campaign does not support guard= with shards > 1"
+            )
     if fidelity == "auto":
         fidelity = "exact" if n_chips <= AUTO_EXACT_LIMIT else "binned"
     if fidelity not in ("exact", "binned"):
@@ -551,10 +661,16 @@ def run_fleet_campaign(
         shards=shards,
     ) as span:
         if shards == 1:
+            fleet_guard = None
+            if guard is not None:
+                from repro.guard import Guard
+
+                fleet_guard = Guard(guard, tracer=tracer, owner="fleet")
             shard_results = [
                 _run_fleet_range(
                     seed, n_chips, 0, n_chips, include_baseline, fidelity,
                     batch_size, bins_per_decade, sanitize, collect,
+                    faults=faults, guard=fleet_guard,
                     tracer=tracer, progress=progress,
                 )
             ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -229,6 +230,54 @@ class ResilientTestbench(VirtualTestbench):
             return
 
 
+def atomic_write_json(path: str | Path, payload: dict) -> None:
+    """Write ``payload`` to ``path`` so a crash never leaves a torn file.
+
+    The JSON lands in ``<name>.tmp`` first, is flushed and fsynced, and
+    only then atomically renamed over the target — a SIGKILL (or power
+    loss) at any instant leaves either the previous complete file or the
+    new complete file, never a truncation.  An interrupted write (ENOSPC,
+    kill mid-dump) can leave the temp file behind; callers detect and
+    discard those with :func:`discard_orphan_tmp` before reading.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        # Best effort: do not leave a half-written temp file around for
+        # the next reader to trip on (ENOSPC is the classic cause).
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def discard_orphan_tmp(directory: str | Path, pattern: str = "*.tmp") -> list[Path]:
+    """Remove temp files a killed writer left behind, with a warning.
+
+    A ``.tmp`` file in a checkpoint/sweep directory means a writer died
+    between starting and committing an atomic write; its contents are at
+    best stale and at worst truncated.  The committed files it was about
+    to replace are still intact, so the right response on resume is to
+    warn, drop the orphan, and carry on — never to crash.
+    """
+    directory = Path(directory)
+    removed: list[Path] = []
+    for orphan in sorted(directory.glob(pattern)):
+        warnings.warn(
+            f"{orphan}: discarding orphaned temp file from an interrupted "
+            "write (the last committed state is still intact)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        orphan.unlink(missing_ok=True)
+        removed.append(orphan)
+    return removed
+
+
 #: On-disk checkpoint layout version (bump on incompatible changes).
 CHECKPOINT_VERSION = 1
 
@@ -257,6 +306,10 @@ class CheckpointStore:
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # Opening the store is the resume boundary: no writer is live yet,
+        # so any .tmp here is an orphan from an interrupted save — warn
+        # and drop it before a reader can mistake it for state.
+        discard_orphan_tmp(self.directory)
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -311,10 +364,7 @@ class CheckpointStore:
         return manifest
 
     def _write_manifest(self, manifest: dict) -> None:
-        tmp = self._manifest_path().with_suffix(".json.tmp")
-        with open(tmp, "w") as handle:
-            json.dump(manifest, handle, indent=2, sort_keys=True)
-        os.replace(tmp, self._manifest_path())
+        atomic_write_json(self._manifest_path(), manifest)
 
     # ------------------------------------------------------------------ #
     # per-chip state

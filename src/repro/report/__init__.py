@@ -16,18 +16,21 @@ from repro.report.bench import (
     rolling_baseline,
 )
 from repro.report.builder import CampaignHealthReport, build_campaign_report
+from repro.report.dependability import build_dependability_report
 from repro.report.fleet import build_fleet_report
-from repro.report.svg import svg_line_chart
+from repro.report.svg import svg_line_chart, svg_scatter_chart
 
 __all__ = [
     "BenchCheck",
     "BenchVerdict",
     "CampaignHealthReport",
     "build_campaign_report",
+    "build_dependability_report",
     "build_fleet_report",
     "check",
     "load_history",
     "record",
     "rolling_baseline",
     "svg_line_chart",
+    "svg_scatter_chart",
 ]

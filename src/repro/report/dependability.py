@@ -1,0 +1,314 @@
+"""Dependability sweep report: one self-contained HTML + JSON per sweep.
+
+Renders a :class:`~repro.dependability.analyzer.SweepAnalysis` into the
+same two-artefact shape as the campaign health report — a JSON dict
+first, the HTML as a rendering of that dict — reusing the inline-SVG
+infrastructure, so the report ships as a single file with no assets.
+
+Sections
+--------
+* sweep summary — grid shape, completed/degraded cells, failure-rate
+  Wilson interval;
+* per-cell grid table (configuration joined with outcome statistics);
+* degraded-cells table with each cell's recorded error and attempts;
+* confidence intervals — Wilson on cell-failure and quarantine rates,
+  bootstrap on the mean projected lifetime;
+* sensitivity tables, one per swept axis;
+* lifetime-vs-throughput Pareto scatter over (alpha, Vdda, Ta) with the
+  frontier polyline, plus the frontier table.
+"""
+
+from __future__ import annotations
+
+from repro.dependability.analyzer import SweepAnalysis
+from repro.dependability.pareto import ParetoPoint, pareto_frontier
+from repro.report import html as H
+from repro.report.builder import CampaignHealthReport
+from repro.report.svg import svg_scatter_chart
+
+
+def _knob_label(point: ParetoPoint) -> str:
+    return (
+        f"a={point.alpha:g}, {point.sleep_voltage:g} V, "
+        f"{point.sleep_temperature_c:g} C"
+    )
+
+
+def _cell_entry(row) -> dict:
+    """JSON entry for one grid cell."""
+    cell, outcome = row.cell, row.outcome
+    entry = {
+        "cell_id": cell.cell_id,
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+        "fault_rate": cell.fault_rate,
+        "dropout_prob": cell.dropout_prob,
+        "upset_prob": cell.upset_prob,
+        "guard_mode": cell.guard_mode,
+        "alpha": cell.alpha,
+        "sleep_voltage": cell.sleep_voltage,
+        "sleep_temperature_c": cell.sleep_temperature_c,
+        "seed": cell.seed,
+        "digest": outcome.digest,
+    }
+    if outcome.ok:
+        stats = outcome.stats
+        entry.update(
+            {
+                "measurements": stats.get("measurements", 0),
+                "quarantined": stats.get("quarantined_count", 0),
+                "sample_retries": stats.get("sample_retries", 0.0),
+                "guard_violations": stats.get("guard_violations_total", 0.0),
+                "faults_planned": stats.get("faults_planned", 0),
+                "lifetime_active_hours": stats.get("lifetime_active_hours"),
+                "throughput_active_fraction": stats.get("throughput_active_fraction"),
+            }
+        )
+    else:
+        entry["error"] = outcome.error
+    return entry
+
+
+def build_dependability_report(
+    analysis: SweepAnalysis,
+    title: str = "Dependability sweep report",
+) -> CampaignHealthReport:
+    """Assemble the sweep report (same container as the campaign report)."""
+    spec = analysis.spec
+    ok_rows, degraded = analysis.ok_rows, analysis.degraded_rows
+    points = pareto_frontier(analysis)
+
+    data = {
+        "meta": {
+            "title": title,
+            "sweep": spec.name,
+            "engine": spec.engine,
+            "n_cells": analysis.n_cells,
+            "ok_cells": len(ok_rows),
+            "degraded_cells": len(degraded),
+            "n_chips_per_cell": spec.n_chips,
+            "spec_digest": spec.digest(),
+        },
+        "confidence": {
+            "cell_failure_rate_wilson95": list(analysis.cell_failure_ci),
+            "quarantine_rate_wilson95": list(analysis.quarantine_ci),
+            "lifetime_hours_bootstrap95": (
+                list(analysis.lifetime_ci) if analysis.lifetime_ci else None
+            ),
+        },
+        "cells": [_cell_entry(row) for row in analysis.rows],
+        "degraded": [
+            {
+                "cell_id": row.cell.cell_id,
+                "status": row.outcome.status,
+                "attempts": row.outcome.attempts,
+                "seed": row.cell.seed,
+                "error": row.outcome.error,
+            }
+            for row in degraded
+        ],
+        "sensitivity": {
+            axis: {str(value): metrics for value, metrics in marginals.items()}
+            for axis, marginals in analysis.sensitivity.items()
+        },
+        "pareto": [
+            {
+                "alpha": point.alpha,
+                "sleep_voltage": point.sleep_voltage,
+                "sleep_temperature_c": point.sleep_temperature_c,
+                "lifetime_hours": point.lifetime_hours,
+                "throughput": point.throughput,
+                "cells": point.cells,
+                "censored": point.censored,
+                "on_frontier": point.on_frontier,
+            }
+            for point in points
+        ],
+    }
+    return CampaignHealthReport(data, _render_html(data, points))
+
+
+def _fmt_or_dash(value, fmt: str = "{:.3g}") -> str:
+    return fmt.format(value) if value is not None else "-"
+
+
+def _render_html(data: dict, points: tuple[ParetoPoint, ...]) -> str:
+    meta = data["meta"]
+    confidence = data["confidence"]
+    sections: list[str] = []
+
+    status = (
+        '<span class="ok">all cells completed</span>'
+        if not meta["degraded_cells"]
+        else f'<span class="bad">{meta["degraded_cells"]} cell(s) degraded</span>'
+    )
+    failure_low, failure_high = confidence["cell_failure_rate_wilson95"]
+    sections.append("<h2>Sweep</h2>")
+    summary_table = H.rows_table(
+        "Sweep summary",
+        ["quantity", "value"],
+        [
+            ["sweep", meta["sweep"]],
+            ["engine", meta["engine"]],
+            ["status", status],
+            ["grid cells", meta["n_cells"]],
+            ["completed", meta["ok_cells"]],
+            ["degraded", meta["degraded_cells"]],
+            ["chips per cell", meta["n_chips_per_cell"]],
+            [
+                "cell failure rate (Wilson 95%)",
+                f"[{failure_low:.3f}, {failure_high:.3f}]",
+            ],
+            ["spec digest", meta["spec_digest"]],
+        ],
+    )
+    sections.append(summary_table.replace(H.escape(status), status))
+
+    sections.append("<h2>Cell grid</h2>")
+    sections.append(
+        H.rows_table(
+            "Per-cell configuration and outcome",
+            [
+                "cell", "status", "fault/day", "dropout", "upset", "guard",
+                "alpha", "Vdda", "Ta C", "quar", "retries", "violations",
+                "life h", "throughput",
+            ],
+            [
+                [
+                    cell["cell_id"],
+                    cell["status"],
+                    cell["fault_rate"],
+                    cell["dropout_prob"],
+                    cell["upset_prob"],
+                    cell["guard_mode"],
+                    cell["alpha"],
+                    cell["sleep_voltage"],
+                    cell["sleep_temperature_c"],
+                    cell.get("quarantined", "-"),
+                    cell.get("sample_retries", "-"),
+                    cell.get("guard_violations", "-"),
+                    _fmt_or_dash(cell.get("lifetime_active_hours")),
+                    _fmt_or_dash(cell.get("throughput_active_fraction")),
+                ]
+                for cell in data["cells"]
+            ],
+            fmt="{:,.3g}",
+        )
+    )
+
+    sections.append("<h2>Degraded cells</h2>")
+    if data["degraded"]:
+        sections.append(
+            H.rows_table(
+                "Cells that failed or timed out (sweep completed on survivors)",
+                ["cell", "status", "attempts", "seed", "error"],
+                [
+                    [d["cell_id"], d["status"], d["attempts"], d["seed"], d["error"]]
+                    for d in data["degraded"]
+                ],
+            )
+        )
+    else:
+        sections.append('<p class="note">Every cell completed.</p>')
+
+    sections.append("<h2>Confidence intervals</h2>")
+    quarantine_low, quarantine_high = confidence["quarantine_rate_wilson95"]
+    lifetime_ci = confidence["lifetime_hours_bootstrap95"]
+    sections.append(
+        H.rows_table(
+            "Dependability intervals (95%)",
+            ["quantity", "interval"],
+            [
+                [
+                    "cell failure rate (Wilson)",
+                    f"[{failure_low:.3f}, {failure_high:.3f}]",
+                ],
+                [
+                    "chip quarantine rate (Wilson)",
+                    f"[{quarantine_low:.3f}, {quarantine_high:.3f}]",
+                ],
+                [
+                    "mean projected lifetime h (bootstrap)",
+                    f"[{lifetime_ci[0]:.2f}, {lifetime_ci[1]:.2f}]"
+                    if lifetime_ci
+                    else "n/a (fewer than 2 finite lifetimes)",
+                ],
+            ],
+        )
+    )
+
+    sections.append("<h2>Sensitivity</h2>")
+    if data["sensitivity"]:
+        for axis, marginals in data["sensitivity"].items():
+            sections.append(
+                H.rows_table(
+                    f"Marginal means by {axis}",
+                    [
+                        axis, "cells", "ok", "quarantine rate", "lifetime h",
+                        "degradation s", "guard violations",
+                    ],
+                    [
+                        [
+                            value,
+                            metrics["cells"],
+                            metrics["ok_cells"],
+                            _fmt_or_dash(metrics["quarantine_rate"]),
+                            _fmt_or_dash(metrics["lifetime_hours"]),
+                            _fmt_or_dash(metrics["degradation"], "{:.3e}"),
+                            _fmt_or_dash(metrics["guard_violations"]),
+                        ]
+                        for value, metrics in marginals.items()
+                    ],
+                )
+            )
+    else:
+        sections.append(
+            '<p class="note">No axis was swept over more than one value.</p>'
+        )
+
+    sections.append("<h2>Recovery-knob Pareto frontier</h2>")
+    if points:
+        frontier_points = [p for p in points if p.on_frontier]
+        chart = svg_scatter_chart(
+            [(p.throughput, p.lifetime_hours, _knob_label(p)) for p in points],
+            frontier=[(p.throughput, p.lifetime_hours) for p in frontier_points],
+            title="Projected lifetime vs throughput",
+            x_label="throughput (active fraction, alpha/(1+alpha))",
+            y_label="projected active lifetime (hours)",
+        )
+        sections.append(
+            H.figure(
+                chart,
+                f"{len(frontier_points)} of {len(points)} knob settings on the "
+                "frontier; censored lifetimes enter at the horizon.",
+            )
+        )
+        sections.append(
+            H.rows_table(
+                "Knob settings (frontier members marked)",
+                [
+                    "alpha", "Vdda", "Ta C", "throughput", "lifetime h",
+                    "cells", "censored", "frontier",
+                ],
+                [
+                    [
+                        p.alpha,
+                        p.sleep_voltage,
+                        p.sleep_temperature_c,
+                        p.throughput,
+                        p.lifetime_hours,
+                        p.cells,
+                        p.censored,
+                        p.on_frontier,
+                    ]
+                    for p in points
+                ],
+            )
+        )
+    else:
+        sections.append(
+            '<p class="note">No lifetime projections available '
+            "(projection disabled or every cell degraded).</p>"
+        )
+
+    return H.page(meta["title"], sections)

@@ -143,3 +143,115 @@ def svg_line_chart(
         x_cursor += 14 + 7 * len(label) + 12
     parts.append("</svg>")
     return "".join(parts)
+
+
+def svg_scatter_chart(
+    points: Sequence[tuple[float, float, str]],
+    frontier: Sequence[tuple[float, float]] = (),
+    width: int = 640,
+    height: int = 280,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labelled points (and an optional frontier polyline) as SVG.
+
+    ``points`` are ``(x, y, label)`` triples — every point is drawn as a
+    circle with its label beside it; ``frontier`` points (a subset, in
+    drawing order) are connected with a dashed polyline and filled, so a
+    Pareto frontier reads at a glance against the dominated cloud.  Same
+    determinism contract as :func:`svg_line_chart`.
+    """
+    if not points:
+        raise ConfigurationError("svg_scatter_chart needs at least one point")
+    if width < 120 or height < 80:
+        raise ConfigurationError("chart must be at least 120 x 80 px")
+
+    margin_left, margin_right = 56.0, 16.0
+    margin_top = 28.0 if title else 12.0
+    margin_bottom = 44.0
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    xs = [float(x) for x, _, _ in points]
+    ys = [float(y) for _, y, _ in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    # Pad 5% so edge points are not clipped by the frame.
+    x_pad = 0.05 * (x_max - x_min) or 0.5
+    y_pad = 0.05 * (y_max - y_min) or 0.5
+    x_min, x_max = x_min - x_pad, x_max + x_pad
+    y_min, y_max = y_min - y_pad, y_max + y_pad
+
+    def sx(x: float) -> float:
+        return margin_left + (x - x_min) / (x_max - x_min) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_top + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'role="img" font-family="sans-serif" font-size="11">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.2f}" y="16" text-anchor="middle" '
+            f'font-size="13">{escape(title)}</text>'
+        )
+    parts.append(
+        f'<rect x="{margin_left:.2f}" y="{margin_top:.2f}" '
+        f'width="{plot_w:.2f}" height="{plot_h:.2f}" fill="none" '
+        f'stroke="#999" stroke-width="1"/>'
+    )
+    for tick in _ticks(y_min, y_max):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{margin_left:.2f}" y1="{y:.2f}" '
+            f'x2="{margin_left + plot_w:.2f}" y2="{y:.2f}" '
+            f'stroke="#e0e0e0" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 6:.2f}" y="{y + 3:.2f}" '
+            f'text-anchor="end">{tick:.3g}</text>'
+        )
+    for tick in _ticks(x_min, x_max):
+        x = sx(tick)
+        parts.append(
+            f'<text x="{x:.2f}" y="{margin_top + plot_h + 14:.2f}" '
+            f'text-anchor="middle">{tick:.3g}</text>'
+        )
+    parts.append(
+        f'<text x="{margin_left + plot_w / 2:.2f}" '
+        f'y="{margin_top + plot_h + 28:.2f}" text-anchor="middle">'
+        f'{escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="14" y="{margin_top + plot_h / 2:.2f}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {margin_top + plot_h / 2:.2f})">'
+        f'{escape(y_label)}</text>'
+    )
+    if len(frontier) >= 2:
+        line = " ".join(
+            f"{sx(float(x)):.2f},{sy(float(y)):.2f}" for x, y in frontier
+        )
+        parts.append(
+            f'<polyline points="{line}" fill="none" stroke="{PALETTE[1]}" '
+            f'stroke-width="1.5" stroke-dasharray="5,3"/>'
+        )
+    frontier_set = {(float(x), float(y)) for x, y in frontier}
+    for x, y, label in points:
+        on_frontier = (float(x), float(y)) in frontier_set
+        colour = PALETTE[1] if on_frontier else PALETTE[0]
+        fill = colour if on_frontier else "none"
+        parts.append(
+            f'<circle cx="{sx(float(x)):.2f}" cy="{sy(float(y)):.2f}" r="4" '
+            f'fill="{fill}" stroke="{colour}" stroke-width="1.5"/>'
+        )
+        if label:
+            parts.append(
+                f'<text x="{sx(float(x)) + 7:.2f}" y="{sy(float(y)) - 5:.2f}">'
+                f"{escape(label)}</text>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)

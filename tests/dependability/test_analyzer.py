@@ -1,0 +1,186 @@
+"""Analyzer and Pareto frontier over fabricated sweep results.
+
+Outcomes are constructed by hand (no campaigns run), so these tests pin
+the statistics — Wilson/bootstrap intervals, sensitivity marginals,
+dominance flags — without simulation noise or runtime cost.
+"""
+
+import pytest
+
+from repro.dependability import (
+    LifetimeSettings,
+    SweepSpec,
+    analyze_sweep,
+    pareto_frontier,
+)
+from repro.dependability.runner import CellOutcome, SweepResult
+from repro.errors import ConfigurationError
+
+
+def build_result(stats_by_alpha, failed_ids=()):
+    """A 1-seed sweep over the given alphas with fabricated stats."""
+    spec = SweepSpec(
+        name="fab",
+        n_chips=4,
+        alphas=tuple(sorted(stats_by_alpha)),
+        seeds=(0,),
+        lifetime=LifetimeSettings(horizon_hours=24.0),
+    )
+    cells = spec.expand()
+    outcomes = []
+    for cell in cells:
+        if cell.cell_id in failed_ids:
+            outcomes.append(
+                CellOutcome(
+                    cell_id=cell.cell_id,
+                    status="failed",
+                    attempts=2,
+                    error="synthetic failure",
+                )
+            )
+            continue
+        stats = dict(stats_by_alpha[cell.alpha])
+        outcomes.append(
+            CellOutcome(
+                cell_id=cell.cell_id, status="ok", attempts=1, stats=stats
+            )
+        )
+    return SweepResult(
+        spec=spec, directory="", cells=cells, outcomes=tuple(outcomes)
+    )
+
+
+def ok_stats(quarantined=0, lifetime=10.0, throughput=0.5, violations=0.0):
+    return {
+        "quarantined_count": quarantined,
+        "sample_retries": 0.0,
+        "guard_violations_total": violations,
+        "degradation": {"chip-1": 1e-12, "chip-2": 3e-12},
+        "lifetime_active_hours": lifetime,
+        "throughput_active_fraction": throughput,
+        "lifetime_horizon_hours": 24.0,
+    }
+
+
+class TestAnalyzeSweep:
+    def test_failure_and_quarantine_intervals(self):
+        result = build_result(
+            {
+                1.0: ok_stats(quarantined=2, lifetime=12.0, throughput=0.5),
+                2.0: ok_stats(quarantined=0, lifetime=8.0, throughput=2 / 3),
+                4.0: ok_stats(quarantined=0, lifetime=5.0, throughput=0.8),
+            },
+            failed_ids=("cell-0001",),
+        )
+        analysis = analyze_sweep(result)
+        assert len(analysis.degraded_rows) == 1
+        low, high = analysis.cell_failure_ci  # 1 failure of 3 cells
+        assert 0.0 < low < 1 / 3 < high < 1.0
+        # 2 quarantined of 8 chips across the two surviving cells.
+        q_low, q_high = analysis.quarantine_ci
+        assert 0.0 < q_low < 0.25 < q_high < 1.0
+
+    def test_lifetime_bootstrap_needs_two_points(self):
+        one = build_result({1.0: ok_stats(lifetime=12.0)})
+        assert analyze_sweep(one).lifetime_ci is None
+        two = build_result(
+            {1.0: ok_stats(lifetime=12.0), 4.0: ok_stats(lifetime=4.0)}
+        )
+        ci = analyze_sweep(two).lifetime_ci
+        assert ci is not None and ci[0] <= ci[1]
+
+    def test_sensitivity_only_for_swept_axes(self):
+        result = build_result(
+            {1.0: ok_stats(violations=2.0), 4.0: ok_stats(violations=6.0)}
+        )
+        analysis = analyze_sweep(result)
+        assert set(analysis.sensitivity) == {"alphas"}
+        marginals = analysis.sensitivity["alphas"]
+        assert marginals[1.0]["guard_violations"] == 2.0
+        assert marginals[4.0]["guard_violations"] == 6.0
+
+    def test_degraded_cells_excluded_from_marginals(self):
+        result = build_result(
+            {1.0: ok_stats(), 4.0: ok_stats()}, failed_ids=("cell-0000",)
+        )
+        marginals = analyze_sweep(result).sensitivity["alphas"]
+        assert marginals[1.0]["ok_cells"] == 0
+        assert marginals[1.0]["lifetime_hours"] is None
+        assert marginals[4.0]["ok_cells"] == 1
+
+    def test_table_marks_degraded_and_censored(self):
+        stats = ok_stats()
+        stats["lifetime_active_hours"] = None  # censored at the horizon
+        result = build_result(
+            {1.0: stats, 4.0: ok_stats()}, failed_ids=("cell-0001",)
+        )
+        rendered = analyze_sweep(result).table().render()
+        assert ">24" in rendered
+        assert "failed" in rendered
+
+    def test_inconsistent_result_rejected(self):
+        result = build_result({1.0: ok_stats()})
+        broken = SweepResult(
+            spec=result.spec,
+            directory="",
+            cells=result.cells,
+            outcomes=(),
+        )
+        with pytest.raises(ConfigurationError, match="inconsistent"):
+            analyze_sweep(broken)
+
+    def test_directory_reload_marks_never_ran(self, tmp_path):
+        from repro.dependability import SweepRunner
+
+        spec = SweepSpec(
+            name="partial",
+            n_chips=1,
+            alphas=(1.0, 4.0),
+            seeds=(3,),
+            lifetime=LifetimeSettings(enabled=False),
+        )
+        SweepRunner(spec, tmp_path, isolation="inline").run()
+        (tmp_path / "cells" / "cell-0001.json").unlink()
+        analysis = analyze_sweep(tmp_path)
+        assert len(analysis.rows) == 2
+        missing = analysis.rows[1].outcome
+        assert not missing.ok and "never ran" in missing.error
+
+
+class TestParetoFrontier:
+    def test_dominated_point_flagged_off_frontier(self):
+        result = build_result(
+            {
+                1.0: ok_stats(lifetime=12.0, throughput=0.5),
+                2.0: ok_stats(lifetime=5.0, throughput=2 / 3),  # dominated
+                4.0: ok_stats(lifetime=6.0, throughput=0.8),
+            }
+        )
+        points = pareto_frontier(analyze_sweep(result))
+        by_alpha = {p.alpha: p for p in points}
+        assert by_alpha[1.0].on_frontier
+        assert by_alpha[4.0].on_frontier
+        assert not by_alpha[2.0].on_frontier
+        # sorted by throughput for direct polyline plotting
+        assert [p.alpha for p in points] == [1.0, 2.0, 4.0]
+
+    def test_censored_lifetimes_enter_at_horizon(self):
+        stats = ok_stats(throughput=0.5)
+        stats["lifetime_active_hours"] = None
+        result = build_result(
+            {1.0: stats, 4.0: ok_stats(lifetime=6.0, throughput=0.8)}
+        )
+        points = pareto_frontier(analyze_sweep(result))
+        censored = next(p for p in points if p.alpha == 1.0)
+        assert censored.lifetime_hours == 24.0
+        assert censored.censored == 1
+        assert censored.on_frontier
+
+    def test_no_lifetime_data_means_empty_frontier(self):
+        stats = {
+            "quarantined_count": 0,
+            "guard_violations_total": 0.0,
+            "degradation": {},
+        }
+        result = build_result({1.0: stats})
+        assert pareto_frontier(analyze_sweep(result)) == ()

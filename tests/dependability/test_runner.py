@@ -1,0 +1,206 @@
+"""Sweep runner: graceful degradation, isolation, resume bit-identity.
+
+The fast tests here run tiny grids inline with lifetime projection off;
+the process-isolation crash/timeout paths use one-cell grids so forks
+stay cheap.  The 24-cell acceptance drill lives in
+``tests/integration/test_sweep_dependability.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.dependability import (
+    LifetimeSettings,
+    SweepRunner,
+    SweepSpec,
+    SweepStore,
+)
+from repro.errors import ConfigurationError, SweepError
+from repro.obs import Tracer
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    defaults = dict(
+        name="tiny",
+        n_chips=1,
+        alphas=(1.0, 4.0),
+        seeds=(3,),
+        lifetime=LifetimeSettings(enabled=False),
+    )
+    defaults.update(overrides)
+    return SweepSpec(**defaults)
+
+
+class TestRunnerConfig:
+    def test_bad_timeout_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="timeout_s"):
+            SweepRunner(tiny_spec(), tmp_path, timeout_s=0.0)
+
+    def test_bad_isolation_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="isolation"):
+            SweepRunner(tiny_spec(), tmp_path, isolation="thread")
+
+    def test_bad_inject_mode_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="inject mode"):
+            SweepRunner(tiny_spec(), tmp_path, inject={"cell-0000": "explode"})
+
+
+class TestInlineRun:
+    def test_all_cells_complete(self, tmp_path):
+        result = SweepRunner(tiny_spec(), tmp_path, isolation="inline").run()
+        assert result.complete
+        assert len(result.outcomes) == 2
+        assert all(outcome.attempts == 1 for outcome in result.outcomes)
+        assert all(outcome.digest for outcome in result.outcomes)
+
+    def test_stats_digest_excludes_wall_clock(self, tmp_path):
+        first = SweepRunner(
+            tiny_spec(), tmp_path / "a", isolation="inline"
+        ).run()
+        second = SweepRunner(
+            tiny_spec(), tmp_path / "b", isolation="inline"
+        ).run()
+        assert [o.digest for o in first.outcomes] == [
+            o.digest for o in second.outcomes
+        ]
+
+    def test_injected_crash_degrades_not_raises(self, tmp_path):
+        tracer = Tracer()
+        result = SweepRunner(
+            tiny_spec(),
+            tmp_path,
+            isolation="inline",
+            cell_retries=2,
+            inject={"cell-0000": "crash"},
+            tracer=tracer,
+        ).run()
+        crashed = result.outcomes[0]
+        assert crashed.status == "failed"
+        assert crashed.attempts == 2
+        assert "injected crash" in crashed.error
+        assert result.outcomes[1].ok
+        assert tracer.metrics.value("sweep.cell_failures") == 1.0
+        assert tracer.metrics.value("sweep.cell_retries") == 1.0
+
+    def test_crash_once_recovers_on_retry(self, tmp_path):
+        result = SweepRunner(
+            tiny_spec(),
+            tmp_path,
+            isolation="inline",
+            cell_retries=2,
+            inject={"cell-0000": "crash-once"},
+        ).run()
+        assert result.complete
+        assert result.outcomes[0].attempts == 2
+
+    def test_inline_hang_refuses(self, tmp_path):
+        result = SweepRunner(
+            tiny_spec(),
+            tmp_path,
+            isolation="inline",
+            cell_retries=1,
+            inject={"cell-0000": "hang"},
+        ).run()
+        assert "inline isolation cannot" in result.outcomes[0].error
+
+
+class TestProcessIsolation:
+    def test_sigkilled_child_is_recorded(self, tmp_path):
+        spec = tiny_spec(alphas=(1.0,))
+        result = SweepRunner(
+            spec,
+            tmp_path,
+            isolation="process",
+            cell_retries=1,
+            inject={"cell-0000": "crash"},
+        ).run()
+        outcome = result.outcomes[0]
+        assert outcome.status == "failed"
+        assert "worker died" in outcome.error
+
+    def test_hang_times_out(self, tmp_path):
+        spec = tiny_spec(alphas=(1.0,))
+        tracer = Tracer()
+        result = SweepRunner(
+            spec,
+            tmp_path,
+            isolation="process",
+            timeout_s=1.5,
+            cell_retries=1,
+            inject={"cell-0000": "hang"},
+            tracer=tracer,
+        ).run()
+        outcome = result.outcomes[0]
+        assert outcome.status == "timeout"
+        assert "wall-clock budget" in outcome.error
+        assert tracer.metrics.value("sweep.cell_timeouts") == 1.0
+
+    def test_process_digests_match_inline(self, tmp_path):
+        spec = tiny_spec(alphas=(1.0,))
+        inline = SweepRunner(spec, tmp_path / "i", isolation="inline").run()
+        forked = SweepRunner(spec, tmp_path / "p", isolation="process").run()
+        assert [o.digest for o in inline.outcomes] == [
+            o.digest for o in forked.outcomes
+        ]
+
+
+class TestResume:
+    def test_resume_runs_only_unfinished_cells(self, tmp_path):
+        spec = tiny_spec()
+        first = SweepRunner(spec, tmp_path, isolation="inline").run()
+        victim = first.outcomes[0]
+        (tmp_path / "cells" / f"{victim.cell_id}.json").unlink()
+
+        tracer = Tracer()
+        resumed = SweepRunner.resume(
+            tmp_path, isolation="inline", tracer=tracer
+        )
+        assert tracer.metrics.value("sweep.cells") == 1.0  # one cell re-ran
+        assert [o.digest for o in resumed.outcomes] == [
+            o.digest for o in first.outcomes
+        ]
+
+    def test_run_on_partial_directory_continues(self, tmp_path):
+        spec = tiny_spec()
+        SweepRunner(spec, tmp_path, isolation="inline").run()
+        (tmp_path / "cells" / "cell-0001.json").unlink()
+        again = SweepRunner(spec, tmp_path, isolation="inline").run()
+        assert again.complete
+
+    def test_resume_rejects_different_spec(self, tmp_path):
+        SweepRunner(tiny_spec(), tmp_path, isolation="inline").run()
+        other = tiny_spec(alphas=(2.0, 3.0))
+        with pytest.raises(SweepError, match="does not match"):
+            SweepRunner(other, tmp_path, isolation="inline").run(resume=True)
+        with pytest.raises(SweepError, match="different spec"):
+            SweepRunner(other, tmp_path, isolation="inline").run()
+
+    def test_resume_needs_manifest(self, tmp_path):
+        with pytest.raises(SweepError):
+            SweepRunner.resume(tmp_path / "nowhere")
+
+
+class TestStoreRobustness:
+    def test_orphan_tmp_discarded_with_warning(self, tmp_path):
+        SweepRunner(tiny_spec(), tmp_path, isolation="inline").run()
+        orphan = tmp_path / "cells" / "cell-9999.json.tmp"
+        orphan.write_text('{"torn":')
+        with pytest.warns(RuntimeWarning, match="orphaned temp file"):
+            store = SweepStore(tmp_path)
+        assert not orphan.exists()
+        assert len(store.load_cells()) == 2
+
+    def test_corrupt_cell_file_is_skipped(self, tmp_path):
+        SweepRunner(tiny_spec(), tmp_path, isolation="inline").run()
+        (tmp_path / "cells" / "cell-0000.json").write_text("{not json")
+        store = SweepStore(tmp_path)
+        with pytest.warns(RuntimeWarning, match="cell-0000"):
+            cells = store.load_cells()
+        assert set(cells) == {"cell-0001"}
+
+    def test_manifest_is_valid_json(self, tmp_path):
+        SweepRunner(tiny_spec(), tmp_path, isolation="inline").run()
+        manifest = json.loads((tmp_path / "sweep.json").read_text())
+        assert manifest["name"] == "tiny"
+        assert manifest["n_cells"] == 2

@@ -15,6 +15,7 @@ class TestRegistry:
         expected = {
             "FIG1", "FIG2", "FIG3", "TAB1", "TAB1F", "FIG4", "FIG5", "TAB2",
             "TAB3", "FIG6", "FIG7", "FIG8", "TAB4", "TAB5", "FIG9", "FIG10",
+            "DEPEND",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,147 @@
+"""Dependability sweep acceptance drills.
+
+Two end-to-end contracts from the sweep engine's spec:
+
+* a ≥24-cell faultload matrix with one forced crash and one forced
+  timeout still completes, reporting exactly those two cells as
+  degraded; and
+* ``repro sweep resume`` after a SIGKILL re-runs only the unfinished
+  cells and reproduces the surviving cells bit-identically.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.dependability import (
+    LifetimeSettings,
+    SweepRunner,
+    SweepSpec,
+    analyze_sweep,
+)
+from repro.obs import Tracer
+from repro.report import build_dependability_report
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def grid_24() -> SweepSpec:
+    """2 fault rates x 2 guard modes x 3 alphas x 2 seeds = 24 cells."""
+    return SweepSpec(
+        name="acceptance-24",
+        n_chips=1,
+        fault_rates=(0.0, 6.0),
+        guard_modes=("clamp", "off"),
+        alphas=(1.0, 2.0, 4.0),
+        seeds=(3, 5),
+        lifetime=LifetimeSettings(enabled=False),
+    )
+
+
+class TestDegradedSweepCompletes:
+    def test_crash_and_timeout_cells_reported(self, tmp_path):
+        spec = grid_24()
+        assert spec.n_cells == 24
+        tracer = Tracer()
+        result = SweepRunner(
+            spec,
+            tmp_path,
+            isolation="process",
+            timeout_s=5.0,
+            cell_retries=1,
+            inject={"cell-0000": "crash", "cell-0001": "hang"},
+            tracer=tracer,
+        ).run()
+
+        by_id = {outcome.cell_id: outcome for outcome in result.outcomes}
+        crashed, hung = by_id["cell-0000"], by_id["cell-0001"]
+        assert crashed.status == "failed" and "worker died" in crashed.error
+        assert hung.status == "timeout" and "wall-clock budget" in hung.error
+        assert {o.cell_id for o in result.degraded_cells} == {
+            "cell-0000", "cell-0001",
+        }
+        assert len(result.ok_cells) == 22
+        # Both degraded cells exhausted their attempts; one via timeout.
+        assert tracer.metrics.value("sweep.cell_failures") == 2.0
+        assert tracer.metrics.value("sweep.cell_timeouts") == 1.0
+
+        analysis = analyze_sweep(result)
+        assert len(analysis.degraded_rows) == 2
+        report = build_dependability_report(analysis)
+        assert report.data["meta"]["degraded_cells"] == 2
+        assert "wall-clock budget" in report.html
+
+
+class TestSigkillResume:
+    SPEC = dict(
+        name="kill-resume",
+        n_chips=1,
+        alphas=(1.0, 2.0, 4.0),
+        seeds=(3, 5),
+        lifetime=dict(enabled=False),
+    )
+
+    def test_resume_runs_only_unfinished_cells(self, tmp_path):
+        spec = SweepSpec.from_dict(self.SPEC)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        sweep_dir = tmp_path / "sweep"
+        cells_dir = sweep_dir / "cells"
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "sweep", "run", str(spec_path),
+                "--dir", str(sweep_dir), "--isolation", "inline", "--quiet",
+            ],
+            cwd=ROOT,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 300.0
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    break  # finished before the kill window — still valid
+                if len(list(cells_dir.glob("cell-*.json"))) >= 2:
+                    process.send_signal(signal.SIGKILL)
+                    process.wait(timeout=30.0)
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("sweep made no cell progress in 300 s")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30.0)
+
+        survivors = {
+            path.stem: json.loads(path.read_text())["digest"]
+            for path in cells_dir.glob("cell-*.json")
+        }
+        assert survivors, "kill landed before any cell was persisted"
+
+        tracer = Tracer()
+        resumed = SweepRunner.resume(sweep_dir, isolation="inline", tracer=tracer)
+        assert resumed.complete
+        # Only the unfinished cells re-ran...
+        assert tracer.metrics.value("sweep.cells") == float(
+            spec.n_cells - len(survivors)
+        )
+        # ...and the surviving cells kept their exact pre-kill results,
+        # which in turn match an uninterrupted reference sweep.
+        resumed_digests = {o.cell_id: o.digest for o in resumed.outcomes}
+        for cell_id, digest in survivors.items():
+            assert resumed_digests[cell_id] == digest
+        reference = SweepRunner(
+            spec, tmp_path / "reference", isolation="inline"
+        ).run()
+        assert resumed_digests == {o.cell_id: o.digest for o in reference.outcomes}

@@ -434,3 +434,74 @@ class TestSanitizerCli:
         capsys.readouterr()
         assert main(["trace", "diff", str(seq), str(par)]) == 0
         assert "all 5 phase digests match" in capsys.readouterr().out
+
+
+class TestSweepCli:
+    @staticmethod
+    def spec_file(tmp_path, **overrides):
+        import json
+
+        from repro.dependability import LifetimeSettings, SweepSpec
+
+        defaults = dict(
+            name="cli-sweep",
+            n_chips=1,
+            alphas=(1.0, 4.0),
+            seeds=(3,),
+            lifetime=LifetimeSettings(enabled=False),
+        )
+        defaults.update(overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(SweepSpec(**defaults).to_dict()))
+        return str(path)
+
+    def test_init_prints_digest(self, tmp_path, capsys):
+        spec = self.spec_file(tmp_path)
+        sweep_dir = str(tmp_path / "sweep")
+        assert main(["sweep", "init", spec, "--dir", sweep_dir]) == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out and "digest" in out
+        assert (tmp_path / "sweep" / "sweep.json").exists()
+
+    def test_init_rejects_invalid_spec(self, tmp_path, capsys):
+        spec = self.spec_file(tmp_path, alphas=(0.0,))
+        assert main(["sweep", "init", spec, "--dir", str(tmp_path / "s")]) == 1
+        assert "RPR106" in capsys.readouterr().err
+
+    def test_run_resume_report_lifecycle(self, tmp_path, capsys):
+        spec = self.spec_file(tmp_path)
+        sweep_dir = str(tmp_path / "sweep")
+        run_args = ["--dir", sweep_dir, "--isolation", "inline", "--quiet"]
+
+        assert main(["sweep", "run", spec, *run_args]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 cells completed" in out
+        assert len(list((tmp_path / "sweep" / "cells").glob("*.json"))) == 2
+
+        assert main(["sweep", "resume", *run_args]) == 0
+        assert "2/2 cells completed" in capsys.readouterr().out
+
+        report = tmp_path / "sweep.html"
+        assert main(["sweep", "report", "--dir", sweep_dir,
+                     "--out", str(report)]) == 0
+        capsys.readouterr()
+        assert report.exists()
+        assert report.with_suffix(".json").exists()
+
+    def test_run_with_report_flag(self, tmp_path, capsys):
+        spec = self.spec_file(tmp_path)
+        report = tmp_path / "dep.html"
+        assert main(["sweep", "run", spec, "--dir", str(tmp_path / "s"),
+                     "--isolation", "inline", "--quiet",
+                     "--report", str(report)]) == 0
+        capsys.readouterr()
+        assert report.exists()
+
+    def test_missing_spec_file_is_a_config_error(self, tmp_path, capsys):
+        assert main(["sweep", "run", str(tmp_path / "nope.json"),
+                     "--dir", str(tmp_path / "s")]) == 2
+        assert "cannot read sweep spec" in capsys.readouterr().err
+
+    def test_report_without_sweep_directory_fails(self, tmp_path, capsys):
+        assert main(["sweep", "report", "--dir", str(tmp_path / "empty")]) == 2
+        assert "error:" in capsys.readouterr().err
